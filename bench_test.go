@@ -1,0 +1,476 @@
+package ptile360
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (DESIGN.md §4), plus ablation benches for the design
+// choices called out in DESIGN.md §5. Benchmarks report the regenerated
+// headline metric of each experiment via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as a results summary.
+
+import (
+	"strconv"
+	"testing"
+
+	"ptile360/internal/cluster"
+	"ptile360/internal/experiments"
+	"ptile360/internal/geom"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/predict"
+	"ptile360/internal/sim"
+	"ptile360/internal/stats"
+	"ptile360/internal/video"
+)
+
+// benchScale is the workload for the trace-driven benches: the calibrated
+// 48/40 user split on two representative videos.
+func benchScale() experiments.Scale {
+	s := experiments.FullScale()
+	s.Videos = []int{2, 8}
+	s.EvalUsers = 3
+	return s
+}
+
+func BenchmarkTable1PowerFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Fitted[power.Pixel3].Tx, "fitted-Pt-mW")
+		}
+	}
+}
+
+func BenchmarkTable2QoEFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Pearson, "pearson")
+		}
+	}
+}
+
+func BenchmarkFig2aTransmissionEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*(1-res.Mean), "saving-%")
+		}
+	}
+}
+
+func BenchmarkFig2bDecoderScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Pool[8].PowerMW, "p9-mW")
+		}
+	}
+}
+
+func BenchmarkFig2cProcessingEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.SavingVsBest, "saving-%")
+		}
+	}
+}
+
+func BenchmarkFig4bQoSurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4b(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Fit.Pearson, "pearson")
+		}
+	}
+}
+
+func BenchmarkFig5SwitchingSpeed(b *testing.B) {
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.FracAbove10, "frac>10-%")
+		}
+	}
+}
+
+func BenchmarkFig7PtileConstruction(b *testing.B) {
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.Coverage[8], "video8-coverage-%")
+		}
+	}
+}
+
+func BenchmarkFig8SizeRatios(b *testing.B) {
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*res.Medians[8][4], "q5-median-%")
+		}
+	}
+}
+
+func BenchmarkFig9EnergyComparison(b *testing.B) {
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err := experiments.RunComparison(power.Pixel3, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*(1-comp.NormalizedEnergy(1)[sim.SchemeOurs]), "ours-saving-%")
+		}
+	}
+}
+
+func BenchmarkFig10EnergyPhones(b *testing.B) {
+	scale := benchScale()
+	for _, phone := range []power.Phone{power.Nexus5X, power.GalaxyS20} {
+		b.Run(phone.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comp, err := experiments.RunComparison(phone, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(100*(1-comp.NormalizedEnergy(1)[sim.SchemeOurs]), "ours-saving-%")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig11QoEComparison(b *testing.B) {
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err := experiments.RunComparison(power.Pixel3, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(comp.NormalizedQoE(2)[sim.SchemeOurs], "ours-qoe-vs-ctile")
+		}
+	}
+}
+
+// benchSession prepares a single-session fixture for the ablation benches.
+type benchFixture struct {
+	cat   *sim.Catalog
+	user  *headtrace.Trace
+	trace *lte.Trace
+}
+
+func newBenchFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	p, err := video.ProfileByID(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gcfg := headtrace.DefaultGeneratorConfig()
+	ds, err := headtrace.Generate(p, gcfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, eval, err := ds.SplitTrainEval(40, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ccfg, err := sim.DefaultCatalogConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := sim.BuildCatalog(p, train, ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, tr2, err := lte.StandardTraces(400, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchFixture{cat: cat, user: eval[0], trace: tr2}
+}
+
+// BenchmarkAblationEpsilonSweep sweeps the (8c) QoE-loss tolerance ε and
+// reports the energy at each setting: larger tolerance buys more frame-rate
+// reduction and lower energy (DESIGN.md §5.2).
+func BenchmarkAblationEpsilonSweep(b *testing.B) {
+	fx := newBenchFixture(b)
+	for _, eps := range []float64{0.0, 0.05, 0.15} {
+		b.Run(formatPct(eps), func(b *testing.B) {
+			cfg, err := sim.DefaultConfig(sim.SchemeOurs, power.Pixel3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Epsilon = eps
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(fx.cat, fx.user, fx.trace, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.Energy.Total()/float64(res.Segments), "mJ/segment")
+					b.ReportMetric(res.QoE.MeanQ, "qoe")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHorizonSweep sweeps the MPC look-ahead H: the DP costs
+// O(H·V·F) per decision (DESIGN.md §5.4).
+func BenchmarkAblationHorizonSweep(b *testing.B) {
+	fx := newBenchFixture(b)
+	for _, h := range []int{1, 3, 5, 8} {
+		b.Run(formatInt(h), func(b *testing.B) {
+			cfg, err := sim.DefaultConfig(sim.SchemeOurs, power.Pixel3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Horizon = h
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(fx.cat, fx.user, fx.trace, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(res.QoE.Stalls), "stalls")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClusterSplit compares Algorithm 1 against unbounded
+// density growth on the same viewing centers (DESIGN.md §5.3).
+func BenchmarkAblationClusterSplit(b *testing.B) {
+	rng := stats.NewRNG(1)
+	centers := make([]geom.Point, 40)
+	for i := range centers {
+		centers[i] = geom.Point{X: rng.Uniform(60, 200), Y: rng.Uniform(60, 120)}
+	}
+	params := cluster.DefaultParams()
+	b.Run("algorithm1", func(b *testing.B) {
+		var maxDiam float64
+		for i := 0; i < b.N; i++ {
+			clusters, err := cluster.ViewingCenters(centers, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxDiam = 0
+			for _, cl := range clusters {
+				if d := cluster.Diameter(centers, cl.Members); d > maxDiam {
+					maxDiam = d
+				}
+			}
+		}
+		b.ReportMetric(maxDiam, "max-diameter-deg")
+	})
+	b.Run("unbounded", func(b *testing.B) {
+		var maxDiam float64
+		for i := 0; i < b.N; i++ {
+			clusters, err := cluster.DensityGrow(centers, params.Delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxDiam = 0
+			for _, cl := range clusters {
+				if d := cluster.Diameter(centers, cl.Members); d > maxDiam {
+					maxDiam = d
+				}
+			}
+		}
+		b.ReportMetric(maxDiam, "max-diameter-deg")
+	})
+}
+
+// BenchmarkAblationBandwidthEstimator compares the harmonic-mean estimator
+// against last-sample estimation through the stall count of an Ours session
+// (DESIGN.md §5.5).
+func BenchmarkAblationBandwidthEstimator(b *testing.B) {
+	fx := newBenchFixture(b)
+	for _, window := range []int{1, 5, 20} {
+		b.Run(formatInt(window), func(b *testing.B) {
+			cfg, err := sim.DefaultConfig(sim.SchemeOurs, power.Pixel3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.BandwidthWindow = window
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(fx.cat, fx.user, fx.trace, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(res.QoE.Stalls), "stalls")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNoTileOverhead zeroes the per-tile overhead to show the
+// mechanism behind the Ptile advantage (DESIGN.md §5.1): without it the
+// Fig. 2a transmission saving shrinks toward the pure merge-efficiency gain.
+func BenchmarkAblationNoTileOverhead(b *testing.B) {
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fov := grid.FoVTiles(geom.Point{X: 180, Y: 90}, 100, 100)
+	bound, err := grid.BoundingRect(fov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := video.SegmentContent{SI: 50, TI: 25, Jitter: 1}
+	for _, overhead := range []bool{true, false} {
+		name := "with-overhead"
+		enc := video.DefaultEncoderConfig()
+		if !overhead {
+			name = "no-overhead"
+			enc.TileOverheadBits = 0
+		}
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				var ctileBits float64
+				for _, id := range fov {
+					bits, err := enc.TileBits(video.TileSpec{Rect: grid.TileRect(id), Quality: 3}, 1, sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ctileBits += bits
+				}
+				ptileBits, err := enc.TileBits(video.TileSpec{Rect: bound, Quality: 3, Kind: video.KindPtile}, 1, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = ptileBits / ctileBits
+			}
+			b.ReportMetric(100*ratio, "ptile-size-%")
+		})
+	}
+}
+
+func formatPct(v float64) string { return strconv.Itoa(int(v*100)) + "pct" }
+
+func formatInt(v int) string { return strconv.Itoa(v) }
+
+// BenchmarkAblationBufferSweep sweeps the playback buffer threshold β — the
+// prefetch-aggressiveness trade-off the paper's setup fixes at 3 s: larger
+// buffers absorb bandwidth drops (fewer stalls) but prefetch further ahead
+// of the viewport prediction.
+func BenchmarkAblationBufferSweep(b *testing.B) {
+	fx := newBenchFixture(b)
+	for _, beta := range []float64{2, 3, 5} {
+		b.Run(formatInt(int(beta))+"s", func(b *testing.B) {
+			cfg, err := sim.DefaultConfig(sim.SchemeOurs, power.Pixel3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.BufferCapSec = beta
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(fx.cat, fx.user, fx.trace, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(res.QoE.Stalls), "stalls")
+					b.ReportMetric(res.QoE.MeanQ, "qoe")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEstimatorKinds compares the bandwidth-estimator families
+// (DESIGN.md §5.5) through a full Ours session each.
+func BenchmarkAblationEstimatorKinds(b *testing.B) {
+	fx := newBenchFixture(b)
+	for _, kind := range []predict.EstimatorKind{
+		predict.EstimatorHarmonic, predict.EstimatorLastSample,
+		predict.EstimatorEWMA, predict.EstimatorMovingAverage,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg, err := sim.DefaultConfig(sim.SchemeOurs, power.Pixel3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Estimator = kind
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(fx.cat, fx.user, fx.trace, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(res.QoE.Stalls), "stalls")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStrictViewportQoE quantifies the viewport-sensitivity of
+// the QoE accounting (DESIGN.md §6.3): strict mode blends quality down by
+// uncovered FoV area, hurting narrow-coverage schemes most.
+func BenchmarkAblationStrictViewportQoE(b *testing.B) {
+	fx := newBenchFixture(b)
+	for _, strict := range []bool{false, true} {
+		name := "delivered"
+		if strict {
+			name = "strict"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg, err := sim.DefaultConfig(sim.SchemeCtile, power.Pixel3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.StrictViewportQoE = strict
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(fx.cat, fx.user, fx.trace, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.QoE.MeanQ0, "q0")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+// Command ptileserver runs the HTTP Ptile streaming server: it prepares the
+// catalogues (head-movement generation, Ptile construction) for the selected
+// videos and serves manifests plus synthesized segments.
+//
+// Usage:
+//
+//	ptileserver -addr :8360 -videos 2,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptile360/internal/headtrace"
+	"ptile360/internal/httpstream"
+	"ptile360/internal/sim"
+	"ptile360/internal/video"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr   = flag.String("addr", ":8360", "listen address")
+		videos = flag.String("videos", "2,8", "comma-separated Table III video IDs to serve")
+		users  = flag.Int("users", 48, "viewers per video (40 train Ptiles)")
+		seed   = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	catalogs := make(map[int]*sim.Catalog)
+	for _, field := range strings.Split(*videos, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptileserver: bad video id %q\n", field)
+			return 2
+		}
+		p, err := video.ProfileByID(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			return 2
+		}
+		fmt.Printf("preparing video %d (%s)...\n", id, p.Name)
+		gcfg := headtrace.DefaultGeneratorConfig()
+		gcfg.NumUsers = *users
+		ds, err := headtrace.Generate(p, gcfg, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			return 1
+		}
+		nTrain := *users * 5 / 6
+		train, _, err := ds.SplitTrainEval(nTrain, *seed+1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			return 1
+		}
+		ccfg, err := sim.DefaultCatalogConfig()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			return 1
+		}
+		ccfg.Seed = *seed
+		cat, err := sim.BuildCatalog(p, train, ccfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			return 1
+		}
+		catalogs[id] = cat
+	}
+
+	srv, err := httpstream.NewServer(catalogs, video.DefaultEncoderConfig(), []float64{30, 27, 24, 21})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		return 1
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("serving %d videos on %s\n", len(catalogs), *addr)
+	if err := httpServer.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		return 1
+	}
+	return 0
+}

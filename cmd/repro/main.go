@@ -1,0 +1,100 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	repro -exp fig9            # one experiment at full scale
+//	repro -exp all -scale quick
+//	repro -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	"ptile360"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expName   = flag.String("exp", "all", "experiment to run (e.g. table1, fig9, all)")
+		scaleName = flag.String("scale", "full", "workload scale: full or quick")
+		seed      = flag.Int64("seed", 42, "random seed")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		csvDir    = flag.String("csvdir", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, name := range ptile360.ExperimentNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("  all")
+		return 0
+	}
+
+	var scale ptile360.Scale
+	switch strings.ToLower(*scaleName) {
+	case "full":
+		scale = ptile360.FullScale()
+	case "quick":
+		scale = ptile360.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown scale %q (want full or quick)\n", *scaleName)
+		return 2
+	}
+	scale.Seed = *seed
+
+	tables, err := ptile360.RunExperiment(*expName, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		return 1
+	}
+	for i, tbl := range tables {
+		printTable(tbl)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, i, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func writeCSV(dir string, idx int, tbl ptile360.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := filepath.Join(dir, fmt.Sprintf("table_%02d.csv", idx))
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := ptile360.WriteTableCSV(f, tbl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printTable(tbl ptile360.Table) {
+	fmt.Printf("\n== %s ==\n", tbl.Title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(tbl.Columns, "\t"))
+	for _, row := range tbl.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: render: %v\n", err)
+	}
+}

@@ -1,0 +1,133 @@
+// Command stream drives a full playback session against a ptileserver: it
+// generates a viewer, fetches the manifest, and streams segments with the
+// paper's controller, printing per-segment accounting.
+//
+// Usage:
+//
+//	stream -url http://127.0.0.1:8360 -video 8 -segments 30 -shaped
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"ptile360/internal/headtrace"
+	"ptile360/internal/httpstream"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/video"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		baseURL  = flag.String("url", "http://127.0.0.1:8360", "ptileserver address")
+		videoID  = flag.Int("video", 8, "Table III video ID")
+		segments = flag.Int("segments", 30, "number of segments to stream (0 = all)")
+		shaped   = flag.Bool("shaped", false, "pace downloads against the LTE trace 2")
+		compress = flag.Float64("compress", 20, "time compression for shaping")
+		useMPC   = flag.Bool("mpc", true, "use the energy-minimizing MPC controller")
+		seed     = flag.Int64("seed", 7, "viewer seed")
+		csvOut   = flag.String("csv", "", "also write per-segment records as CSV to this file")
+	)
+	flag.Parse()
+
+	p, err := video.ProfileByID(*videoID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		return 2
+	}
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = 1
+	ds, err := headtrace.Generate(p, gcfg, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		return 1
+	}
+	viewer := ds.Traces[0]
+
+	cfg := httpstream.ClientConfig{
+		BaseURL:         *baseURL,
+		Phone:           power.Pixel3,
+		MaxSegments:     *segments,
+		TimeCompression: *compress,
+		UseMPC:          *useMPC,
+	}
+	if *shaped {
+		_, tr2, err := lte.StandardTraces(400, 99)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+			return 1
+		}
+		cfg.Shape = tr2
+	}
+	client, err := httpstream.NewClient(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		return 1
+	}
+	report, err := client.Stream(*videoID, viewer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("seg\tq\tfps\tkB\tMbps\tptile\tenergy(mJ)\n")
+	for _, rec := range report.Segments {
+		fmt.Printf("%d\tq%d\t%.0f\t%.0f\t%.2f\t%v\t%.0f\n",
+			rec.Segment, rec.Quality, rec.FrameRate,
+			float64(rec.Bytes)/1e3, rec.ThroughputBps/1e6, rec.FromPtile, rec.EnergyMJ)
+	}
+	fmt.Printf("\ntotal: %.1f MB, %.1f J, %d/%d segments from Ptiles\n",
+		float64(report.TotalBytes)/1e6, report.TotalEnergyMJ/1e3,
+		report.PtileSegments, len(report.Segments))
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+			return 1
+		}
+		if err := writeRecordsCSV(f, report); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+	return 0
+}
+
+func writeRecordsCSV(w io.Writer, report *httpstream.SessionReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"segment", "quality", "fps", "bytes", "throughput_bps", "from_ptile", "energy_mj"}); err != nil {
+		return err
+	}
+	for _, rec := range report.Segments {
+		row := []string{
+			strconv.Itoa(rec.Segment),
+			strconv.Itoa(int(rec.Quality)),
+			strconv.FormatFloat(rec.FrameRate, 'f', 0, 64),
+			strconv.FormatInt(rec.Bytes, 10),
+			strconv.FormatFloat(rec.ThroughputBps, 'f', 0, 64),
+			strconv.FormatBool(rec.FromPtile),
+			strconv.FormatFloat(rec.EnergyMJ, 'f', 1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,3 @@
+module ptile360
+
+go 1.22

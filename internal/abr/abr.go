@@ -1,0 +1,349 @@
+// Package abr implements the paper's bitrate/frame-rate adaptation logic:
+// the energy-minimizing Model-Predictive-Control controller with a
+// dynamic-programming core (Section IV-C), and the rate-based baseline the
+// conventional schemes (Ctile, Ftile, Nontile) use.
+//
+// The MPC controller solves, over a sliding horizon of H segments, the
+// Eq. 8 optimization: minimize total Eq. 1 energy subject to the buffer
+// evolution (Eq. 6), the no-rebuffering constraint (Eq. 7), one quality
+// version per segment (8b), and the ε-bounded QoE loss against the best
+// downloadable version (8c). Buffer levels are discretized at 500 ms and the
+// Bellman recursion over (buffer state, quality version) runs in O(H·V·F)
+// per stage.
+package abr
+
+import (
+	"fmt"
+	"math"
+
+	"ptile360/internal/video"
+)
+
+// Option is one downloadable quality version: a (bitrate level, frame rate)
+// tuple.
+type Option struct {
+	// Quality is the encoding quality level v.
+	Quality video.Quality
+	// FrameRate is the encoded frame rate f in fps.
+	FrameRate float64
+}
+
+// OptionMeta is an Option together with the per-segment metadata the
+// controller needs: its encoded size, its perceived quality, and its
+// processing power draw.
+type OptionMeta struct {
+	Option
+	// SizeBits is the encoded size of the whole segment request (Ptile or
+	// tile set plus background) at this version.
+	SizeBits float64
+	// PerceivedQuality is Q(v, f): Eq. 3 degraded by the Eq. 4 frame-rate
+	// factor.
+	PerceivedQuality float64
+	// ProcPowerMW is the processing power P_d(f) + P_r(f) while playing this
+	// version.
+	ProcPowerMW float64
+}
+
+// SegmentMeta lists the quality versions available for one future segment.
+type SegmentMeta struct {
+	Options []OptionMeta
+}
+
+// Config tunes the MPC controller.
+type Config struct {
+	// Horizon is the look-ahead H in segments.
+	Horizon int
+	// SegmentSec is the segment duration L.
+	SegmentSec float64
+	// BufferCapSec is the playback buffer threshold β.
+	BufferCapSec float64
+	// GranularitySec is the buffer-state discretization (500 ms in the
+	// paper).
+	GranularitySec float64
+	// Epsilon is the QoE loss tolerance of constraint (8c) (5 % in the
+	// paper).
+	Epsilon float64
+	// TxPowerMW is the data-transmission power P_t.
+	TxPowerMW float64
+	// PlanningSafety discounts the bandwidth estimate when checking
+	// downloadability, absorbing estimation error so executed plans do not
+	// stall (the paper reports zero rebuffering for Ours).
+	PlanningSafety float64
+}
+
+// DefaultConfig returns the paper's evaluation setting: H = 5 segments of
+// 1 s, β = 3 s, 500 ms buffer states, ε = 5 %.
+func DefaultConfig(txPowerMW float64) Config {
+	return Config{
+		Horizon:        5,
+		SegmentSec:     1,
+		BufferCapSec:   3,
+		GranularitySec: 0.5,
+		Epsilon:        0.05,
+		TxPowerMW:      txPowerMW,
+		PlanningSafety: 0.85,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("abr: non-positive horizon %d", c.Horizon)
+	}
+	if c.SegmentSec <= 0 {
+		return fmt.Errorf("abr: non-positive segment duration %g", c.SegmentSec)
+	}
+	if c.BufferCapSec <= 0 {
+		return fmt.Errorf("abr: non-positive buffer cap %g", c.BufferCapSec)
+	}
+	if c.GranularitySec <= 0 || c.GranularitySec > c.BufferCapSec {
+		return fmt.Errorf("abr: granularity %g outside (0, %g]", c.GranularitySec, c.BufferCapSec)
+	}
+	if c.Epsilon < 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("abr: epsilon %g outside [0, 1)", c.Epsilon)
+	}
+	if c.TxPowerMW <= 0 {
+		return fmt.Errorf("abr: non-positive transmission power %g", c.TxPowerMW)
+	}
+	if c.PlanningSafety <= 0 || c.PlanningSafety > 1 {
+		return fmt.Errorf("abr: planning safety %g outside (0, 1]", c.PlanningSafety)
+	}
+	return nil
+}
+
+// Decision is the controller's output for the next segment.
+type Decision struct {
+	// Chosen is the selected quality version.
+	Chosen OptionMeta
+	// PlanEnergyMJ is the DP's predicted energy over the horizon.
+	PlanEnergyMJ float64
+	// Emergency reports that no version satisfied the no-stall constraint
+	// and the smallest one was chosen as a fallback.
+	Emergency bool
+}
+
+// EnergyMPC is the paper's controller. It is stateless across calls: the
+// caller supplies the current buffer, the bandwidth estimate, and the
+// horizon metadata each time (step (e) of the Section IV-C loop).
+type EnergyMPC struct {
+	cfg Config
+}
+
+// NewEnergyMPC validates the configuration and returns a controller.
+func NewEnergyMPC(cfg Config) (*EnergyMPC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &EnergyMPC{cfg: cfg}, nil
+}
+
+// energy computes the Eq. 1 energy of downloading and playing one version at
+// the estimated bandwidth.
+func (m *EnergyMPC) energy(o OptionMeta, rateBps float64) float64 {
+	return m.cfg.TxPowerMW*o.SizeBits/rateBps + o.ProcPowerMW*m.cfg.SegmentSec
+}
+
+// dpNode is one Bellman table entry.
+type dpNode struct {
+	cost      float64
+	choice    int // option index taken to reach this state at this stage
+	prevState int
+	emergency bool
+}
+
+// Decide runs the DP of Section IV-C over the provided horizon and returns
+// the quality version for the next segment. bufferSec is B_k; rateBps is the
+// harmonic-mean bandwidth estimate for the horizon.
+func (m *EnergyMPC) Decide(bufferSec, rateBps float64, horizon []SegmentMeta) (Decision, error) {
+	if bufferSec < 0 {
+		return Decision{}, fmt.Errorf("abr: negative buffer %g", bufferSec)
+	}
+	if rateBps <= 0 {
+		return Decision{}, fmt.Errorf("abr: non-positive bandwidth %g", rateBps)
+	}
+	if len(horizon) == 0 {
+		return Decision{}, fmt.Errorf("abr: empty horizon")
+	}
+	h := len(horizon)
+	if h > m.cfg.Horizon {
+		h = m.cfg.Horizon
+	}
+	for i := 0; i < h; i++ {
+		if len(horizon[i].Options) == 0 {
+			return Decision{}, fmt.Errorf("abr: segment %d has no options", i)
+		}
+	}
+
+	// Plan with a discounted bandwidth so estimation error does not turn a
+	// feasible plan into a stall.
+	planRate := rateBps * m.cfg.PlanningSafety
+	nStates := int(m.cfg.BufferCapSec/m.cfg.GranularitySec) + 1
+	quant := func(b float64) int {
+		// The wait rule Δt = max(B − β, 0) means the effective level at the
+		// next request is min(B, β).
+		if b > m.cfg.BufferCapSec {
+			b = m.cfg.BufferCapSec
+		}
+		if b < 0 {
+			b = 0
+		}
+		s := int(b/m.cfg.GranularitySec + 0.5)
+		if s >= nStates {
+			s = nStates - 1
+		}
+		return s
+	}
+	unquant := func(s int) float64 { return float64(s) * m.cfg.GranularitySec }
+
+	const inf = math.MaxFloat64
+	// stages[i][s] is the best way to be in buffer state s after downloading
+	// horizon segment i.
+	stages := make([][]dpNode, h)
+	for i := range stages {
+		stages[i] = make([]dpNode, nStates)
+		for s := range stages[i] {
+			stages[i][s] = dpNode{cost: inf, choice: -1, prevState: -1}
+		}
+	}
+
+	initState := quant(bufferSec)
+	for i := 0; i < h; i++ {
+		type source struct {
+			state int
+			cost  float64
+		}
+		var sources []source
+		if i == 0 {
+			sources = []source{{state: initState, cost: 0}}
+		} else {
+			for s := 0; s < nStates; s++ {
+				if stages[i-1][s].cost < inf {
+					sources = append(sources, source{state: s, cost: stages[i-1][s].cost})
+				}
+			}
+		}
+		for _, src := range sources {
+			b := unquant(src.state)
+			if i == 0 {
+				// The initial buffer is continuous, not a grid point.
+				b = math.Min(bufferSec, m.cfg.BufferCapSec)
+			}
+			feasible, emergency := m.feasibleOptions(horizon[i].Options, b, planRate)
+			for _, oi := range feasible {
+				o := horizon[i].Options[oi]
+				dl := o.SizeBits / planRate
+				nb := math.Max(b-dl, 0) + m.cfg.SegmentSec
+				cost := src.cost + m.energy(o, rateBps)
+				ns := quant(nb)
+				node := &stages[i][ns]
+				if cost < node.cost {
+					*node = dpNode{cost: cost, choice: oi, prevState: src.state, emergency: emergency}
+				}
+			}
+		}
+	}
+
+	// Find the cheapest final state, then backtrack to the first choice.
+	bestState, bestCost := -1, inf
+	for s := 0; s < nStates; s++ {
+		if stages[h-1][s].cost < bestCost {
+			bestState, bestCost = s, stages[h-1][s].cost
+		}
+	}
+	if bestState < 0 {
+		return Decision{}, fmt.Errorf("abr: no feasible plan (buffer %.2fs, rate %.0f bps)", bufferSec, rateBps)
+	}
+	state := bestState
+	choice := -1
+	emergency := false
+	for i := h - 1; i >= 0; i-- {
+		node := stages[i][state]
+		choice = node.choice
+		emergency = node.emergency
+		state = node.prevState
+	}
+	return Decision{
+		Chosen:       horizon[0].Options[choice],
+		PlanEnergyMJ: bestCost,
+		Emergency:    emergency,
+	}, nil
+}
+
+// feasibleOptions returns the option indices that (a) download without
+// draining the buffer (Eq. 7) and (b) satisfy the ε QoE-loss constraint
+// (8c) against the best downloadable version (v_m, f_m). When nothing
+// downloads in time, it returns the smallest option as an emergency.
+func (m *EnergyMPC) feasibleOptions(options []OptionMeta, bufferSec, rateBps float64) (idx []int, emergency bool) {
+	qMax := math.Inf(-1)
+	for _, o := range options {
+		if o.SizeBits/rateBps <= bufferSec && o.PerceivedQuality > qMax {
+			qMax = o.PerceivedQuality
+		}
+	}
+	if math.IsInf(qMax, -1) {
+		// Nothing downloads before the buffer drains: pick the smallest
+		// version and accept the stall.
+		smallest, size := -1, math.Inf(1)
+		for i, o := range options {
+			if o.SizeBits < size {
+				smallest, size = i, o.SizeBits
+			}
+		}
+		return []int{smallest}, true
+	}
+	floor := (1 - m.cfg.Epsilon) * qMax
+	for i, o := range options {
+		if o.SizeBits/rateBps <= bufferSec && o.PerceivedQuality >= floor {
+			idx = append(idx, i)
+		}
+	}
+	return idx, false
+}
+
+// RateBased is the baseline controller of the conventional schemes: request
+// the highest quality whose predicted download finishes before the buffer
+// drains. It greedily maximizes instantaneous quality with no look-ahead and
+// no energy awareness.
+type RateBased struct {
+	// Safety scales the buffer budget; 1.0 uses the full buffer (aggressive,
+	// occasionally stalls on estimation error — the rebuffering the paper
+	// observes for Ctile/Ftile/Nontile in Fig. 11d).
+	Safety float64
+}
+
+// NewRateBased returns a baseline controller with the given safety factor.
+func NewRateBased(safety float64) (*RateBased, error) {
+	if safety <= 0 || safety > 1 {
+		return nil, fmt.Errorf("abr: safety %g outside (0, 1]", safety)
+	}
+	return &RateBased{Safety: safety}, nil
+}
+
+// Decide picks the highest-quality option downloadable within the buffer
+// budget, falling back to the smallest option when none fits.
+func (r *RateBased) Decide(bufferSec, rateBps float64, options []OptionMeta) (Decision, error) {
+	if bufferSec < 0 {
+		return Decision{}, fmt.Errorf("abr: negative buffer %g", bufferSec)
+	}
+	if rateBps <= 0 {
+		return Decision{}, fmt.Errorf("abr: non-positive bandwidth %g", rateBps)
+	}
+	if len(options) == 0 {
+		return Decision{}, fmt.Errorf("abr: no options")
+	}
+	budget := bufferSec * r.Safety
+	best, bestQ := -1, math.Inf(-1)
+	smallest, size := -1, math.Inf(1)
+	for i, o := range options {
+		if o.SizeBits < size {
+			smallest, size = i, o.SizeBits
+		}
+		if o.SizeBits/rateBps <= budget && o.PerceivedQuality > bestQ {
+			best, bestQ = i, o.PerceivedQuality
+		}
+	}
+	if best < 0 {
+		return Decision{Chosen: options[smallest], Emergency: true}, nil
+	}
+	return Decision{Chosen: options[best]}, nil
+}

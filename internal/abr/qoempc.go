@@ -1,0 +1,168 @@
+package abr
+
+import (
+	"fmt"
+	"math"
+)
+
+// QoEMPC is the control-theoretic baseline the paper's controller descends
+// from (Yin et al., SIGCOMM 2015 [24]): the same horizon/DP machinery, but
+// maximizing QoE — quality minus switching and rebuffering penalties —
+// instead of minimizing energy. It ignores energy entirely, which makes it
+// the natural comparison point for quantifying what the paper's objective
+// swap costs and saves.
+type QoEMPC struct {
+	cfg Config
+	// SwitchWeight penalizes |Q_i − Q_{i−1}| between consecutive segments
+	// (the Eq. 2 ω_v).
+	switchWeight float64
+}
+
+// NewQoEMPC validates the configuration and returns a QoE-maximizing
+// controller. switchWeight is the quality-variation penalty (1.0 matches the
+// paper's QoE weights).
+func NewQoEMPC(cfg Config, switchWeight float64) (*QoEMPC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if switchWeight < 0 {
+		return nil, fmt.Errorf("abr: negative switch weight %g", switchWeight)
+	}
+	return &QoEMPC{cfg: cfg, switchWeight: switchWeight}, nil
+}
+
+// qoeNode extends the Bellman entry with the previous choice's quality so
+// the switching penalty is computable along the path.
+type qoeNode struct {
+	value     float64 // accumulated QoE (maximized)
+	choice    int
+	prevState int
+	prevQ     float64
+	valid     bool
+	emergency bool
+}
+
+// Decide runs the QoE-maximizing DP and returns the version for the next
+// segment. prevQuality is the perceived quality of the previously played
+// segment (pass the first segment's own best quality at session start).
+func (m *QoEMPC) Decide(bufferSec, rateBps, prevQuality float64, horizon []SegmentMeta) (Decision, error) {
+	if bufferSec < 0 {
+		return Decision{}, fmt.Errorf("abr: negative buffer %g", bufferSec)
+	}
+	if rateBps <= 0 {
+		return Decision{}, fmt.Errorf("abr: non-positive bandwidth %g", rateBps)
+	}
+	if len(horizon) == 0 {
+		return Decision{}, fmt.Errorf("abr: empty horizon")
+	}
+	h := len(horizon)
+	if h > m.cfg.Horizon {
+		h = m.cfg.Horizon
+	}
+	for i := 0; i < h; i++ {
+		if len(horizon[i].Options) == 0 {
+			return Decision{}, fmt.Errorf("abr: segment %d has no options", i)
+		}
+	}
+
+	planRate := rateBps * m.cfg.PlanningSafety
+	nStates := int(m.cfg.BufferCapSec/m.cfg.GranularitySec) + 1
+	quant := func(b float64) int {
+		if b > m.cfg.BufferCapSec {
+			b = m.cfg.BufferCapSec
+		}
+		if b < 0 {
+			b = 0
+		}
+		s := int(b/m.cfg.GranularitySec + 0.5)
+		if s >= nStates {
+			s = nStates - 1
+		}
+		return s
+	}
+	unquant := func(s int) float64 { return float64(s) * m.cfg.GranularitySec }
+
+	stages := make([][]qoeNode, h)
+	for i := range stages {
+		stages[i] = make([]qoeNode, nStates)
+	}
+
+	initState := quant(bufferSec)
+	for i := 0; i < h; i++ {
+		type source struct {
+			state int
+			node  qoeNode
+		}
+		var sources []source
+		if i == 0 {
+			sources = []source{{state: initState, node: qoeNode{value: 0, prevQ: prevQuality, valid: true}}}
+		} else {
+			for s := 0; s < nStates; s++ {
+				if stages[i-1][s].valid {
+					sources = append(sources, source{state: s, node: stages[i-1][s]})
+				}
+			}
+		}
+		for _, src := range sources {
+			b := unquant(src.state)
+			if i == 0 {
+				b = math.Min(bufferSec, m.cfg.BufferCapSec)
+			}
+			for oi, o := range horizon[i].Options {
+				dl := o.SizeBits / planRate
+				stall := math.Max(dl-b, 0)
+				emergency := false
+				if stall > 0 {
+					// Permit stalling paths but charge them: without this the
+					// DP can dead-end when nothing fits the buffer.
+					emergency = true
+				}
+				nb := math.Max(b-dl, 0) + m.cfg.SegmentSec
+				// Per-segment QoE: quality − switching penalty − stall
+				// charge (quality-scaled, like Eq. 2's I_r).
+				value := src.node.value +
+					o.PerceivedQuality -
+					m.switchWeight*math.Abs(o.PerceivedQuality-src.node.prevQ) -
+					stall/math.Max(b, m.cfg.GranularitySec)*o.PerceivedQuality
+				ns := quant(nb)
+				node := &stages[i][ns]
+				// The DP keeps one path per buffer state, which approximates
+				// the (buffer, previous-quality) product state; on value ties
+				// prefer the path carrying higher quality, since it has more
+				// future headroom.
+				if !node.valid || value > node.value ||
+					(value == node.value && o.PerceivedQuality > node.prevQ) {
+					*node = qoeNode{
+						value:     value,
+						choice:    oi,
+						prevState: src.state,
+						prevQ:     o.PerceivedQuality,
+						valid:     true,
+						emergency: emergency && i == 0,
+					}
+				}
+			}
+		}
+	}
+
+	bestState := -1
+	bestValue := math.Inf(-1)
+	for s := 0; s < nStates; s++ {
+		if stages[h-1][s].valid && stages[h-1][s].value > bestValue {
+			bestState, bestValue = s, stages[h-1][s].value
+		}
+	}
+	if bestState < 0 {
+		return Decision{}, fmt.Errorf("abr: no feasible QoE plan")
+	}
+	state := bestState
+	choice := -1
+	emergency := false
+	for i := h - 1; i >= 0; i-- {
+		node := stages[i][state]
+		choice = node.choice
+		emergency = node.emergency
+		state = node.prevState
+	}
+	return Decision{Chosen: horizon[0].Options[choice], PlanEnergyMJ: 0, Emergency: emergency}, nil
+}

@@ -1,0 +1,155 @@
+package abr
+
+import (
+	"testing"
+)
+
+func mustQoEMPC(t *testing.T) *QoEMPC {
+	t.Helper()
+	m, err := NewQoEMPC(DefaultConfig(1429.08), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewQoEMPCValidation(t *testing.T) {
+	if _, err := NewQoEMPC(Config{}, 1); err == nil {
+		t.Fatal("want error for zero config")
+	}
+	if _, err := NewQoEMPC(DefaultConfig(1000), -1); err == nil {
+		t.Fatal("want error for negative switch weight")
+	}
+}
+
+func TestQoEMPCPicksTopQualityWhenAffordable(t *testing.T) {
+	m := mustQoEMPC(t)
+	h := horizon(5, makeOptions(fullRate()))
+	d, err := m.Decide(3, 50e6, 80, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen.Quality != 5 {
+		t.Fatalf("abundant bandwidth should buy q5, got q%d", d.Chosen.Quality)
+	}
+	if d.Emergency {
+		t.Fatal("unexpected emergency")
+	}
+}
+
+func TestQoEMPCIgnoresEnergy(t *testing.T) {
+	// Unlike EnergyMPC, the QoE controller must stay at the full frame rate
+	// even when reduced-rate variants are nearly free: frame-rate reduction
+	// only lowers its objective.
+	m := mustQoEMPC(t)
+	h := horizon(5, makeOptions(allRates()))
+	d, err := m.Decide(3, 50e6, 80, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen.FrameRate != 30 {
+		t.Fatalf("QoE-max controller chose f=%g, want 30", d.Chosen.FrameRate)
+	}
+}
+
+func TestQoEMPCDropsQualityUnderCrunch(t *testing.T) {
+	m := mustQoEMPC(t)
+	h := horizon(5, makeOptions(fullRate()))
+	d, err := m.Decide(3, 1.2e6, 50, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen.SizeBits/1.2e6 > 3.5 {
+		t.Fatal("chosen version would stall hard")
+	}
+	if d.Chosen.Quality == 5 {
+		t.Fatal("q5 should not be chosen at 1.2 Mbps")
+	}
+}
+
+func TestQoEMPCSmoothsSwitching(t *testing.T) {
+	// Coming from a low-quality segment, a heavily weighted switching
+	// penalty should hold the controller below the top level even with
+	// bandwidth to spare.
+	smooth, err := NewQoEMPC(DefaultConfig(1429.08), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over a 5-segment horizon, a one-off switch to the top level amortizes
+	// under a light penalty but not under a heavy one.
+	h := horizon(5, makeOptions(fullRate()))
+	d, err := smooth.Decide(3, 50e6, 20, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharp := mustQoEMPC(t)
+	d2, err := sharp.Decide(3, 50e6, 20, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen.Quality >= d2.Chosen.Quality {
+		t.Fatalf("heavy switching penalty (q%d) should pick below light penalty (q%d)",
+			d.Chosen.Quality, d2.Chosen.Quality)
+	}
+}
+
+func TestQoEMPCInputValidation(t *testing.T) {
+	m := mustQoEMPC(t)
+	h := horizon(5, makeOptions(fullRate()))
+	if _, err := m.Decide(-1, 4e6, 50, h); err == nil {
+		t.Fatal("want error for negative buffer")
+	}
+	if _, err := m.Decide(2, 0, 50, h); err == nil {
+		t.Fatal("want error for zero bandwidth")
+	}
+	if _, err := m.Decide(2, 4e6, 50, nil); err == nil {
+		t.Fatal("want error for empty horizon")
+	}
+	if _, err := m.Decide(2, 4e6, 50, []SegmentMeta{{}}); err == nil {
+		t.Fatal("want error for optionless segment")
+	}
+}
+
+func TestQoEMPCDeterministic(t *testing.T) {
+	m := mustQoEMPC(t)
+	h := horizon(5, makeOptions(allRates()))
+	a, err := m.Decide(2.5, 5e6, 60, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Decide(2.5, 5e6, 60, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chosen != b.Chosen {
+		t.Fatal("controller not deterministic")
+	}
+}
+
+// TestEnergyVsQoEMPCTradeoff contrasts the two controllers on identical
+// inputs: the energy controller must plan no more energy, the QoE controller
+// no less quality.
+func TestEnergyVsQoEMPCTradeoff(t *testing.T) {
+	em := mustMPC(t)
+	qm := mustQoEMPC(t)
+	h := horizon(5, makeOptions(allRates()))
+	de, err := em.Decide(3, 8e6, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq, err := qm.Decide(3, 8e6, 80, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := func(o OptionMeta) float64 {
+		return 1429.08*o.SizeBits/8e6 + o.ProcPowerMW
+	}
+	if energy(de.Chosen) > energy(dq.Chosen) {
+		t.Fatalf("energy controller spends more (%g) than QoE controller (%g)",
+			energy(de.Chosen), energy(dq.Chosen))
+	}
+	if dq.Chosen.PerceivedQuality < de.Chosen.PerceivedQuality {
+		t.Fatalf("QoE controller delivers less quality (%g) than energy controller (%g)",
+			dq.Chosen.PerceivedQuality, de.Chosen.PerceivedQuality)
+	}
+}

@@ -1,0 +1,379 @@
+// Package cluster implements the paper's Algorithm 1 — viewing-center
+// clustering with bounded cluster size — plus the k-means splitter it relies
+// on and a plain density-growth baseline (DBSCAN-style) for the ablation in
+// DESIGN.md §5.
+//
+// Algorithm 1 grows a cluster from the node with the most δ-neighbours via
+// BFS over the δ-proximity graph, then splits any cluster whose diameter
+// exceeds σ with k-means (k = 2). Distances are wrap-aware panorama
+// distances (geom.Dist), so clusters straddling the 0°/360° seam stay
+// intact.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+)
+
+// Cluster is one group of viewing centers; Members holds indices into the
+// input point slice.
+type Cluster struct {
+	Members []int
+}
+
+// Params configures Algorithm 1.
+type Params struct {
+	// Delta (δ) is the neighbour distance: two viewing centers belong to the
+	// same cluster when within δ of each other (possibly transitively).
+	Delta float64
+	// Sigma (σ) caps the cluster diameter: clusters wider than σ are split.
+	Sigma float64
+}
+
+// DefaultParams returns the paper's empirical setting (Section V-B): σ is
+// the width of a conventional tile on a 4×8 grid (45°) and δ = σ/4.
+func DefaultParams() Params {
+	return Params{Delta: 45.0 / 4, Sigma: 45.0}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Delta <= 0 {
+		return fmt.Errorf("cluster: non-positive delta %g", p.Delta)
+	}
+	if p.Sigma <= 0 {
+		return fmt.Errorf("cluster: non-positive sigma %g", p.Sigma)
+	}
+	if p.Delta > p.Sigma {
+		return fmt.Errorf("cluster: delta %g exceeds sigma %g", p.Delta, p.Sigma)
+	}
+	return nil
+}
+
+// Diameter returns the maximum pairwise distance among the cluster's points.
+func Diameter(points []geom.Point, members []int) float64 {
+	var d float64
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if dd := geom.Dist(points[members[i]], points[members[j]]); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+// ViewingCenters runs Algorithm 1 over the given points and returns the
+// cluster list Π. Every input point appears in exactly one cluster.
+func ViewingCenters(points []geom.Point, p Params) ([]Cluster, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+
+	// Line 1: δ-neighbour sets.
+	neighbors := make([][]int, len(points))
+	for u := range points {
+		for n := range points {
+			if n != u && geom.Dist(points[u], points[n]) <= p.Delta {
+				neighbors[u] = append(neighbors[u], n)
+			}
+		}
+	}
+
+	unclustered := make(map[int]bool, len(points))
+	for i := range points {
+		unclustered[i] = true
+	}
+
+	var out []Cluster
+	for len(unclustered) > 0 {
+		members := clusterFunc(points, neighbors, unclustered)
+		// Lines 4–9: split oversized clusters with k-means (k = 2). A split
+		// half can still exceed σ, so recurse until all parts fit.
+		pending := [][]int{members}
+		for len(pending) > 0 {
+			m := pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			if len(m) > 1 && Diameter(points, m) > p.Sigma {
+				a, b := kmeans2(points, m)
+				if len(a) == 0 || len(b) == 0 {
+					// Degenerate split (coincident points): accept as is.
+					out = append(out, Cluster{Members: m})
+					continue
+				}
+				pending = append(pending, a, b)
+				continue
+			}
+			out = append(out, Cluster{Members: m})
+		}
+	}
+	// Deterministic order: largest cluster first, ties by first member.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out, nil
+}
+
+// clusterFunc is the ClusterFunc of Algorithm 1: BFS growth from the
+// unclustered node with the most unclustered δ-neighbours.
+func clusterFunc(points []geom.Point, neighbors [][]int, unclustered map[int]bool) []int {
+	// Line 14: seed with the node of maximum |N_u| among unclustered nodes,
+	// counting only unclustered neighbours (clustered ones are removed from
+	// U by line 24).
+	best, bestCount := -1, -1
+	for u := range unclustered {
+		count := 0
+		for _, n := range neighbors[u] {
+			if unclustered[n] {
+				count++
+			}
+		}
+		if count > bestCount || (count == bestCount && u < best) {
+			best, bestCount = u, count
+		}
+	}
+
+	members := []int{best}
+	delete(unclustered, best)
+	queue := []int{best}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, n := range neighbors[u] {
+			if unclustered[n] {
+				delete(unclustered, n)
+				members = append(members, n)
+				queue = append(queue, n)
+			}
+		}
+	}
+	sort.Ints(members)
+	return members
+}
+
+// kmeans2 splits members into two clusters with Lloyd's algorithm (k = 2),
+// seeded by the farthest pair to make the split deterministic. Distances are
+// wrap-aware; centroids are computed in an unwrapped frame anchored at the
+// first member so seam-straddling clusters split sensibly.
+func kmeans2(points []geom.Point, members []int) (a, b []int) {
+	if len(members) < 2 {
+		return members, nil
+	}
+	// Unwrap x relative to the first member.
+	anchor := points[members[0]]
+	type pt struct{ x, y float64 }
+	coords := make([]pt, len(members))
+	for i, m := range members {
+		coords[i] = pt{
+			x: anchor.X + geom.WrapDeltaX(anchor.X, points[m].X),
+			y: points[m].Y,
+		}
+	}
+	// Seed with the farthest pair.
+	var si, sj int
+	var maxd float64
+	for i := range coords {
+		for j := i + 1; j < len(coords); j++ {
+			d := math.Hypot(coords[i].x-coords[j].x, coords[i].y-coords[j].y)
+			if d > maxd {
+				maxd, si, sj = d, i, j
+			}
+		}
+	}
+	ca, cb := coords[si], coords[sj]
+	assign := make([]int, len(coords))
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, c := range coords {
+			da := math.Hypot(c.x-ca.x, c.y-ca.y)
+			db := math.Hypot(c.x-cb.x, c.y-cb.y)
+			want := 0
+			if db < da {
+				want = 1
+			}
+			if assign[i] != want {
+				assign[i] = want
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		var sa, sb pt
+		var na, nb int
+		for i, c := range coords {
+			if assign[i] == 0 {
+				sa.x += c.x
+				sa.y += c.y
+				na++
+			} else {
+				sb.x += c.x
+				sb.y += c.y
+				nb++
+			}
+		}
+		if na > 0 {
+			ca = pt{sa.x / float64(na), sa.y / float64(na)}
+		}
+		if nb > 0 {
+			cb = pt{sb.x / float64(nb), sb.y / float64(nb)}
+		}
+	}
+	for i, m := range members {
+		if assign[i] == 0 {
+			a = append(a, m)
+		} else {
+			b = append(b, m)
+		}
+	}
+	return a, b
+}
+
+// DensityGrow is the unbounded baseline (DBSCAN-flavoured): Algorithm 1
+// without the σ split. Used by the clustering ablation to show that
+// unbounded clusters grow too large (Fig. 6a).
+func DensityGrow(points []geom.Point, delta float64) ([]Cluster, error) {
+	p := Params{Delta: delta, Sigma: math.Inf(1)}
+	if delta <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive delta %g", delta)
+	}
+	// Bypass Validate's sigma check: infinite sigma is the point here.
+	neighbors := make([][]int, len(points))
+	for u := range points {
+		for n := range points {
+			if n != u && geom.Dist(points[u], points[n]) <= p.Delta {
+				neighbors[u] = append(neighbors[u], n)
+			}
+		}
+	}
+	unclustered := make(map[int]bool, len(points))
+	for i := range points {
+		unclustered[i] = true
+	}
+	var out []Cluster
+	for len(unclustered) > 0 {
+		out = append(out, Cluster{Members: clusterFunc(points, neighbors, unclustered)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out, nil
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm and
+// deterministic k-means++-style seeding driven by the provided seed. It is
+// the fixed-cluster-count baseline used by the Ftile scheme.
+func KMeans(points []geom.Point, k int, seed int64) ([]Cluster, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive k %d", k)
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	rng := stats.NewRNG(seed)
+	// k-means++ seeding.
+	centroids := make([]geom.Point, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))])
+	for len(centroids) < k {
+		dists := make([]float64, len(points))
+		var total float64
+		for i, pt := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := geom.Dist(pt, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d * d
+			total += dists[i]
+		}
+		if total == 0 {
+			centroids = append(centroids, points[rng.Intn(len(points))])
+			continue
+		}
+		r := rng.Float64() * total
+		for i, d := range dists {
+			r -= d
+			if r <= 0 {
+				centroids = append(centroids, points[i])
+				break
+			}
+		}
+	}
+
+	assign := make([]int, len(points))
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, pt := range points {
+			best, bestD := 0, math.Inf(1)
+			for j, c := range centroids {
+				if d := geom.Dist(pt, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids in an unwrapped frame per cluster.
+		for j := range centroids {
+			var sx, sy float64
+			var n int
+			var anchor geom.Point
+			found := false
+			for i, pt := range points {
+				if assign[i] != j {
+					continue
+				}
+				if !found {
+					anchor = pt
+					found = true
+				}
+				sx += anchor.X + geom.WrapDeltaX(anchor.X, pt.X)
+				sy += pt.Y
+				n++
+			}
+			if n > 0 {
+				centroids[j] = geom.Point{X: geom.NormalizeYaw(sx / float64(n)), Y: sy / float64(n)}
+			}
+		}
+	}
+	byCluster := make(map[int][]int)
+	for i, a := range assign {
+		byCluster[a] = append(byCluster[a], i)
+	}
+	out := make([]Cluster, 0, len(byCluster))
+	for j := 0; j < k; j++ {
+		if ms := byCluster[j]; len(ms) > 0 {
+			sort.Ints(ms)
+			out = append(out, Cluster{Members: ms})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out, nil
+}

@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.Sigma != 45 || p.Delta != 45.0/4 {
+		t.Fatalf("default params = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []Params{
+		{Delta: 0, Sigma: 45},
+		{Delta: 10, Sigma: 0},
+		{Delta: 50, Sigma: 45},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// gauss returns n points around (cx, cy) with the given spread.
+func gauss(rng *stats.RNG, n int, cx, cy, std float64) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{
+			X: geom.NormalizeYaw(cx + rng.Normal(0, std)),
+			Y: cy + rng.Normal(0, std),
+		}
+	}
+	return out
+}
+
+func TestTwoWellSeparatedClusters(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts := append(gauss(rng, 20, 60, 90, 3), gauss(rng, 15, 250, 90, 3)...)
+	clusters, err := ViewingCenters(pts, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	// Largest first.
+	if len(clusters[0].Members) != 20 || len(clusters[1].Members) != 15 {
+		t.Fatalf("cluster sizes = %d, %d", len(clusters[0].Members), len(clusters[1].Members))
+	}
+}
+
+func TestSeamStraddlingCluster(t *testing.T) {
+	rng := stats.NewRNG(2)
+	pts := gauss(rng, 30, 0, 90, 4) // straddles the 0/360 seam
+	clusters, err := ViewingCenters(pts, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("seam cluster split into %d parts", len(clusters))
+	}
+}
+
+func TestSigmaSplitsWideCluster(t *testing.T) {
+	// A chain of points, each within δ of the next, spanning far more than
+	// σ: plain density growth joins them all; Algorithm 1 must split.
+	var pts []geom.Point
+	for x := 0.0; x <= 120; x += 8 {
+		pts = append(pts, geom.Point{X: 100 + x, Y: 90})
+	}
+	params := DefaultParams()
+	clusters, err := ViewingCenters(pts, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("wide chain not split: %d clusters", len(clusters))
+	}
+	for i, cl := range clusters {
+		if d := Diameter(pts, cl.Members); d > params.Sigma {
+			t.Fatalf("cluster %d diameter %g exceeds sigma %g", i, d, params.Sigma)
+		}
+	}
+	// The unbounded baseline keeps the chain whole — the Fig. 6a failure mode.
+	grown, err := DensityGrow(pts, params.Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) != 1 {
+		t.Fatalf("DensityGrow split the chain into %d clusters", len(grown))
+	}
+}
+
+func TestEveryPointClusteredExactlyOnce(t *testing.T) {
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		rng := stats.NewRNG(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Uniform(0, 360), Y: rng.Uniform(20, 160)}
+		}
+		clusters, err := ViewingCenters(pts, DefaultParams())
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, cl := range clusters {
+			for _, m := range cl.Members {
+				if seen[m] || m < 0 || m >= n {
+					return false
+				}
+				seen[m] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no cluster produced by Algorithm 1 exceeds the σ diameter bound.
+func TestSigmaBoundInvariant(t *testing.T) {
+	params := DefaultParams()
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		rng := stats.NewRNG(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			// Mixture of two blobs plus noise to exercise splits.
+			if rng.Float64() < 0.5 {
+				pts[i] = geom.Point{X: geom.NormalizeYaw(80 + rng.Normal(0, 25)), Y: 90 + rng.Normal(0, 15)}
+			} else {
+				pts[i] = geom.Point{X: geom.NormalizeYaw(140 + rng.Normal(0, 25)), Y: 90 + rng.Normal(0, 15)}
+			}
+		}
+		clusters, err := ViewingCenters(pts, params)
+		if err != nil {
+			return false
+		}
+		for _, cl := range clusters {
+			if Diameter(pts, cl.Members) > params.Sigma+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewingCentersEmpty(t *testing.T) {
+	clusters, err := ViewingCenters(nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusters != nil {
+		t.Fatal("want nil clusters for empty input")
+	}
+}
+
+func TestViewingCentersSinglePoint(t *testing.T) {
+	clusters, err := ViewingCenters([]geom.Point{{X: 10, Y: 90}}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || len(clusters[0].Members) != 1 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+}
+
+func TestViewingCentersBadParams(t *testing.T) {
+	if _, err := ViewingCenters([]geom.Point{{X: 1, Y: 1}}, Params{Delta: -1, Sigma: 45}); err == nil {
+		t.Fatal("want error for bad params")
+	}
+}
+
+func TestCoincidentPoints(t *testing.T) {
+	pts := make([]geom.Point, 10)
+	for i := range pts {
+		pts[i] = geom.Point{X: 50, Y: 90}
+	}
+	clusters, err := ViewingCenters(pts, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || len(clusters[0].Members) != 10 {
+		t.Fatalf("coincident points: %+v", clusters)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 90}, {X: 30, Y: 90}, {X: 10, Y: 90}}
+	if d := Diameter(pts, []int{0, 1, 2}); d != 30 {
+		t.Fatalf("diameter = %g, want 30", d)
+	}
+	if d := Diameter(pts, []int{0}); d != 0 {
+		t.Fatalf("single-point diameter = %g", d)
+	}
+}
+
+func TestDensityGrowValidation(t *testing.T) {
+	if _, err := DensityGrow([]geom.Point{{X: 1, Y: 1}}, 0); err == nil {
+		t.Fatal("want error for zero delta")
+	}
+}
+
+func TestKMeansBasic(t *testing.T) {
+	rng := stats.NewRNG(3)
+	pts := append(gauss(rng, 25, 60, 80, 4), gauss(rng, 25, 240, 100, 4)...)
+	clusters, err := KMeans(pts, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("k-means clusters = %d, want 2", len(clusters))
+	}
+	// Each cluster must be pure: all members from the same blob.
+	for _, cl := range clusters {
+		firstBlob := cl.Members[0] < 25
+		for _, m := range cl.Members {
+			if (m < 25) != firstBlob {
+				t.Fatalf("mixed cluster: %v", cl.Members)
+			}
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if _, err := KMeans(nil, 0, 1); err == nil {
+		t.Fatal("want error for k=0")
+	}
+	empty, err := KMeans(nil, 3, 1)
+	if err != nil || empty != nil {
+		t.Fatalf("empty input: %v, %v", empty, err)
+	}
+	// k larger than point count clamps.
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 200, Y: 90}}
+	clusters, err := KMeans(pts, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cl := range clusters {
+		total += len(cl.Members)
+	}
+	if total != 2 {
+		t.Fatalf("k-means lost points: %d", total)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := stats.NewRNG(9)
+	pts := append(gauss(rng, 20, 100, 90, 10), gauss(rng, 20, 300, 90, 10)...)
+	a, err := KMeans(pts, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("k-means not deterministic")
+	}
+	for i := range a {
+		if len(a[i].Members) != len(b[i].Members) {
+			t.Fatal("k-means not deterministic")
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				t.Fatal("k-means not deterministic")
+			}
+		}
+	}
+}

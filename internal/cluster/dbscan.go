@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ptile360/internal/geom"
+)
+
+// DBSCAN implements the density-based clustering the paper cites as the
+// natural non-parametric alternative to Algorithm 1 (Schubert et al., ACM
+// TODS 2017 [22]): points with at least minPts neighbours within eps are
+// core points; clusters are the density-connected components of core
+// points plus their border points. Points in no cluster are noise.
+//
+// The paper rejects plain DBSCAN because its clusters can grow arbitrarily
+// large (the Fig. 6a problem); it is provided here as the comparison
+// baseline for the clustering ablation.
+func DBSCAN(points []geom.Point, eps float64, minPts int) (clusters []Cluster, noise []int, err error) {
+	if eps <= 0 {
+		return nil, nil, fmt.Errorf("cluster: non-positive eps %g", eps)
+	}
+	if minPts < 1 {
+		return nil, nil, fmt.Errorf("cluster: minPts %d below 1", minPts)
+	}
+	n := len(points)
+	if n == 0 {
+		return nil, nil, nil
+	}
+
+	neighbors := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && geom.Dist(points[i], points[j]) <= eps {
+				neighbors[i] = append(neighbors[i], j)
+			}
+		}
+	}
+	// Core points have ≥ minPts neighbours (standard DBSCAN counts the point
+	// itself; we follow the original formulation: |N_eps(p)| ≥ minPts with p
+	// included).
+	core := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if len(neighbors[i])+1 >= minPts {
+			core[i] = true
+		}
+	}
+
+	const (
+		unvisited = -1
+		noiseMark = -2
+	)
+	label := make([]int, n)
+	for i := range label {
+		label[i] = unvisited
+	}
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if label[i] != unvisited || !core[i] {
+			continue
+		}
+		// Expand a new cluster from core point i.
+		label[i] = clusterID
+		queue := []int{i}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, q := range neighbors[p] {
+				if label[q] == noiseMark {
+					// Border point previously misjudged as noise.
+					label[q] = clusterID
+				}
+				if label[q] != unvisited {
+					continue
+				}
+				label[q] = clusterID
+				if core[q] {
+					queue = append(queue, q)
+				}
+			}
+		}
+		clusterID++
+	}
+	for i := 0; i < n; i++ {
+		if label[i] == unvisited {
+			label[i] = noiseMark
+		}
+	}
+
+	byID := make(map[int][]int)
+	for i, l := range label {
+		if l == noiseMark {
+			noise = append(noise, i)
+			continue
+		}
+		byID[l] = append(byID[l], i)
+	}
+	clusters = make([]Cluster, 0, len(byID))
+	for id := 0; id < clusterID; id++ {
+		ms := byID[id]
+		sort.Ints(ms)
+		clusters = append(clusters, Cluster{Members: ms})
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if len(clusters[i].Members) != len(clusters[j].Members) {
+			return len(clusters[i].Members) > len(clusters[j].Members)
+		}
+		return clusters[i].Members[0] < clusters[j].Members[0]
+	})
+	sort.Ints(noise)
+	return clusters, noise, nil
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+)
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts := append(gauss(rng, 20, 60, 90, 3), gauss(rng, 20, 250, 90, 3)...)
+	clusters, noise, err := DBSCAN(pts, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	if len(noise) != 0 {
+		t.Fatalf("unexpected noise points: %v", noise)
+	}
+	// Purity: no cluster mixes the two blobs.
+	for _, cl := range clusters {
+		firstBlob := cl.Members[0] < 20
+		for _, m := range cl.Members {
+			if (m < 20) != firstBlob {
+				t.Fatalf("mixed cluster: %v", cl.Members)
+			}
+		}
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	rng := stats.NewRNG(2)
+	pts := gauss(rng, 15, 100, 90, 3)
+	// Two isolated outliers.
+	pts = append(pts, geom.Point{X: 300, Y: 40}, geom.Point{X: 20, Y: 150})
+	clusters, noise, err := DBSCAN(pts, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(clusters))
+	}
+	if len(noise) != 2 {
+		t.Fatalf("noise = %v, want the two outliers", noise)
+	}
+}
+
+func TestDBSCANChainGrowsUnbounded(t *testing.T) {
+	// The Fig. 6a failure mode: a δ-chain spanning far more than σ stays one
+	// DBSCAN cluster, unlike Algorithm 1.
+	var pts []geom.Point
+	for x := 0.0; x <= 120; x += 8 {
+		pts = append(pts, geom.Point{X: 100 + x, Y: 90})
+		pts = append(pts, geom.Point{X: 100 + x, Y: 94})
+		pts = append(pts, geom.Point{X: 100 + x + 4, Y: 92})
+	}
+	clusters, _, err := DBSCAN(pts, 11.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("chain split into %d DBSCAN clusters", len(clusters))
+	}
+	if d := Diameter(pts, clusters[0].Members); d <= 45 {
+		t.Fatalf("chain diameter %g should exceed sigma", d)
+	}
+}
+
+func TestDBSCANValidation(t *testing.T) {
+	if _, _, err := DBSCAN([]geom.Point{{X: 1, Y: 1}}, 0, 4); err == nil {
+		t.Fatal("want error for zero eps")
+	}
+	if _, _, err := DBSCAN([]geom.Point{{X: 1, Y: 1}}, 10, 0); err == nil {
+		t.Fatal("want error for zero minPts")
+	}
+	clusters, noise, err := DBSCAN(nil, 10, 4)
+	if err != nil || clusters != nil || noise != nil {
+		t.Fatalf("empty input: %v %v %v", clusters, noise, err)
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 90}, {X: 120, Y: 90}, {X: 240, Y: 90}}
+	clusters, noise, err := DBSCAN(pts, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 0 || len(noise) != 3 {
+		t.Fatalf("want all noise, got %d clusters, %d noise", len(clusters), len(noise))
+	}
+}
+
+// Property: DBSCAN partitions the input — every point is in exactly one
+// cluster or in the noise set.
+func TestDBSCANPartition(t *testing.T) {
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		rng := stats.NewRNG(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Uniform(0, 360), Y: rng.Uniform(20, 160)}
+		}
+		clusters, noise, err := DBSCAN(pts, 15, 3)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]int)
+		for _, cl := range clusters {
+			if len(cl.Members) == 0 {
+				return false
+			}
+			for _, m := range cl.Members {
+				seen[m]++
+			}
+		}
+		for _, m := range noise {
+			seen[m]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every DBSCAN cluster contains at least one core point and hence
+// at least minPts members (with the point itself counted).
+func TestDBSCANMinClusterSize(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		pts := make([]geom.Point, 30)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Uniform(0, 360), Y: rng.Uniform(30, 150)}
+		}
+		minPts := 3
+		clusters, _, err := DBSCAN(pts, 20, minPts)
+		if err != nil {
+			return false
+		}
+		for _, cl := range clusters {
+			if len(cl.Members) < minPts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

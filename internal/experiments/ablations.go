@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/predict"
+	"ptile360/internal/sim"
+)
+
+// AblationRow is one configuration of an ablation sweep with its session
+// outcomes averaged over the evaluation users.
+type AblationRow struct {
+	// Sweep and Setting identify the knob and its value.
+	Sweep, Setting string
+	// EnergyPerSegment is the mean Eq. 1 energy per segment (mJ).
+	EnergyPerSegment float64
+	// QoE is the mean session QoE.
+	QoE float64
+	// Stalls is the mean stall count per session.
+	Stalls float64
+	// MeanFrameRate is the average chosen frame rate.
+	MeanFrameRate float64
+}
+
+// AblationsResult holds the design-choice sweeps of DESIGN.md §5 evaluated
+// on one video.
+type AblationsResult struct {
+	VideoID int
+	Rows    []AblationRow
+}
+
+// Ablations sweeps the controller's design knobs — ε tolerance, MPC horizon,
+// buffer threshold β, bandwidth-estimator family, and viewport-predictor
+// family — on video 8 under trace 2, quantifying each choice the paper
+// fixes.
+func Ablations(scale Scale) (*AblationsResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	setup, err := setupVideo(8, scale)
+	if err != nil {
+		return nil, err
+	}
+	_, trace2, err := standardTraces(scale)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationsResult{VideoID: 8}
+	runWith := func(sweep, setting string, mutate func(*sim.Config)) error {
+		cfg, err := sim.DefaultConfig(sim.SchemeOurs, power.Pixel3)
+		if err != nil {
+			return err
+		}
+		mutate(&cfg)
+		row := AblationRow{Sweep: sweep, Setting: setting}
+		for _, user := range setup.eval {
+			r, err := runSession(setup, user, trace2, cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: ablation %s=%s: %w", sweep, setting, err)
+			}
+			row.EnergyPerSegment += r.Energy.Total() / float64(r.Segments)
+			row.QoE += r.QoE.MeanQ
+			row.Stalls += float64(r.QoE.Stalls)
+			row.MeanFrameRate += r.MeanFrameRate
+		}
+		n := float64(len(setup.eval))
+		row.EnergyPerSegment /= n
+		row.QoE /= n
+		row.Stalls /= n
+		row.MeanFrameRate /= n
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+
+	for _, eps := range []float64{0.0, 0.05, 0.15} {
+		setting := fmt.Sprintf("%.0f%%", 100*eps)
+		if err := runWith("epsilon", setting, func(c *sim.Config) { c.Epsilon = eps }); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range []int{1, 3, 5, 8} {
+		if err := runWith("horizon", fmt.Sprintf("H=%d", h), func(c *sim.Config) { c.Horizon = h }); err != nil {
+			return nil, err
+		}
+	}
+	for _, beta := range []float64{2, 3, 5} {
+		if err := runWith("buffer", fmt.Sprintf("%.0fs", beta), func(c *sim.Config) { c.BufferCapSec = beta }); err != nil {
+			return nil, err
+		}
+	}
+	for _, kind := range []predict.EstimatorKind{
+		predict.EstimatorHarmonic, predict.EstimatorLastSample,
+		predict.EstimatorEWMA, predict.EstimatorMovingAverage,
+	} {
+		k := kind
+		if err := runWith("estimator", kind.String(), func(c *sim.Config) { c.Estimator = k }); err != nil {
+			return nil, err
+		}
+	}
+	for _, kind := range []predict.ViewportKind{
+		predict.ViewportRidge, predict.ViewportOLS, predict.ViewportStatic,
+	} {
+		k := kind
+		if err := runWith("viewport", kind.String(), func(c *sim.Config) { c.Viewport.Kind = k }); err != nil {
+			return nil, err
+		}
+	}
+	// The objective swap: the paper's energy-minimizing MPC against the
+	// QoE-maximizing MPC it descends from [24].
+	if err := runWith("controller", "energy-mpc", func(*sim.Config) {}); err != nil {
+		return nil, err
+	}
+	if err := runWith("controller", "qoe-mpc", func(c *sim.Config) { c.UseQoEMPC = true }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSession is a seam for Ablations so it shares the videoSetup plumbing.
+func runSession(setup *videoSetup, user *headtrace.Trace, net *lte.Trace, cfg sim.Config) (*sim.Result, error) {
+	return sim.Run(setup.catalog, user, net, cfg)
+}
+
+// Render formats the ablation sweeps.
+func (r *AblationsResult) Render() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Ablations (video %d, trace 2, Ours): controller design-knob sweeps", r.VideoID),
+		Columns: []string{"Sweep", "Setting", "Energy (mJ/seg)", "QoE", "Stalls", "Mean fps"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Sweep, row.Setting,
+			fmt.Sprintf("%.0f", row.EnergyPerSegment),
+			fmt.Sprintf("%.1f", row.QoE),
+			fmt.Sprintf("%.1f", row.Stalls),
+			fmt.Sprintf("%.1f", row.MeanFrameRate),
+		})
+	}
+	return t
+}

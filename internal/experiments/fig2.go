@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ptile360/internal/decoder"
+	"ptile360/internal/geom"
+	"ptile360/internal/power"
+	"ptile360/internal/video"
+)
+
+// Fig2aResult compares the data-transmission energy of downloading the FoV
+// as one Ptile versus nine conventional tiles, normalized to the
+// conventional scheme (the paper reports a 35 % saving).
+type Fig2aResult struct {
+	// PerQuality maps quality level → normalized transmission energy of the
+	// Ptile scheme (Ctile = 1).
+	PerQuality map[video.Quality]float64
+	// Mean is the average over the ladder.
+	Mean float64
+}
+
+// Fig2a computes the transmission-energy comparison of Section II. Energy is
+// Pt·S/R, so at a fixed bandwidth the normalized energy equals the size
+// ratio of Fig. 8's underlying model.
+func Fig2a() (*Fig2aResult, error) {
+	enc := video.DefaultEncoderConfig()
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		return nil, err
+	}
+	fov := grid.FoVTiles(geom.Point{X: 180, Y: 90}, 100, 100)
+	bound, err := grid.BoundingRect(fov)
+	if err != nil {
+		return nil, err
+	}
+	sc := video.SegmentContent{SI: 50, TI: 25, Jitter: 1}
+	res := &Fig2aResult{PerQuality: make(map[video.Quality]float64)}
+	for q := video.MinQuality; q <= video.MaxQuality; q++ {
+		var ctileBits float64
+		for _, id := range fov {
+			b, err := enc.TileBits(video.TileSpec{Rect: grid.TileRect(id), Quality: q}, 1, sc)
+			if err != nil {
+				return nil, err
+			}
+			ctileBits += b
+		}
+		ptileBits, err := enc.TileBits(video.TileSpec{Rect: bound, Quality: q, Kind: video.KindPtile}, 1, sc)
+		if err != nil {
+			return nil, err
+		}
+		ratio := ptileBits / ctileBits
+		res.PerQuality[q] = ratio
+		res.Mean += ratio / 5
+	}
+	return res, nil
+}
+
+// Render formats the Fig. 2a series.
+func (r *Fig2aResult) Render() Table {
+	t := Table{
+		Title: fmt.Sprintf("Fig. 2a: normalized transmission energy, Ptile vs Ctile (mean saving %.0f%%; paper 35%%)",
+			100*(1-r.Mean)),
+		Columns: []string{"Quality", "Normalized Tx energy", "Saving"},
+	}
+	for q := video.MinQuality; q <= video.MaxQuality; q++ {
+		v := r.PerQuality[q]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("q%d", q), fmt.Sprintf("%.2f", v), fmt.Sprintf("%.0f%%", 100*(1-v)),
+		})
+	}
+	return t
+}
+
+// Fig2bResult is the decoder-scaling series: decode time and power for 1..9
+// concurrent decoders plus the single-decoder Ptile path.
+type Fig2bResult struct {
+	Pool  []decoder.Result
+	Ptile decoder.Result
+}
+
+// Fig2b runs the decode-pipeline simulator over the Fig. 2b sweep: the nine
+// FoV tiles of a one-second 30 fps segment.
+func Fig2b() (*Fig2bResult, error) {
+	cfg := decoder.DefaultConfig()
+	pool, err := cfg.Sweep(9, 30, 9)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := cfg.DecodePtile(30)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2bResult{Pool: pool, Ptile: pt}, nil
+}
+
+// Render formats the Fig. 2b series.
+func (r *Fig2bResult) Render() Table {
+	t := Table{
+		Title:   "Fig. 2b: decode time and power vs concurrent decoders (paper: 1.3s/241mW at 1, 0.5s/846mW at 9; Ptile 0.24s/287mW)",
+		Columns: []string{"Decoders", "Time (s)", "Power (mW)", "Energy (mJ)"},
+	}
+	for _, res := range r.Pool {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", res.Decoders),
+			fmt.Sprintf("%.2f", res.TimeSec),
+			fmt.Sprintf("%.0f", res.PowerMW),
+			fmt.Sprintf("%.0f", res.EnergyMJ),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"Ptile",
+		fmt.Sprintf("%.2f", r.Ptile.TimeSec),
+		fmt.Sprintf("%.0f", r.Ptile.PowerMW),
+		fmt.Sprintf("%.0f", r.Ptile.EnergyMJ),
+	})
+	return t
+}
+
+// Fig2cResult compares the video-processing energy (decode + view
+// generation) of the Ptile path against conventional decoding with 1..9
+// decoders, normalized to the one-decoder conventional scheme.
+type Fig2cResult struct {
+	// Normalized maps decoder count → processing energy normalized to 1
+	// decoder; key 0 holds the Ptile path.
+	Normalized map[int]float64
+	// SavingVsBest is the Ptile saving against the best conventional
+	// configuration (the paper reports 41 % vs four decoders).
+	SavingVsBest float64
+	// BestDecoders is the conventional decoder count with minimum energy.
+	BestDecoders int
+}
+
+// Fig2c computes the processing-energy comparison of Section II, adding the
+// Pixel 3 view-generation energy (P_r · L) to each decode energy.
+func Fig2c() (*Fig2cResult, error) {
+	dec, err := Fig2b()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.TableI(power.Pixel3)
+	if err != nil {
+		return nil, err
+	}
+	renderMJ := pm.Render.At(30) * 1.0
+
+	base := dec.Pool[0].EnergyMJ + renderMJ
+	res := &Fig2cResult{Normalized: make(map[int]float64, len(dec.Pool)+1)}
+	best, bestE := 1, dec.Pool[0].EnergyMJ
+	for _, p := range dec.Pool {
+		res.Normalized[p.Decoders] = (p.EnergyMJ + renderMJ) / base
+		if p.EnergyMJ < bestE {
+			best, bestE = p.Decoders, p.EnergyMJ
+		}
+	}
+	ptileE := dec.Ptile.EnergyMJ + renderMJ
+	res.Normalized[0] = ptileE / base
+	res.BestDecoders = best
+	res.SavingVsBest = 1 - ptileE/(bestE+renderMJ)
+	return res, nil
+}
+
+// Render formats the Fig. 2c series.
+func (r *Fig2cResult) Render() Table {
+	t := Table{
+		Title: fmt.Sprintf("Fig. 2c: normalized processing energy (Ptile saves %.0f%% vs best %d-decoder scheme; paper 41%% vs 4)",
+			100*r.SavingVsBest, r.BestDecoders),
+		Columns: []string{"Scheme", "Normalized processing energy"},
+	}
+	for d := 1; d <= 9; d++ {
+		if v, ok := r.Normalized[d]; ok {
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d decoders", d), fmt.Sprintf("%.2f", v)})
+		}
+	}
+	t.Rows = append(t.Rows, []string{"Ptile", fmt.Sprintf("%.2f", r.Normalized[0])})
+	return t
+}

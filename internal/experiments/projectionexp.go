@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/projection"
+)
+
+// ProjectionResult quantifies two geometric facts behind the paper's
+// schemes: how many tiles a truly rendered view actually samples versus the
+// snapped FoV block the Ctile scheme downloads, and how heavily the
+// equirectangular format oversamples high latitudes (the bits Nontile pays
+// for and tiled schemes skip).
+type ProjectionResult struct {
+	// CoverRows: per view pitch, the exact sampled tile count and the
+	// snapped block size.
+	CoverRows [][3]float64 // pitch, exact tiles, snapped tiles
+	// Oversampling: per pitch band, the equirectangular oversampling ratio.
+	Oversampling [][2]float64
+}
+
+// Projection runs the view-generation geometry study on a 4×8 grid with the
+// paper's 100° FoV.
+func Projection() (*ProjectionResult, error) {
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		return nil, err
+	}
+	res := &ProjectionResult{}
+	for _, pitch := range []float64{0, 20, 40, 60} {
+		v := projection.View{
+			Center: geom.Orientation{Yaw: 180, Pitch: pitch},
+			FoVDeg: 100,
+			Width:  96,
+			Height: 96,
+		}
+		exact, err := v.CoveredTiles(grid, 4)
+		if err != nil {
+			return nil, err
+		}
+		snapped := grid.FoVTiles(geom.PointOf(v.Center), 100, 100)
+		res.CoverRows = append(res.CoverRows, [3]float64{pitch, float64(len(exact)), float64(len(snapped))})
+	}
+	for _, pitch := range []float64{0, 30, 60, 75, 85} {
+		r, err := projection.OversamplingRatio(pitch)
+		if err != nil {
+			return nil, err
+		}
+		res.Oversampling = append(res.Oversampling, [2]float64{pitch, r})
+	}
+	return res, nil
+}
+
+// Render formats the projection study.
+func (r *ProjectionResult) Render() []Table {
+	cover := Table{
+		Title:   "View generation: exact gnomonic tile cover vs the snapped FoV block (100° FoV, 4×8 grid)",
+		Columns: []string{"View pitch (°)", "Exact sampled tiles", "Snapped block tiles"},
+	}
+	for _, row := range r.CoverRows {
+		cover.Rows = append(cover.Rows, []string{
+			fmt.Sprintf("%.0f", row[0]), fmt.Sprintf("%.0f", row[1]), fmt.Sprintf("%.0f", row[2]),
+		})
+	}
+	over := Table{
+		Title:   "Equirectangular polar oversampling (pixels per resolved solid angle, equator = 1)",
+		Columns: []string{"Pitch (°)", "Oversampling ratio"},
+	}
+	for _, row := range r.Oversampling {
+		over.Rows = append(over.Rows, []string{
+			fmt.Sprintf("%.0f", row[0]), fmt.Sprintf("%.2f", row[1]),
+		})
+	}
+	return []Table{cover, over}
+}

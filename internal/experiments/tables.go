@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"ptile360/internal/power"
+	"ptile360/internal/video"
+	"ptile360/internal/vmaf"
+)
+
+// Table1Result holds the Table I reproduction: for each phone, the published
+// power model and the model re-fitted from simulated Monsoon measurements.
+type Table1Result struct {
+	Published map[power.Phone]power.Model
+	Fitted    map[power.Phone]power.Model
+}
+
+// Table1 reproduces Table I: it runs the simulated measurement campaign
+// (frame-rate sweep on the Monsoon rig, DESIGN.md §2) for every phone and
+// fits the affine power models.
+func Table1(seed int64) (*Table1Result, error) {
+	res := &Table1Result{
+		Published: make(map[power.Phone]power.Model),
+		Fitted:    make(map[power.Phone]power.Model),
+	}
+	frameRates := []float64{21, 24, 27, 30}
+	for _, phone := range power.Phones() {
+		pub, err := power.TableI(phone)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := power.ReproduceTableI(phone, frameRates, 50, 8, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 1 for %v: %w", phone, err)
+		}
+		res.Published[phone] = pub
+		res.Fitted[phone] = fit
+	}
+	return res, nil
+}
+
+// Render formats the result as the Table I layout.
+func (r *Table1Result) Render() Table {
+	t := Table{
+		Title:   "Table I: power models (published vs fitted from simulated Monsoon sweep)",
+		Columns: []string{"State", "Phone", "Published", "Fitted"},
+	}
+	fmtLin := func(l power.Linear) string {
+		return fmt.Sprintf("%.2f + %.2f·f", l.Base, l.Slope)
+	}
+	for _, phone := range power.Phones() {
+		pub, fit := r.Published[phone], r.Fitted[phone]
+		t.Rows = append(t.Rows, []string{"Data trans.", phone.String(),
+			fmt.Sprintf("Pt = %.2f", pub.Tx), fmt.Sprintf("Pt = %.2f", fit.Tx)})
+		for _, scheme := range power.Schemes() {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("Decode/%v", scheme), phone.String(),
+				fmtLin(pub.Decode[scheme]), fmtLin(fit.Decode[scheme]),
+			})
+		}
+		t.Rows = append(t.Rows, []string{"Render", phone.String(),
+			fmtLin(pub.Render), fmtLin(fit.Render)})
+	}
+	return t
+}
+
+// Table2Result holds the Table II reproduction: the Q₀ model coefficients
+// fitted from the synthetic VMAF campaign.
+type Table2Result struct {
+	Published vmaf.Coefficients
+	Fitted    vmaf.Coefficients
+	Pearson   float64
+}
+
+// Table2 reproduces Table II: generate the VMAF observation set and fit
+// Eq. 3 with nonlinear least squares. The paper reports Pearson r = 0.9791.
+func Table2(seed int64) (*Table2Result, error) {
+	obs, err := vmaf.SyntheticDataset(2000, 2.0, seed)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := vmaf.Fit(obs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table 2 fit: %w", err)
+	}
+	return &Table2Result{
+		Published: vmaf.TableII(),
+		Fitted:    fit.Coefficients,
+		Pearson:   fit.Pearson,
+	}, nil
+}
+
+// Render formats the result as the Table II layout.
+func (r *Table2Result) Render() Table {
+	return Table{
+		Title:   fmt.Sprintf("Table II: Q0 coefficients (fit Pearson r = %.4f; paper 0.9791)", r.Pearson),
+		Columns: []string{"Coefficient", "c1", "c2", "c3", "c4"},
+		Rows: [][]string{
+			{"Published", fmt.Sprintf("%.4f", r.Published.C1), fmt.Sprintf("%.4f", r.Published.C2),
+				fmt.Sprintf("%.4f", r.Published.C3), fmt.Sprintf("%.4f", r.Published.C4)},
+			{"Fitted", fmt.Sprintf("%.4f", r.Fitted.C1), fmt.Sprintf("%.4f", r.Fitted.C2),
+				fmt.Sprintf("%.4f", r.Fitted.C3), fmt.Sprintf("%.4f", r.Fitted.C4)},
+		},
+	}
+}
+
+// Table3 renders the test-video catalogue (Table III) with the content
+// profiles this reproduction assigns.
+func Table3() Table {
+	t := Table{
+		Title:   "Table III: test videos",
+		Columns: []string{"ID", "Length", "Content", "Class", "SI", "TI", "Trajectories"},
+	}
+	for _, p := range video.Catalog() {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(p.ID),
+			fmt.Sprintf("%d:%02d", p.DurationSec/60, p.DurationSec%60),
+			p.Name,
+			p.Class.String(),
+			fmt.Sprintf("%.0f", p.SIMean),
+			fmt.Sprintf("%.0f", p.TIMean),
+			strconv.Itoa(p.MotionTrajectories),
+		})
+	}
+	return t
+}

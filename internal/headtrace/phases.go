@@ -1,0 +1,158 @@
+package headtrace
+
+import (
+	"fmt"
+
+	"ptile360/internal/stats"
+)
+
+// Phase classifies one head-movement sample by its instantaneous switching
+// speed, following the oculomotor taxonomy behind the paper's blurred-vision
+// argument (Section III-C2).
+type Phase int
+
+// Movement phases.
+const (
+	// PhaseFixation is near-still viewing (< 10°/s): the viewer resolves
+	// full detail, frame drops are visible.
+	PhaseFixation Phase = iota + 1
+	// PhasePursuit is smooth tracking (10–100°/s): moderate blur.
+	PhasePursuit
+	// PhaseSaccade is rapid re-targeting (> 100°/s): vision is suppressed,
+	// frame drops are free.
+	PhaseSaccade
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFixation:
+		return "fixation"
+	case PhasePursuit:
+		return "pursuit"
+	case PhaseSaccade:
+		return "saccade"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Phase thresholds in degrees per second.
+const (
+	// FixationMaxSpeed separates fixation from pursuit (the paper's Fig. 5
+	// landmark: above it users tolerate ~50 % more distortion [7]).
+	FixationMaxSpeed = 10.0
+	// PursuitMaxSpeed separates pursuit from saccades.
+	PursuitMaxSpeed = 100.0
+)
+
+// ClassifySpeed maps a switching speed to its movement phase.
+func ClassifySpeed(degPerSec float64) Phase {
+	switch {
+	case degPerSec <= FixationMaxSpeed:
+		return PhaseFixation
+	case degPerSec <= PursuitMaxSpeed:
+		return PhasePursuit
+	default:
+		return PhaseSaccade
+	}
+}
+
+// PhaseBreakdown reports how a trace's time divides across movement phases.
+type PhaseBreakdown struct {
+	// Fraction maps each phase to its share of samples.
+	Fraction map[Phase]float64
+	// MeanSpeed maps each phase to its mean switching speed.
+	MeanSpeed map[Phase]float64
+	// Episodes maps each phase to the number of contiguous runs.
+	Episodes map[Phase]int
+	// MeanEpisodeSec maps each phase to its mean contiguous duration.
+	MeanEpisodeSec map[Phase]float64
+}
+
+// Phases segments the trace into fixation/pursuit/saccade phases and
+// reports their statistics.
+func (tr *Trace) Phases() (PhaseBreakdown, error) {
+	speeds := tr.SwitchingSpeeds()
+	if len(speeds) == 0 {
+		return PhaseBreakdown{}, fmt.Errorf("headtrace: trace too short for phase analysis")
+	}
+	out := PhaseBreakdown{
+		Fraction:       make(map[Phase]float64, 3),
+		MeanSpeed:      make(map[Phase]float64, 3),
+		Episodes:       make(map[Phase]int, 3),
+		MeanEpisodeSec: make(map[Phase]float64, 3),
+	}
+	counts := make(map[Phase]int, 3)
+	sums := make(map[Phase]float64, 3)
+	var prev Phase
+	for i, sp := range speeds {
+		ph := ClassifySpeed(sp)
+		counts[ph]++
+		sums[ph] += sp
+		if i == 0 || ph != prev {
+			out.Episodes[ph]++
+		}
+		prev = ph
+	}
+	n := float64(len(speeds))
+	for _, ph := range []Phase{PhaseFixation, PhasePursuit, PhaseSaccade} {
+		c := counts[ph]
+		out.Fraction[ph] = float64(c) / n
+		if c > 0 {
+			out.MeanSpeed[ph] = sums[ph] / float64(c)
+		}
+		if e := out.Episodes[ph]; e > 0 {
+			out.MeanEpisodeSec[ph] = float64(c) / float64(e) / SampleRate
+		}
+	}
+	return out, nil
+}
+
+// DatasetPhases aggregates the phase breakdown over every trace in the
+// dataset.
+func (d *Dataset) DatasetPhases() (PhaseBreakdown, error) {
+	if len(d.Traces) == 0 {
+		return PhaseBreakdown{}, fmt.Errorf("headtrace: empty dataset")
+	}
+	var speeds []float64
+	for _, tr := range d.Traces {
+		speeds = append(speeds, tr.SwitchingSpeeds()...)
+	}
+	if len(speeds) == 0 {
+		return PhaseBreakdown{}, fmt.Errorf("headtrace: no samples")
+	}
+	// Reuse the per-trace machinery by constructing a synthetic breakdown
+	// from the aggregate speed list (episodes are summed per trace).
+	out := PhaseBreakdown{
+		Fraction:       make(map[Phase]float64, 3),
+		MeanSpeed:      make(map[Phase]float64, 3),
+		Episodes:       make(map[Phase]int, 3),
+		MeanEpisodeSec: make(map[Phase]float64, 3),
+	}
+	perPhase := make(map[Phase][]float64, 3)
+	for _, sp := range speeds {
+		ph := ClassifySpeed(sp)
+		perPhase[ph] = append(perPhase[ph], sp)
+	}
+	episodeSec := make(map[Phase][]float64, 3)
+	for _, tr := range d.Traces {
+		bd, err := tr.Phases()
+		if err != nil {
+			continue
+		}
+		for ph, e := range bd.Episodes {
+			out.Episodes[ph] += e
+			if e > 0 {
+				episodeSec[ph] = append(episodeSec[ph], bd.MeanEpisodeSec[ph])
+			}
+		}
+	}
+	n := float64(len(speeds))
+	for _, ph := range []Phase{PhaseFixation, PhasePursuit, PhaseSaccade} {
+		out.Fraction[ph] = float64(len(perPhase[ph])) / n
+		out.MeanSpeed[ph] = stats.Mean(perPhase[ph])
+		out.MeanEpisodeSec[ph] = stats.Mean(episodeSec[ph])
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package headtrace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifySpeed(t *testing.T) {
+	for _, tc := range []struct {
+		speed float64
+		want  Phase
+	}{
+		{0, PhaseFixation}, {10, PhaseFixation}, {10.1, PhasePursuit},
+		{100, PhasePursuit}, {101, PhaseSaccade}, {300, PhaseSaccade},
+	} {
+		if got := ClassifySpeed(tc.speed); got != tc.want {
+			t.Fatalf("ClassifySpeed(%g) = %v, want %v", tc.speed, got, tc.want)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p, want := range map[Phase]string{
+		PhaseFixation: "fixation", PhasePursuit: "pursuit", PhaseSaccade: "saccade",
+	} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", int(p), p.String())
+		}
+	}
+	if Phase(9).String() == "" {
+		t.Fatal("unknown phase should still print")
+	}
+}
+
+func TestTracePhases(t *testing.T) {
+	ds := genSmall(t)
+	bd, err := ds.Traces[0].Phases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, ph := range []Phase{PhaseFixation, PhasePursuit, PhaseSaccade} {
+		f := bd.Fraction[ph]
+		if f < 0 || f > 1 {
+			t.Fatalf("%v fraction %g out of range", ph, f)
+		}
+		total += f
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("phase fractions sum to %g", total)
+	}
+	// The generator's calibration: fixation dominates, saccades are rare.
+	if bd.Fraction[PhaseFixation] < 0.4 {
+		t.Fatalf("fixation fraction %g below 0.4", bd.Fraction[PhaseFixation])
+	}
+	if bd.Fraction[PhaseSaccade] > 0.2 {
+		t.Fatalf("saccade fraction %g above 0.2", bd.Fraction[PhaseSaccade])
+	}
+	// Mean speeds must respect the phase ordering.
+	if !(bd.MeanSpeed[PhaseFixation] < bd.MeanSpeed[PhasePursuit]) {
+		t.Fatal("fixation mean speed not below pursuit")
+	}
+	// Episode durations are positive where episodes exist.
+	for ph, e := range bd.Episodes {
+		if e > 0 && bd.MeanEpisodeSec[ph] <= 0 {
+			t.Fatalf("%v: %d episodes but zero mean duration", ph, e)
+		}
+	}
+	empty := &Trace{}
+	if _, err := empty.Phases(); err == nil {
+		t.Fatal("want error for empty trace")
+	}
+}
+
+func TestDatasetPhases(t *testing.T) {
+	ds := genSmall(t)
+	bd, err := ds.DatasetPhases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, ph := range []Phase{PhaseFixation, PhasePursuit, PhaseSaccade} {
+		total += bd.Fraction[ph]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("dataset phase fractions sum to %g", total)
+	}
+	// Consistency with the Fig. 5 claim: fixation fraction = 1 − frac>10.
+	st, err := ds.Statistics(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd.Fraction[PhaseFixation]-(1-st.FracAbove10)) > 1e-9 {
+		t.Fatalf("fixation fraction %g inconsistent with 1−frac>10 = %g",
+			bd.Fraction[PhaseFixation], 1-st.FracAbove10)
+	}
+	empty := &Dataset{}
+	if _, err := empty.DatasetPhases(); err == nil {
+		t.Fatal("want error for empty dataset")
+	}
+}

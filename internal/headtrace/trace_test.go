@@ -1,0 +1,377 @@
+package headtrace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+	"ptile360/internal/video"
+)
+
+func testProfile() video.Profile {
+	p, _ := video.ProfileByID(2)
+	return p
+}
+
+func smallConfig() GeneratorConfig {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumUsers = 12
+	return cfg
+}
+
+func genSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(testProfile(), smallConfig(), 1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := genSmall(t)
+	if len(ds.Traces) != 12 {
+		t.Fatalf("traces = %d, want 12", len(ds.Traces))
+	}
+	p := testProfile()
+	wantSamples := int(float64(p.DurationSec) * SampleRate)
+	for _, tr := range ds.Traces {
+		if len(tr.Samples) != wantSamples {
+			t.Fatalf("user %d: %d samples, want %d", tr.UserID, len(tr.Samples), wantSamples)
+		}
+		if tr.VideoID != p.ID {
+			t.Fatalf("video ID %d, want %d", tr.VideoID, p.ID)
+		}
+		for i, s := range tr.Samples {
+			if s.O.Yaw < 0 || s.O.Yaw >= 360 || s.O.Pitch < -90 || s.O.Pitch > 90 {
+				t.Fatalf("user %d sample %d: orientation out of range %+v", tr.UserID, i, s.O)
+			}
+			if i > 0 && s.T <= tr.Samples[i-1].T {
+				t.Fatalf("timestamps not increasing at %d", i)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testProfile(), smallConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testProfile(), smallConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Traces {
+		for i := range a.Traces[u].Samples {
+			if a.Traces[u].Samples[i] != b.Traces[u].Samples[i] {
+				t.Fatalf("user %d diverges at sample %d", u, i)
+			}
+		}
+	}
+	c, err := Generate(testProfile(), smallConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Traces[0].Samples[100] == c.Traces[0].Samples[100] &&
+		a.Traces[0].Samples[500] == c.Traces[0].Samples[500] {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.NumUsers = 0
+	if _, err := Generate(testProfile(), bad, 1); err == nil {
+		t.Fatal("want error for zero users")
+	}
+	short := testProfile()
+	short.DurationSec = 0
+	if _, err := Generate(short, smallConfig(), 1); err == nil {
+		t.Fatal("want error for zero-length video")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	muts := []func(*GeneratorConfig){
+		func(c *GeneratorConfig) { c.ChaseGain = 0 },
+		func(c *GeneratorConfig) { c.MaxHeadSpeed = -1 },
+		func(c *GeneratorConfig) { c.JitterStd = -1 },
+		func(c *GeneratorConfig) { c.WandererFracFocused = 1.5 },
+		func(c *GeneratorConfig) { c.WandererFracExploring = -0.1 },
+		func(c *GeneratorConfig) { c.SaccadeRate = -1 },
+	}
+	for i, mutate := range muts {
+		cfg := DefaultGeneratorConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestHeadSpeedPhysicallyBounded(t *testing.T) {
+	ds := genSmall(t)
+	cfg := smallConfig()
+	// Max observed inter-sample speed must respect the rate limit plus
+	// jitter slack.
+	slack := 3 * cfg.JitterStd * SampleRate * 1.5
+	for _, tr := range ds.Traces {
+		for _, sp := range tr.SwitchingSpeeds() {
+			if sp > cfg.MaxHeadSpeed+slack {
+				t.Fatalf("speed %g exceeds limit %g + slack", sp, cfg.MaxHeadSpeed)
+			}
+		}
+	}
+}
+
+func TestFig5SpeedDistribution(t *testing.T) {
+	// Aggregate over all videos: more than 30% of samples above 10°/s, but
+	// not wildly more (the published CDF puts the bulk below ~50°/s).
+	cfg := DefaultGeneratorConfig()
+	cfg.NumUsers = 10
+	var speeds []float64
+	for _, p := range video.Catalog() {
+		ds, err := Generate(p, cfg, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range ds.Traces {
+			speeds = append(speeds, tr.SwitchingSpeeds()...)
+		}
+	}
+	frac := stats.FractionAbove(speeds, 10)
+	if frac < 0.30 || frac > 0.55 {
+		t.Fatalf("fraction above 10°/s = %.3f, want within [0.30, 0.55]", frac)
+	}
+	med, err := stats.Median(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med > 10 {
+		t.Fatalf("median speed %.1f°/s, want below 10 (fixation-dominated)", med)
+	}
+}
+
+func TestOrientationAt(t *testing.T) {
+	ds := genSmall(t)
+	tr := ds.Traces[0]
+	o, err := tr.OrientationAt(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != tr.Samples[0].O {
+		t.Fatal("before-start lookup should clamp to first sample")
+	}
+	o, err = tr.OrientationAt(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != tr.Samples[len(tr.Samples)-1].O {
+		t.Fatal("after-end lookup should clamp to last sample")
+	}
+	empty := &Trace{}
+	if _, err := empty.OrientationAt(0); err == nil {
+		t.Fatal("want error for empty trace")
+	}
+}
+
+func TestViewingCenter(t *testing.T) {
+	ds := genSmall(t)
+	tr := ds.Traces[0]
+	pt, err := tr.ViewingCenter(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantO, _ := tr.OrientationAt(3.5)
+	want := geom.PointOf(wantO)
+	if pt != want {
+		t.Fatalf("center = %+v, want %+v", pt, want)
+	}
+	if _, err := tr.ViewingCenter(-1, 1); err == nil {
+		t.Fatal("want error for negative segment")
+	}
+	if _, err := tr.ViewingCenter(0, 0); err == nil {
+		t.Fatal("want error for zero duration")
+	}
+}
+
+func TestSegmentSwitchingSpeed(t *testing.T) {
+	ds := genSmall(t)
+	tr := ds.Traces[0]
+	sp, err := tr.SegmentSwitchingSpeed(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 0 || math.IsNaN(sp) {
+		t.Fatalf("speed = %g", sp)
+	}
+	if _, err := tr.SegmentSwitchingSpeed(10_000_000, 1); err == nil {
+		t.Fatal("want error for segment beyond trace")
+	}
+	if _, err := tr.SegmentSwitchingSpeed(-1, 1); err == nil {
+		t.Fatal("want error for negative segment")
+	}
+}
+
+func TestXYSeriesContinuity(t *testing.T) {
+	ds := genSmall(t)
+	for _, tr := range ds.Traces {
+		xs, ys := tr.XYSeries()
+		if len(xs) != len(tr.Samples) || len(ys) != len(tr.Samples) {
+			t.Fatal("series length mismatch")
+		}
+		// The unwrapped x series must never jump by more than the physical
+		// head-speed limit per sample (plus noise) — no 360° seam jumps.
+		for i := 1; i < len(xs); i++ {
+			if d := math.Abs(xs[i] - xs[i-1]); d > 10 {
+				t.Fatalf("user %d: unwrapped x jumps %g at %d", tr.UserID, d, i)
+			}
+		}
+		// Re-wrapped series must match the raw samples.
+		for i, s := range tr.Samples {
+			if diff := math.Abs(geom.WrapDeltaX(geom.NormalizeYaw(xs[i]), geom.PointOf(s.O).X)); diff > 1e-6 {
+				t.Fatalf("user %d: wrap mismatch %g at %d", tr.UserID, diff, i)
+			}
+		}
+	}
+}
+
+func TestSplitTrainEval(t *testing.T) {
+	ds := genSmall(t)
+	train, eval, err := ds.SplitTrainEval(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 9 || len(eval) != 3 {
+		t.Fatalf("split %d/%d, want 9/3", len(train), len(eval))
+	}
+	seen := map[int]bool{}
+	for _, tr := range append(append([]*Trace{}, train...), eval...) {
+		if seen[tr.UserID] {
+			t.Fatalf("user %d appears twice", tr.UserID)
+		}
+		seen[tr.UserID] = true
+	}
+	// Deterministic for equal seed.
+	train2, _, err := ds.SplitTrainEval(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range train {
+		if train[i].UserID != train2[i].UserID {
+			t.Fatal("split not deterministic")
+		}
+	}
+	if _, _, err := ds.SplitTrainEval(0, 3); err == nil {
+		t.Fatal("want error for zero train size")
+	}
+	if _, _, err := ds.SplitTrainEval(12, 3); err == nil {
+		t.Fatal("want error for train size = all users")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := genSmall(t)
+	subset := ds.Traces[:3]
+	// Truncate for speed.
+	for _, tr := range subset {
+		tr.Samples = tr.Samples[:200]
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, subset); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(back) != len(subset) {
+		t.Fatalf("round trip lost traces: %d vs %d", len(back), len(subset))
+	}
+	for i, tr := range subset {
+		if back[i].UserID != tr.UserID || back[i].VideoID != tr.VideoID {
+			t.Fatalf("trace %d identity mismatch", i)
+		}
+		if len(back[i].Samples) != len(tr.Samples) {
+			t.Fatalf("trace %d sample count mismatch", i)
+		}
+		for j := range tr.Samples {
+			if math.Abs(back[i].Samples[j].O.Yaw-tr.Samples[j].O.Yaw) > 1e-3 ||
+				math.Abs(back[i].Samples[j].O.Pitch-tr.Samples[j].O.Pitch) > 1e-3 {
+				t.Fatalf("trace %d sample %d orientation mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header,x,y,z\n1,2,0,0,0\n",
+		"user,video,t,yaw,pitch\nNaNuser,2,0,0,0\n",
+		"user,video,t,yaw,pitch\n1,bad,0,0,0\n",
+		"user,video,t,yaw,pitch\n1,2,bad,0,0\n",
+		"user,video,t,yaw,pitch\n1,2,0,bad,0\n",
+		"user,video,t,yaw,pitch\n1,2,0,0,bad\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDurationEmpty(t *testing.T) {
+	empty := &Trace{}
+	if empty.Duration() != 0 {
+		t.Fatal("empty trace duration should be 0")
+	}
+	if empty.SwitchingSpeeds() != nil {
+		t.Fatal("empty trace speeds should be nil")
+	}
+}
+
+func TestGenerateAllCoversCatalog(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumUsers = 3
+	all, err := GenerateAll(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(video.Catalog()) {
+		t.Fatalf("datasets = %d, want %d", len(all), len(video.Catalog()))
+	}
+	for id, ds := range all {
+		if ds.Video.ID != id {
+			t.Fatalf("dataset keyed %d holds video %d", id, ds.Video.ID)
+		}
+	}
+}
+
+func TestDatasetStatistics(t *testing.T) {
+	ds := genSmall(t)
+	st, err := ds.Statistics(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 12 || st.Samples == 0 {
+		t.Fatalf("stats counts: %+v", st)
+	}
+	if st.Speed.Mean <= 0 || st.FracAbove10 <= 0 || st.FracAbove10 >= 1 {
+		t.Fatalf("speed stats: %+v", st.Speed)
+	}
+	if st.MeanPairwiseDist <= 0 || st.MeanPairwiseDist > 180 {
+		t.Fatalf("dispersion %g out of range", st.MeanPairwiseDist)
+	}
+	empty := &Dataset{}
+	if _, err := empty.Statistics(1, 10); err == nil {
+		t.Fatal("want error for empty dataset")
+	}
+	if _, err := ds.Statistics(0, 10); err == nil {
+		t.Fatal("want error for zero segment duration")
+	}
+}

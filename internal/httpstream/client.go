@@ -1,0 +1,396 @@
+package httpstream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"ptile360/internal/abr"
+	"ptile360/internal/geom"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/predict"
+	"ptile360/internal/ptile"
+	"ptile360/internal/video"
+	"ptile360/internal/vmaf"
+)
+
+// ClientConfig tunes the streaming client.
+type ClientConfig struct {
+	// BaseURL is the server address, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Phone selects the power model for the MPC controller.
+	Phone power.Phone
+	// Shape optionally paces downloads to an LTE trace. Nil means
+	// unshaped (full local throughput).
+	Shape *lte.Trace
+	// TimeCompression divides the shaping sleep times: 10 means the session
+	// runs 10× faster than real time while preserving per-segment
+	// throughput accounting. Zero means 1.
+	TimeCompression float64
+	// MaxSegments caps the number of segments streamed (0 = whole video).
+	MaxSegments int
+	// UseMPC selects the energy-minimizing controller; false streams with
+	// the rate-based baseline.
+	UseMPC bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c ClientConfig) Validate() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("httpstream: empty base URL")
+	}
+	if _, err := url.Parse(c.BaseURL); err != nil {
+		return fmt.Errorf("httpstream: bad base URL: %w", err)
+	}
+	if c.TimeCompression < 0 {
+		return fmt.Errorf("httpstream: negative time compression %g", c.TimeCompression)
+	}
+	if c.MaxSegments < 0 {
+		return fmt.Errorf("httpstream: negative segment cap %d", c.MaxSegments)
+	}
+	return nil
+}
+
+// SegmentRecord is the client-side accounting of one downloaded segment.
+type SegmentRecord struct {
+	// Segment is the index.
+	Segment int
+	// Quality and FrameRate are the chosen version.
+	Quality video.Quality
+	// FrameRate is in fps.
+	FrameRate float64
+	// Bytes is the payload size received.
+	Bytes int64
+	// ThroughputBps is the measured goodput.
+	ThroughputBps float64
+	// FromPtile reports whether a Ptile served the segment.
+	FromPtile bool
+	// EnergyMJ is the Eq. 1 energy estimate for the segment.
+	EnergyMJ float64
+}
+
+// SessionReport summarizes a client streaming run.
+type SessionReport struct {
+	VideoID  int
+	Segments []SegmentRecord
+	// TotalBytes is the summed payload volume.
+	TotalBytes int64
+	// TotalEnergyMJ is the summed Eq. 1 energy estimate.
+	TotalEnergyMJ float64
+	// PtileSegments counts Ptile-served segments.
+	PtileSegments int
+}
+
+// Client streams a video from a Server, driving the paper's controller over
+// real HTTP.
+type Client struct {
+	cfg  ClientConfig
+	http *http.Client
+	pm   power.Model
+	mpc  *abr.EnergyMPC
+	rate *abr.RateBased
+	enc  video.EncoderConfig
+	grid geom.Grid
+}
+
+// NewClient validates the configuration and builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pm, err := power.TableI(cfg.Phone)
+	if err != nil {
+		return nil, err
+	}
+	mpc, err := abr.NewEnergyMPC(abr.DefaultConfig(pm.Tx))
+	if err != nil {
+		return nil, err
+	}
+	rb, err := abr.NewRateBased(0.9)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:  cfg,
+		http: &http.Client{Timeout: 2 * time.Minute},
+		pm:   pm,
+		mpc:  mpc,
+		rate: rb,
+		enc:  video.DefaultEncoderConfig(),
+		grid: grid,
+	}, nil
+}
+
+// FetchManifest downloads and decodes the manifest for the given video.
+func (c *Client) FetchManifest(videoID int) (*Manifest, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/manifest?video=%d", c.cfg.BaseURL, videoID))
+	if err != nil {
+		return nil, fmt.Errorf("httpstream: fetch manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpstream: manifest status %s", resp.Status)
+	}
+	var m Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("httpstream: decode manifest: %w", err)
+	}
+	if len(m.Segments) == 0 {
+		return nil, fmt.Errorf("httpstream: empty manifest")
+	}
+	return &m, nil
+}
+
+// Stream plays the whole video for the given viewer, returning the
+// per-segment accounting.
+func (c *Client) Stream(videoID int, viewer *headtrace.Trace) (*SessionReport, error) {
+	if viewer == nil || len(viewer.Samples) == 0 {
+		return nil, fmt.Errorf("httpstream: empty viewer trace")
+	}
+	man, err := c.FetchManifest(videoID)
+	if err != nil {
+		return nil, err
+	}
+	n := len(man.Segments)
+	if c.cfg.MaxSegments > 0 && c.cfg.MaxSegments < n {
+		n = c.cfg.MaxSegments
+	}
+
+	bw, err := predict.NewBandwidth(5)
+	if err != nil {
+		return nil, err
+	}
+	xs, ys := viewer.XYSeries()
+	report := &SessionReport{VideoID: videoID}
+	buffer := 0.0
+	virtual := 0.0 // virtual wall-clock (seconds) for trace shaping
+
+	for seg := 0; seg < n; seg++ {
+		// Viewport prediction from played history.
+		played := float64(seg)*man.SegmentSec - buffer
+		if played < 0 {
+			played = 0
+		}
+		idx := int(played * headtrace.SampleRate)
+		var center geom.Point
+		if idx < 2 {
+			center = geom.PointOf(viewer.Samples[0].O)
+		} else {
+			if idx > len(xs) {
+				idx = len(xs)
+			}
+			horizon := (float64(seg)+0.5)*man.SegmentSec - played
+			if horizon > 1 {
+				horizon = 1
+			}
+			p, err := predict.Viewport(xs[:idx], ys[:idx], horizon, predict.DefaultViewportConfig())
+			if err != nil {
+				p = geom.PointOf(viewer.Samples[idx-1].O)
+			}
+			center = p
+		}
+
+		// Pick the serving Ptile from the manifest.
+		ptIdx, ptRect := c.pickPtile(man, seg, center)
+
+		// Decide the version.
+		rateEst := 5e6
+		if bw.Ready() {
+			if est, err := bw.Estimate(); err == nil {
+				rateEst = est
+			}
+		}
+		speedEst := 0.0
+		if seg > 0 {
+			if sp, err := viewer.SegmentPeakSpeed(seg-1, man.SegmentSec); err == nil {
+				speedEst = sp
+			}
+		}
+		options, err := c.options(man, seg, ptIdx >= 0, ptRect, speedEst)
+		if err != nil {
+			return nil, err
+		}
+		var decision abr.Decision
+		if c.cfg.UseMPC {
+			decision, err = c.mpc.Decide(buffer, rateEst, []abr.SegmentMeta{{Options: options}})
+		} else {
+			decision, err = c.rate.Decide(buffer, rateEst, options)
+		}
+		if err != nil {
+			return nil, err
+		}
+		chosen := decision.Chosen
+
+		// Download over HTTP, pacing reads against the shaping trace.
+		nBytes, elapsed, err := c.download(videoID, seg, chosen, ptIdx, center, &virtual)
+		if err != nil {
+			return nil, err
+		}
+		throughput := float64(nBytes*8) / elapsed
+		if err := bw.Observe(throughput); err != nil {
+			return nil, err
+		}
+		if buffer -= elapsed; buffer < 0 {
+			buffer = 0
+		}
+		buffer += man.SegmentSec
+		if buffer > 3+man.SegmentSec {
+			buffer = 3 + man.SegmentSec
+		}
+
+		e, err := c.pm.Segment(power.PtileScheme, float64(nBytes*8), throughput, chosen.FrameRate, man.SegmentSec)
+		if err != nil {
+			return nil, err
+		}
+		rec := SegmentRecord{
+			Segment:       seg,
+			Quality:       chosen.Quality,
+			FrameRate:     chosen.FrameRate,
+			Bytes:         nBytes,
+			ThroughputBps: throughput,
+			FromPtile:     ptIdx >= 0,
+			EnergyMJ:      e.Total(),
+		}
+		report.Segments = append(report.Segments, rec)
+		report.TotalBytes += nBytes
+		report.TotalEnergyMJ += rec.EnergyMJ
+		if rec.FromPtile {
+			report.PtileSegments++
+		}
+	}
+	return report, nil
+}
+
+// pickPtile returns the index and rect of the manifest Ptile serving the
+// predicted center, or (-1, zero).
+func (c *Client) pickPtile(man *Manifest, seg int, center geom.Point) (int, geom.Rect) {
+	best := -1
+	var bestRect geom.Rect
+	bestArea := 1e18
+	for i, rj := range man.Segments[seg].Ptiles {
+		r := rj.toRect()
+		pt := ptile.Ptile{Rect: r}
+		if pt.Covers(c.grid, center, 100) && r.Area() < bestArea {
+			best, bestRect, bestArea = i, r, r.Area()
+		}
+	}
+	if best >= 0 {
+		return best, bestRect
+	}
+	for i, rj := range man.Segments[seg].Ptiles {
+		r := rj.toRect()
+		if r.Contains(center) && r.Area() < bestArea {
+			best, bestRect, bestArea = i, r, r.Area()
+		}
+	}
+	return best, bestRect
+}
+
+// options computes the version ladder for one segment from manifest
+// metadata, mirroring the server's size model.
+func (c *Client) options(man *Manifest, seg int, havePtile bool, ptRect geom.Rect, speed float64) ([]abr.OptionMeta, error) {
+	sc := video.SegmentContent{SI: man.Segments[seg].SI, TI: man.Segments[seg].TI, Jitter: 1}
+	frameRates := man.FrameRates
+	if !havePtile {
+		frameRates = []float64{man.SourceFPS}
+	}
+	var out []abr.OptionMeta
+	for v := video.MinQuality; v <= video.MaxQuality; v++ {
+		for _, f := range frameRates {
+			var bits float64
+			var err error
+			if havePtile {
+				bits, err = c.enc.TileBits(video.TileSpec{Rect: ptRect, Quality: v, FrameRate: f, Kind: video.KindPtile}, man.SegmentSec, sc)
+			} else {
+				bits, err = c.enc.RegionBits(0.28125, v, f, video.KindGrid, man.SegmentSec, sc)
+			}
+			if err != nil {
+				return nil, err
+			}
+			b, err := c.enc.QoEBitrateMbps(v)
+			if err != nil {
+				return nil, err
+			}
+			// α = κ·S_fov/TI with the same κ = 6 calibration as the
+			// simulator (sim.Config.AlphaScale).
+			q, err := vmaf.TableII().PerceivedQuality(sc.SI, sc.TI, b, 6*speed, f, man.SourceFPS)
+			if err != nil {
+				return nil, err
+			}
+			dec := c.pm.Decode[power.PtileScheme]
+			out = append(out, abr.OptionMeta{
+				Option:           abr.Option{Quality: v, FrameRate: f},
+				SizeBits:         bits,
+				PerceivedQuality: q,
+				ProcPowerMW:      dec.At(f) + c.pm.Render.At(f),
+			})
+		}
+	}
+	return out, nil
+}
+
+// download GETs one segment and paces reads against the shaping trace,
+// returning the byte count and the (virtual) elapsed seconds.
+func (c *Client) download(videoID, seg int, chosen abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (int64, float64, error) {
+	u := fmt.Sprintf("%s/segment?video=%d&seg=%d&q=%d&f=%s",
+		c.cfg.BaseURL, videoID, seg, int(chosen.Quality),
+		strconv.FormatFloat(chosen.FrameRate, 'f', -1, 64))
+	if ptIdx >= 0 {
+		u += fmt.Sprintf("&ptile=%d", ptIdx)
+	} else {
+		u += fmt.Sprintf("&cx=%g&cy=%g", center.X, center.Y)
+	}
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return 0, 0, fmt.Errorf("httpstream: segment %d: %w", seg, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("httpstream: segment %d: status %s", seg, resp.Status)
+	}
+
+	start := time.Now()
+	var nBytes int64
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		nBytes += int64(n)
+		if c.cfg.Shape != nil && n > 0 {
+			// Pace against the trace: reading n bytes at rate R takes
+			// n·8/R seconds of virtual time.
+			rate := c.cfg.Shape.At(*virtual)
+			dt := float64(n*8) / rate
+			*virtual += dt
+			compression := c.cfg.TimeCompression
+			if compression == 0 {
+				compression = 1
+			}
+			time.Sleep(time.Duration(dt / compression * float64(time.Second)))
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("httpstream: segment %d read: %w", seg, err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if c.cfg.Shape != nil {
+		// Under shaping, the virtual elapsed time is authoritative.
+		elapsed = float64(nBytes*8) / c.cfg.Shape.At(*virtual)
+	}
+	if elapsed <= 0 {
+		elapsed = 1e-6
+	}
+	return nBytes, elapsed, nil
+}

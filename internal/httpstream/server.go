@@ -1,0 +1,260 @@
+// Package httpstream provides the networked streaming path: an HTTP tile
+// server that serves manifests and synthesized segment payloads from a
+// prepared catalogue, and a client that runs the paper's controller against
+// it over real net/http connections with trace-shaped bandwidth.
+//
+// The wire format is deliberately simple (JSON manifest + opaque segment
+// bodies) — the point is to exercise the full request/response path of a
+// tile-based streaming deployment, not to reimplement DASH.
+package httpstream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/ptile"
+	"ptile360/internal/sim"
+	"ptile360/internal/video"
+)
+
+// RectJSON is a serializable panorama rectangle.
+type RectJSON struct {
+	X0 float64 `json:"x0"`
+	Y0 float64 `json:"y0"`
+	W  float64 `json:"w"`
+	H  float64 `json:"h"`
+}
+
+func toRectJSON(r geom.Rect) RectJSON { return RectJSON{X0: r.X0, Y0: r.Y0, W: r.W, H: r.H} }
+func (r RectJSON) toRect() geom.Rect  { return geom.Rect{X0: r.X0, Y0: r.Y0, W: r.W, H: r.H} }
+
+// SegmentMetaJSON is the per-segment manifest entry.
+type SegmentMetaJSON struct {
+	SI     float64    `json:"si"`
+	TI     float64    `json:"ti"`
+	Ptiles []RectJSON `json:"ptiles"`
+}
+
+// Manifest describes one video to the client.
+type Manifest struct {
+	VideoID    int               `json:"video_id"`
+	SegmentSec float64           `json:"segment_sec"`
+	Segments   []SegmentMetaJSON `json:"segments"`
+	Qualities  int               `json:"qualities"`
+	FrameRates []float64         `json:"frame_rates"`
+	SourceFPS  float64           `json:"source_fps"`
+	GridRows   int               `json:"grid_rows"`
+	GridCols   int               `json:"grid_cols"`
+}
+
+// Server serves manifests and segments for a set of prepared catalogues.
+type Server struct {
+	mux      *http.ServeMux
+	catalogs map[int]*sim.Catalog
+	enc      video.EncoderConfig
+	frames   []float64
+}
+
+// NewServer builds a server over the given catalogues. frameRates lists the
+// Ptile frame-rate versions available for download.
+func NewServer(catalogs map[int]*sim.Catalog, enc video.EncoderConfig, frameRates []float64) (*Server, error) {
+	if len(catalogs) == 0 {
+		return nil, fmt.Errorf("httpstream: no catalogues")
+	}
+	if err := enc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frameRates) == 0 {
+		return nil, fmt.Errorf("httpstream: no frame rates")
+	}
+	s := &Server{
+		mux:      http.NewServeMux(),
+		catalogs: catalogs,
+		enc:      enc,
+		frames:   frameRates,
+	}
+	s.mux.HandleFunc("/manifest", s.handleManifest)
+	s.mux.HandleFunc("/segment", s.handleSegment)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) catalogFor(w http.ResponseWriter, r *http.Request) (*sim.Catalog, bool) {
+	id, err := strconv.Atoi(r.URL.Query().Get("video"))
+	if err != nil {
+		http.Error(w, "bad or missing video parameter", http.StatusBadRequest)
+		return nil, false
+	}
+	cat, ok := s.catalogs[id]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown video %d", id), http.StatusNotFound)
+		return nil, false
+	}
+	return cat, true
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	cat, ok := s.catalogFor(w, r)
+	if !ok {
+		return
+	}
+	m := Manifest{
+		VideoID:    cat.Video.ID,
+		SegmentSec: cat.SegmentSec,
+		Qualities:  int(video.MaxQuality),
+		FrameRates: s.frames,
+		SourceFPS:  s.enc.FrameRate,
+		GridRows:   4,
+		GridCols:   8,
+	}
+	for seg := range cat.Content {
+		sm := SegmentMetaJSON{SI: cat.Content[seg].SI, TI: cat.Content[seg].TI}
+		for _, pt := range cat.Ptiles[seg] {
+			sm.Ptiles = append(sm.Ptiles, toRectJSON(pt.Rect))
+		}
+		m.Segments = append(m.Segments, sm)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(m); err != nil {
+		// The response is already partially written; nothing to recover.
+		return
+	}
+}
+
+// handleSegment synthesizes a segment payload. Query parameters:
+//
+//	video, seg           — segment address
+//	q                    — quality level 1..5
+//	f                    — frame rate (0 → source rate)
+//	ptile                — Ptile index within the segment; when present the
+//	                       response is the Ptile (plus background blocks),
+//	                       otherwise the conventional tile set is served.
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	cat, ok := s.catalogFor(w, r)
+	if !ok {
+		return
+	}
+	qy := r.URL.Query()
+	seg, err := strconv.Atoi(qy.Get("seg"))
+	if err != nil || seg < 0 || seg >= len(cat.Content) {
+		http.Error(w, "bad segment index", http.StatusBadRequest)
+		return
+	}
+	qLevel, err := strconv.Atoi(qy.Get("q"))
+	if err != nil {
+		http.Error(w, "bad quality", http.StatusBadRequest)
+		return
+	}
+	quality := video.Quality(qLevel)
+	if err := quality.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f := 0.0
+	if fs := qy.Get("f"); fs != "" {
+		f, err = strconv.ParseFloat(fs, 64)
+		if err != nil {
+			http.Error(w, "bad frame rate", http.StatusBadRequest)
+			return
+		}
+	}
+
+	sc := cat.Content[seg]
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	var bits float64
+	if ps := qy.Get("ptile"); ps != "" {
+		idx, err := strconv.Atoi(ps)
+		if err != nil || idx < 0 || idx >= len(cat.Ptiles[seg]) {
+			http.Error(w, "bad ptile index", http.StatusBadRequest)
+			return
+		}
+		pt := cat.Ptiles[seg][idx]
+		bits, err = s.enc.TileBits(video.TileSpec{
+			Rect: pt.Rect, Quality: quality, FrameRate: f, Kind: video.KindPtile,
+		}, cat.SegmentSec, sc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, block := range ptile.BackgroundBlocks(pt, grid) {
+			b, err := s.enc.TileBits(video.TileSpec{
+				Rect: block, Quality: video.MinQuality, Kind: video.KindBlock,
+			}, cat.SegmentSec, sc)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			bits += b
+		}
+	} else {
+		// Conventional request: FoV tiles at q (center supplied by the
+		// client), background tiles at the lowest quality.
+		cx, errX := strconv.ParseFloat(qy.Get("cx"), 64)
+		cy, errY := strconv.ParseFloat(qy.Get("cy"), 64)
+		if errX != nil || errY != nil {
+			http.Error(w, "bad or missing viewport center", http.StatusBadRequest)
+			return
+		}
+		fov := grid.FoVTiles(geom.Point{X: cx, Y: cy}, 100, 100)
+		inFoV := make(map[geom.TileID]bool, len(fov))
+		for _, id := range fov {
+			inFoV[id] = true
+		}
+		for row := 0; row < grid.Rows; row++ {
+			for col := 0; col < grid.Cols; col++ {
+				id := geom.TileID{Row: row, Col: col}
+				tq := video.MinQuality
+				if inFoV[id] {
+					tq = quality
+				}
+				b, err := s.enc.TileBits(video.TileSpec{Rect: grid.TileRect(id), Quality: tq}, cat.SegmentSec, sc)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				bits += b
+			}
+		}
+	}
+
+	nBytes := int64(bits / 8)
+	if nBytes < 1 {
+		nBytes = 1
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(nBytes, 10))
+	writePayload(w, nBytes)
+}
+
+// writePayload streams nBytes of deterministic filler without allocating the
+// whole body.
+func writePayload(w http.ResponseWriter, nBytes int64) {
+	var chunk [8192]byte
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	for nBytes > 0 {
+		n := int64(len(chunk))
+		if n > nBytes {
+			n = nBytes
+		}
+		if _, err := w.Write(chunk[:n]); err != nil {
+			return
+		}
+		nBytes -= n
+	}
+}

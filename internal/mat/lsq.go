@@ -1,0 +1,206 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min_x ‖A·x − y‖² via the normal equations AᵀA·x = Aᵀy.
+// A has one row per observation and one column per coefficient.
+func LeastSquares(a *Matrix, y []float64) ([]float64, error) {
+	return RidgeLeastSquares(a, y, 0)
+}
+
+// RidgeLeastSquares solves min_x ‖A·x − y‖² + λ‖x‖² via
+// (AᵀA + λI)·x = Aᵀy. λ = 0 reduces to ordinary least squares. λ > 0
+// regularizes ill-conditioned designs, which is why the paper uses ridge
+// regression for viewport prediction (Section IV-B).
+func RidgeLeastSquares(a *Matrix, y []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("mat: negative ridge penalty %g", lambda)
+	}
+	penalties := make([]float64, a.cols)
+	for i := range penalties {
+		penalties[i] = lambda
+	}
+	return RidgeLeastSquaresPenalized(a, y, penalties)
+}
+
+// RidgeLeastSquaresPenalized solves min_x ‖A·x − y‖² + Σⱼ pⱼ·xⱼ² with one
+// penalty per coefficient. A zero penalty leaves that coefficient
+// unregularized — the usual treatment for intercept terms.
+func RidgeLeastSquaresPenalized(a *Matrix, y []float64, penalties []float64) ([]float64, error) {
+	if a.rows != len(y) {
+		return nil, fmt.Errorf("%w: design %dx%d vs %d observations", ErrShape, a.rows, a.cols, len(y))
+	}
+	if len(penalties) != a.cols {
+		return nil, fmt.Errorf("%w: %d penalties for %d coefficients", ErrShape, len(penalties), a.cols)
+	}
+	for j, p := range penalties {
+		if p < 0 {
+			return nil, fmt.Errorf("mat: negative ridge penalty %g for coefficient %d", p, j)
+		}
+	}
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ata.rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+penalties[i])
+	}
+	aty, err := at.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	x, err := Cholesky(ata, aty)
+	if err != nil {
+		// The normal equations can lose definiteness numerically; fall back to
+		// the pivoted solver before reporting failure.
+		return Solve(ata, aty)
+	}
+	return x, nil
+}
+
+// ResidualFunc evaluates a model at parameter vector p for observation i and
+// returns the predicted value.
+type ResidualFunc func(p []float64, i int) float64
+
+// LMOptions configures LevenbergMarquardt.
+type LMOptions struct {
+	// MaxIter bounds the number of outer iterations. Zero means 200.
+	MaxIter int
+	// Tol is the relative improvement threshold for convergence. Zero means 1e-10.
+	Tol float64
+	// InitialLambda is the starting damping factor. Zero means 1e-3.
+	InitialLambda float64
+}
+
+// LMResult reports the outcome of a Levenberg–Marquardt fit.
+type LMResult struct {
+	// Params is the fitted parameter vector.
+	Params []float64
+	// RSS is the final residual sum of squares.
+	RSS float64
+	// Iterations is the number of iterations performed.
+	Iterations int
+	// Converged reports whether the relative-improvement tolerance was met
+	// before MaxIter.
+	Converged bool
+}
+
+// LevenbergMarquardt fits parameters p to minimize Σᵢ (model(p, i) − y[i])²
+// using the Levenberg–Marquardt algorithm with a numerically differentiated
+// Jacobian. It is the Go equivalent of MATLAB's nlinfit used by the paper to
+// fit the Q₀ model (Section III-C1).
+func LevenbergMarquardt(model ResidualFunc, y, p0 []float64, opts LMOptions) (*LMResult, error) {
+	if len(y) == 0 {
+		return nil, fmt.Errorf("mat: no observations")
+	}
+	if len(p0) == 0 {
+		return nil, fmt.Errorf("mat: empty initial parameter vector")
+	}
+	if len(y) < len(p0) {
+		return nil, fmt.Errorf("mat: %d observations cannot determine %d parameters", len(y), len(p0))
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 200
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	lambda := opts.InitialLambda
+	if lambda == 0 {
+		lambda = 1e-3
+	}
+
+	n, m := len(y), len(p0)
+	p := make([]float64, m)
+	copy(p, p0)
+
+	residuals := func(p []float64) []float64 {
+		r := make([]float64, n)
+		for i := 0; i < n; i++ {
+			r[i] = model(p, i) - y[i]
+		}
+		return r
+	}
+	rss := func(r []float64) float64 {
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		return s
+	}
+
+	r := residuals(p)
+	cost := rss(r)
+	res := &LMResult{}
+
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		// Numerical Jacobian: J[i][j] = ∂model(p, i)/∂p[j].
+		jac := New(n, m)
+		for j := 0; j < m; j++ {
+			h := 1e-6 * math.Max(math.Abs(p[j]), 1e-3)
+			pj := p[j]
+			p[j] = pj + h
+			for i := 0; i < n; i++ {
+				jac.Set(i, j, (model(p, i)-(r[i]+y[i]))/h)
+			}
+			p[j] = pj
+		}
+		jt := jac.T()
+		jtj, err := jt.Mul(jac)
+		if err != nil {
+			return nil, err
+		}
+		jtr, err := jt.MulVec(r)
+		if err != nil {
+			return nil, err
+		}
+
+		improved := false
+		for attempt := 0; attempt < 30; attempt++ {
+			damped := jtj.Clone()
+			for i := 0; i < m; i++ {
+				damped.Set(i, i, damped.At(i, i)*(1+lambda))
+			}
+			neg := make([]float64, m)
+			for i, v := range jtr {
+				neg[i] = -v
+			}
+			step, err := Solve(damped, neg)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, m)
+			for i := range p {
+				trial[i] = p[i] + step[i]
+			}
+			tr := residuals(trial)
+			tc := rss(tr)
+			if tc < cost {
+				rel := (cost - tc) / math.Max(cost, 1e-30)
+				p, r, cost = trial, tr, tc
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				if rel < tol {
+					res.Converged = true
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved || res.Converged {
+			res.Converged = res.Converged || !improved
+			break
+		}
+	}
+	res.Params = p
+	res.RSS = cost
+	return res, nil
+}

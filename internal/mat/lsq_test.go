@@ -1,0 +1,163 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	// y = 3 + 2x fitted from noiseless points must recover coefficients.
+	xs := []float64{0, 1, 2, 3, 4}
+	design := New(len(xs), 2)
+	y := make([]float64, len(xs))
+	for i, x := range xs {
+		design.Set(i, 0, 1)
+		design.Set(i, 1, x)
+		y[i] = 3 + 2*x
+	}
+	coef, err := LeastSquares(design, y)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEqual(coef[0], 3, 1e-9) || !almostEqual(coef[1], 2, 1e-9) {
+		t.Fatalf("coef = %v, want [3 2]", coef)
+	}
+}
+
+func TestLeastSquaresNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	design := New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		design.Set(i, 0, 1)
+		design.Set(i, 1, x)
+		y[i] = 5 - 1.5*x + rng.NormFloat64()*0.1
+	}
+	coef, err := LeastSquares(design, y)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEqual(coef[0], 5, 0.05) || !almostEqual(coef[1], -1.5, 0.02) {
+		t.Fatalf("coef = %v, want ≈[5 -1.5]", coef)
+	}
+}
+
+func TestRidgeShrinksCoefficients(t *testing.T) {
+	// With collinear-ish predictors, larger λ must shrink the solution norm.
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	design := New(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		design.Set(i, 0, 1)
+		design.Set(i, 1, x)
+		design.Set(i, 2, x+rng.NormFloat64()*0.001) // nearly collinear
+		y[i] = 4 * x
+	}
+	norm := func(v []float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
+	small, err := RidgeLeastSquares(design, y, 1e-6)
+	if err != nil {
+		t.Fatalf("ridge small: %v", err)
+	}
+	big, err := RidgeLeastSquares(design, y, 10)
+	if err != nil {
+		t.Fatalf("ridge big: %v", err)
+	}
+	if norm(big) >= norm(small) {
+		t.Fatalf("ridge with λ=10 (‖x‖=%g) not smaller than λ=1e-6 (‖x‖=%g)", norm(big), norm(small))
+	}
+}
+
+func TestRidgeRejectsNegativeLambda(t *testing.T) {
+	design := Identity(2)
+	if _, err := RidgeLeastSquares(design, []float64{1, 2}, -1); err == nil {
+		t.Fatal("want error for negative lambda")
+	}
+}
+
+func TestRidgeShapeMismatch(t *testing.T) {
+	design := Identity(3)
+	if _, err := RidgeLeastSquares(design, []float64{1, 2}, 0); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestLevenbergMarquardtExponential(t *testing.T) {
+	// Fit y = a·exp(b·x) from clean synthetic data.
+	xs := make([]float64, 40)
+	y := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		y[i] = 2.5 * math.Exp(-0.8*xs[i])
+	}
+	model := func(p []float64, i int) float64 { return p[0] * math.Exp(p[1]*xs[i]) }
+	res, err := LevenbergMarquardt(model, y, []float64{1, -0.1}, LMOptions{})
+	if err != nil {
+		t.Fatalf("LM: %v", err)
+	}
+	if !almostEqual(res.Params[0], 2.5, 1e-4) || !almostEqual(res.Params[1], -0.8, 1e-4) {
+		t.Fatalf("params = %v, want [2.5 -0.8]", res.Params)
+	}
+	if res.RSS > 1e-8 {
+		t.Fatalf("RSS = %g, want ~0", res.RSS)
+	}
+}
+
+func TestLevenbergMarquardtLogistic(t *testing.T) {
+	// The exact shape of the paper's Eq. 3: Q = 100 / (1 + exp(-(c1+c2·u))).
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	us := make([]float64, n)
+	y := make([]float64, n)
+	c1, c2 := -0.4, 0.9
+	for i := 0; i < n; i++ {
+		us[i] = rng.Float64()*8 - 4
+		y[i] = 100/(1+math.Exp(-(c1+c2*us[i]))) + rng.NormFloat64()*0.2
+	}
+	model := func(p []float64, i int) float64 {
+		return 100 / (1 + math.Exp(-(p[0] + p[1]*us[i])))
+	}
+	res, err := LevenbergMarquardt(model, y, []float64{0, 0.1}, LMOptions{})
+	if err != nil {
+		t.Fatalf("LM: %v", err)
+	}
+	if !almostEqual(res.Params[0], c1, 0.05) || !almostEqual(res.Params[1], c2, 0.05) {
+		t.Fatalf("params = %v, want ≈[%g %g]", res.Params, c1, c2)
+	}
+}
+
+func TestLevenbergMarquardtInputValidation(t *testing.T) {
+	model := func(p []float64, i int) float64 { return p[0] }
+	if _, err := LevenbergMarquardt(model, nil, []float64{1}, LMOptions{}); err == nil {
+		t.Fatal("want error for no observations")
+	}
+	if _, err := LevenbergMarquardt(model, []float64{1}, nil, LMOptions{}); err == nil {
+		t.Fatal("want error for empty params")
+	}
+	if _, err := LevenbergMarquardt(model, []float64{1}, []float64{1, 2}, LMOptions{}); err == nil {
+		t.Fatal("want error for underdetermined fit")
+	}
+}
+
+func TestLevenbergMarquardtRespectsMaxIter(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	y := []float64{1, 2.7, 7.4, 20}
+	model := func(p []float64, i int) float64 { return math.Exp(p[0] * xs[i]) }
+	res, err := LevenbergMarquardt(model, y, []float64{0.1}, LMOptions{MaxIter: 2})
+	if err != nil {
+		t.Fatalf("LM: %v", err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("iterations = %d, want ≤ 2", res.Iterations)
+	}
+}

@@ -1,0 +1,252 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewPanicsOnInvalidDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x3 matrix")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("got %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g, want 3", m.At(1, 0))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	if _, err := FromRows(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, -1, 0}, {4, 3, 1}, {0, 5, 2}})
+	id := Identity(3)
+	left, err := id.Mul(a)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	right, err := a.Mul(id)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if left.At(i, j) != a.At(i, j) || right.At(i, j) != a.At(i, j) {
+				t.Fatalf("identity product mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulShapes(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulKnownProduct(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("product(%d,%d) = %g, want %g", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	check := func(vals [4]float64) bool {
+		m, _ := FromRows([][]float64{{vals[0], vals[1]}, {vals[2], vals[3]}})
+		tt := m.T().T()
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 0, 2}, {-1, 3, 1}})
+	got, err := m.MulVec([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	want := []float64{7, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecShape(t *testing.T) {
+	m := New(2, 3)
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Scale(2)
+	s, err := a.Add(b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if s.At(1, 1) != 12 {
+		t.Fatalf("Add+Scale: got %g, want 12", s.At(1, 1))
+	}
+	// Ensure a was not mutated.
+	if a.At(1, 1) != 4 {
+		t.Fatalf("Add mutated receiver: %g", a.At(1, 1))
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-9) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	a := New(2, 3)
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("non-square: want ErrShape, got %v", err)
+	}
+	sq := Identity(2)
+	if _, err := Solve(sq, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("rhs mismatch: want ErrShape, got %v", err)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if a.At(0, 0) != 4 || a.At(1, 0) != 1 || b[0] != 1 || b[1] != 2 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+func TestCholeskySPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := Cholesky(a, []float64{10, 9})
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	// Verify a·x = b.
+	b, _ := a.MulVec(x)
+	if !almostEqual(b[0], 10, 1e-9) || !almostEqual(b[1], 9, 1e-9) {
+		t.Fatalf("a·x = %v, want [10 9]", b)
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := Cholesky(a, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+// Property: for random well-conditioned SPD systems, Solve and Cholesky agree.
+func TestSolveCholeskyAgree(t *testing.T) {
+	check := func(p, q, r float64) bool {
+		// Build SPD matrix BᵀB + I from arbitrary B.
+		b, _ := FromRows([][]float64{{p, q}, {q, r}})
+		bt := b.T()
+		spd, _ := bt.Mul(b)
+		for i := 0; i < 2; i++ {
+			spd.Set(i, i, spd.At(i, i)+1)
+		}
+		rhs := []float64{p + 1, r - 1}
+		x1, err1 := Solve(spd, rhs)
+		x2, err2 := Cholesky(spd, rhs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(x1[0], x2[0], 1e-6) && almostEqual(x1[1], x2[1], 1e-6)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(a, b, c float64) bool {
+		// Constrain magnitudes to keep conditioning sane.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Mod(math.Abs(v), 10)
+		}
+		return check(clamp(a), clamp(b), clamp(c))
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

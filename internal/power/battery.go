@@ -1,0 +1,65 @@
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Battery converts Eq. 1 session energy into user-facing battery figures —
+// the terms the paper's motivation is phrased in.
+type Battery struct {
+	// CapacityMWh is the full-charge energy in milliwatt-hours.
+	CapacityMWh float64
+}
+
+// Batteries returns the nominal battery of each measured phone
+// (capacity = rated mAh × nominal 3.85 V).
+func Batteries() map[Phone]Battery {
+	return map[Phone]Battery{
+		Nexus5X:   {CapacityMWh: 2700 * 3.85},
+		Pixel3:    {CapacityMWh: 2915 * 3.85},
+		GalaxyS20: {CapacityMWh: 4000 * 3.85},
+	}
+}
+
+// BatteryFor returns the nominal battery for the given phone.
+func BatteryFor(p Phone) (Battery, error) {
+	b, ok := Batteries()[p]
+	if !ok {
+		return Battery{}, fmt.Errorf("power: no battery data for phone %d", int(p))
+	}
+	return b, nil
+}
+
+// Validate reports whether the battery is usable.
+func (b Battery) Validate() error {
+	if b.CapacityMWh <= 0 {
+		return fmt.Errorf("power: non-positive battery capacity %g", b.CapacityMWh)
+	}
+	return nil
+}
+
+// DrainPercent returns the share of a full charge (in percent) consumed by
+// the given energy in mJ (1 mWh = 3600 mJ).
+func (b Battery) DrainPercent(energyMJ float64) (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if energyMJ < 0 {
+		return 0, fmt.Errorf("power: negative energy %g", energyMJ)
+	}
+	return energyMJ / 3600 / b.CapacityMWh * 100, nil
+}
+
+// Lifetime returns how long a full charge sustains the given average power
+// draw in mW.
+func (b Battery) Lifetime(avgPowerMW float64) (time.Duration, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if avgPowerMW <= 0 {
+		return 0, fmt.Errorf("power: non-positive power %g", avgPowerMW)
+	}
+	hours := b.CapacityMWh / avgPowerMW
+	return time.Duration(hours * float64(time.Hour)), nil
+}

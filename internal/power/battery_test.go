@@ -1,0 +1,81 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBatteriesCoverAllPhones(t *testing.T) {
+	for _, phone := range Phones() {
+		b, err := BatteryFor(phone)
+		if err != nil {
+			t.Fatalf("%v: %v", phone, err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%v: %v", phone, err)
+		}
+	}
+	if _, err := BatteryFor(Phone(99)); err == nil {
+		t.Fatal("want error for unknown phone")
+	}
+}
+
+func TestDrainPercent(t *testing.T) {
+	b := Battery{CapacityMWh: 10000}
+	// 36000 mJ = 10 mWh = 0.1% of 10000 mWh.
+	got, err := b.DrainPercent(36000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("drain = %g%%, want 0.1%%", got)
+	}
+	if _, err := b.DrainPercent(-1); err == nil {
+		t.Fatal("want error for negative energy")
+	}
+	if _, err := (Battery{}).DrainPercent(1); err == nil {
+		t.Fatal("want error for zero-capacity battery")
+	}
+}
+
+func TestLifetime(t *testing.T) {
+	b := Battery{CapacityMWh: 2000}
+	// 2000 mWh at 1000 mW = 2 hours.
+	d, err := b.Lifetime(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2*time.Hour {
+		t.Fatalf("lifetime = %v, want 2h", d)
+	}
+	if _, err := b.Lifetime(0); err == nil {
+		t.Fatal("want error for zero power")
+	}
+}
+
+// TestSessionDrainRealism sanity-checks the headline motivation: a
+// ten-minute 360° session on a Pixel 3 should drain a single-digit share of
+// the battery, with Ours draining less than Ctile.
+func TestSessionDrainRealism(t *testing.T) {
+	b, err := BatteryFor(Pixel3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-segment energies in the measured range (EXPERIMENTS.md): Ctile
+	// ≈2.7 J, Ours ≈1.9 J per 1 s segment; 600 segments = 10 minutes.
+	ctile, err := b.DrainPercent(2700 * 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := b.DrainPercent(1900 * 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctile < 1 || ctile > 10 {
+		t.Fatalf("Ctile 10-min drain %g%% outside the plausible single-digit band", ctile)
+	}
+	if ours >= ctile {
+		t.Fatal("Ours must drain less than Ctile")
+	}
+}

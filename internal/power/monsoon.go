@@ -1,0 +1,132 @@
+package power
+
+import (
+	"fmt"
+
+	"ptile360/internal/mat"
+	"ptile360/internal/stats"
+)
+
+// Monsoon simulates the Monsoon power-monitor measurement rig of Fig. 3: it
+// supplies a device-under-test whose true power follows a Table I model and
+// returns noisy samples, from which FitLinear re-derives the model — the
+// pipeline that produced Table I in the paper.
+type Monsoon struct {
+	model Model
+	noise float64
+	rng   *stats.RNG
+}
+
+// NewMonsoon returns a monitor for the given phone. noiseMW is the sampling
+// noise standard deviation in mW (real Monsoon traces show a few mW of
+// jitter after averaging).
+func NewMonsoon(phone Phone, noiseMW float64, seed int64) (*Monsoon, error) {
+	if noiseMW < 0 {
+		return nil, fmt.Errorf("power: negative noise %g", noiseMW)
+	}
+	m, err := TableI(phone)
+	if err != nil {
+		return nil, err
+	}
+	return &Monsoon{model: m, noise: noiseMW, rng: stats.NewRNG(seed)}, nil
+}
+
+// MeasureTx samples the transmission power once.
+func (mo *Monsoon) MeasureTx() float64 {
+	return mo.rng.Normal(mo.model.Tx, mo.noise)
+}
+
+// MeasureDecode samples the decode power of the given scheme at frame rate f.
+func (mo *Monsoon) MeasureDecode(scheme Scheme, f float64) (float64, error) {
+	dec, ok := mo.model.Decode[scheme]
+	if !ok {
+		return 0, fmt.Errorf("power: no decode model for scheme %v", scheme)
+	}
+	return mo.rng.Normal(dec.At(f), mo.noise), nil
+}
+
+// MeasureRender samples the render power at frame rate f.
+func (mo *Monsoon) MeasureRender(f float64) float64 {
+	return mo.rng.Normal(mo.model.Render.At(f), mo.noise)
+}
+
+// FitLinear recovers an affine power model P(f) = a + b·f from paired
+// (frame-rate, power) samples by ordinary least squares, as the paper did to
+// produce Table I.
+func FitLinear(frameRates, powers []float64) (Linear, error) {
+	if len(frameRates) != len(powers) {
+		return Linear{}, fmt.Errorf("power: %d frame rates vs %d powers", len(frameRates), len(powers))
+	}
+	if len(frameRates) < 2 {
+		return Linear{}, fmt.Errorf("power: need at least 2 samples, got %d", len(frameRates))
+	}
+	design := mat.New(len(frameRates), 2)
+	for i, f := range frameRates {
+		design.Set(i, 0, 1)
+		design.Set(i, 1, f)
+	}
+	coef, err := mat.LeastSquares(design, powers)
+	if err != nil {
+		return Linear{}, fmt.Errorf("power: fit failed: %w", err)
+	}
+	return Linear{Base: coef[0], Slope: coef[1]}, nil
+}
+
+// ReproduceTableI runs the full measurement campaign for one phone: for each
+// decode scheme and the render path, it sweeps frame rates, collects
+// samplesPer samples per point from the Monsoon simulator, and fits the
+// affine models. The result should match Table I within the noise level.
+func ReproduceTableI(phone Phone, frameRates []float64, samplesPer int, noiseMW float64, seed int64) (Model, error) {
+	if len(frameRates) < 2 {
+		return Model{}, fmt.Errorf("power: need at least 2 frame rates, got %d", len(frameRates))
+	}
+	if samplesPer <= 0 {
+		return Model{}, fmt.Errorf("power: non-positive samples per point %d", samplesPer)
+	}
+	mo, err := NewMonsoon(phone, noiseMW, seed)
+	if err != nil {
+		return Model{}, err
+	}
+	out := Model{Phone: phone, Decode: make(map[Scheme]Linear, len(Schemes()))}
+
+	// Transmission power is frame-rate independent: average repeated samples.
+	var txSum float64
+	n := samplesPer * len(frameRates)
+	for i := 0; i < n; i++ {
+		txSum += mo.MeasureTx()
+	}
+	out.Tx = txSum / float64(n)
+
+	for _, scheme := range Schemes() {
+		var fs, ps []float64
+		for _, f := range frameRates {
+			for s := 0; s < samplesPer; s++ {
+				p, err := mo.MeasureDecode(scheme, f)
+				if err != nil {
+					return Model{}, err
+				}
+				fs = append(fs, f)
+				ps = append(ps, p)
+			}
+		}
+		fit, err := FitLinear(fs, ps)
+		if err != nil {
+			return Model{}, fmt.Errorf("power: decode fit for %v: %w", scheme, err)
+		}
+		out.Decode[scheme] = fit
+	}
+
+	var fs, ps []float64
+	for _, f := range frameRates {
+		for s := 0; s < samplesPer; s++ {
+			fs = append(fs, f)
+			ps = append(ps, mo.MeasureRender(f))
+		}
+	}
+	fit, err := FitLinear(fs, ps)
+	if err != nil {
+		return Model{}, fmt.Errorf("power: render fit: %w", err)
+	}
+	out.Render = fit
+	return out, nil
+}

@@ -1,0 +1,176 @@
+// Package power implements the paper's power and energy models (Section
+// III-B): the Table I per-phone models for data transmission, video decoding
+// and view rendering, the Eq. 1 segment energy accounting, and a simulated
+// Monsoon-monitor measurement pipeline that re-derives the Table I
+// coefficients by linear regression over noisy samples.
+//
+// Units: power in mW, energy in mJ (mW·s), sizes in bits, rates in bits/s,
+// frame rates in fps.
+package power
+
+import "fmt"
+
+// Phone identifies one of the measured devices.
+type Phone int
+
+// Measured phones (Table I).
+const (
+	Nexus5X Phone = iota + 1
+	Pixel3
+	GalaxyS20
+)
+
+// Phones lists every measured device.
+func Phones() []Phone { return []Phone{Nexus5X, Pixel3, GalaxyS20} }
+
+// String implements fmt.Stringer.
+func (p Phone) String() string {
+	switch p {
+	case Nexus5X:
+		return "Nexus 5X"
+	case Pixel3:
+		return "Pixel 3"
+	case GalaxyS20:
+		return "Galaxy S20"
+	default:
+		return fmt.Sprintf("Phone(%d)", int(p))
+	}
+}
+
+// Scheme identifies the tiling scheme, which determines the decoding
+// pipeline and hence the decode power model.
+type Scheme int
+
+// Tiling schemes (Table I decode rows). Ours shares the Ptile pipeline: it
+// also downloads one Ptile and uses a single decoder.
+const (
+	Ctile Scheme = iota + 1
+	Ftile
+	Nontile
+	PtileScheme
+)
+
+// Schemes lists every scheme with a Table I decode model.
+func Schemes() []Scheme { return []Scheme{Ctile, Ftile, Nontile, PtileScheme} }
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Ctile:
+		return "Ctile"
+	case Ftile:
+		return "Ftile"
+	case Nontile:
+		return "Nontile"
+	case PtileScheme:
+		return "Ptile"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Linear is an affine power model P(f) = Base + Slope·f with f the frame
+// rate in fps and P in mW.
+type Linear struct {
+	Base, Slope float64
+}
+
+// At evaluates the model at frame rate f.
+func (l Linear) At(f float64) float64 { return l.Base + l.Slope*f }
+
+// Model bundles a phone's full Table I power model.
+type Model struct {
+	// Phone is the measured device.
+	Phone Phone
+	// Tx is the data-transmission power in mW (frame-rate independent).
+	Tx float64
+	// Decode maps each tiling scheme to its decode power model P_d(f).
+	Decode map[Scheme]Linear
+	// Render is the view-rendering power model P_r(f).
+	Render Linear
+}
+
+// TableI returns the published power model for the given phone
+// (paper Table I).
+func TableI(p Phone) (Model, error) {
+	switch p {
+	case Nexus5X:
+		return Model{
+			Phone: p,
+			Tx:    1709.12,
+			Decode: map[Scheme]Linear{
+				Ctile:       {Base: 1160.41, Slope: 16.53},
+				Ftile:       {Base: 832.45, Slope: 15.31},
+				Nontile:     {Base: 447.17, Slope: 14.51},
+				PtileScheme: {Base: 210.65, Slope: 5.55},
+			},
+			Render: Linear{Base: 79.46, Slope: 11.74},
+		}, nil
+	case Pixel3:
+		return Model{
+			Phone: p,
+			Tx:    1429.08,
+			Decode: map[Scheme]Linear{
+				Ctile:       {Base: 574.89, Slope: 15.46},
+				Ftile:       {Base: 386.45, Slope: 13.23},
+				Nontile:     {Base: 209.92, Slope: 10.95},
+				PtileScheme: {Base: 140.73, Slope: 5.96},
+			},
+			Render: Linear{Base: 57.76, Slope: 4.19},
+		}, nil
+	case GalaxyS20:
+		return Model{
+			Phone: p,
+			Tx:    1527.39,
+			Decode: map[Scheme]Linear{
+				Ctile:       {Base: 798.99, Slope: 16.49},
+				Ftile:       {Base: 658.41, Slope: 14.69},
+				Nontile:     {Base: 305.55, Slope: 11.41},
+				PtileScheme: {Base: 152.72, Slope: 6.13},
+			},
+			Render: Linear{Base: 108.21, Slope: 3.98},
+		}, nil
+	default:
+		return Model{}, fmt.Errorf("power: unknown phone %d", int(p))
+	}
+}
+
+// SegmentEnergy is the Eq. 1 decomposition of one segment's energy in mJ.
+type SegmentEnergy struct {
+	// Tx is the data-transmission energy E_t = P_t · S/R.
+	Tx float64
+	// Decode is the decoding energy E_d = P_d(f) · L.
+	Decode float64
+	// Render is the rendering energy E_r = P_r(f) · L.
+	Render float64
+}
+
+// Total returns E_t + E_d + E_r.
+func (e SegmentEnergy) Total() float64 { return e.Tx + e.Decode + e.Render }
+
+// Segment computes the Eq. 1 energy of downloading and playing one segment:
+// sizeBits downloaded at rateBps, decoded with the scheme's pipeline at
+// frame rate f, over a segment of durationSec seconds.
+func (m Model) Segment(scheme Scheme, sizeBits, rateBps, f, durationSec float64) (SegmentEnergy, error) {
+	if sizeBits < 0 {
+		return SegmentEnergy{}, fmt.Errorf("power: negative segment size %g", sizeBits)
+	}
+	if rateBps <= 0 {
+		return SegmentEnergy{}, fmt.Errorf("power: non-positive bandwidth %g", rateBps)
+	}
+	if f <= 0 {
+		return SegmentEnergy{}, fmt.Errorf("power: non-positive frame rate %g", f)
+	}
+	if durationSec <= 0 {
+		return SegmentEnergy{}, fmt.Errorf("power: non-positive duration %g", durationSec)
+	}
+	dec, ok := m.Decode[scheme]
+	if !ok {
+		return SegmentEnergy{}, fmt.Errorf("power: no decode model for scheme %v on %v", scheme, m.Phone)
+	}
+	return SegmentEnergy{
+		Tx:     m.Tx * sizeBits / rateBps,
+		Decode: dec.At(f) * durationSec,
+		Render: m.Render.At(f) * durationSec,
+	}, nil
+}

@@ -1,0 +1,220 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIValues(t *testing.T) {
+	// Spot-check published coefficients for each phone.
+	p3, err := TableI(Pixel3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Tx != 1429.08 {
+		t.Fatalf("Pixel3 Tx = %g", p3.Tx)
+	}
+	if d := p3.Decode[PtileScheme]; d.Base != 140.73 || d.Slope != 5.96 {
+		t.Fatalf("Pixel3 Ptile decode = %+v", d)
+	}
+	if p3.Render.Base != 57.76 || p3.Render.Slope != 4.19 {
+		t.Fatalf("Pixel3 render = %+v", p3.Render)
+	}
+	n5, err := TableI(Nexus5X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := n5.Decode[Ctile]; d.Base != 1160.41 || d.Slope != 16.53 {
+		t.Fatalf("Nexus5X Ctile decode = %+v", d)
+	}
+	s20, err := TableI(GalaxyS20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s20.Decode[Nontile]; d.Base != 305.55 || d.Slope != 11.41 {
+		t.Fatalf("GalaxyS20 Nontile decode = %+v", d)
+	}
+	if _, err := TableI(Phone(99)); err == nil {
+		t.Fatal("want error for unknown phone")
+	}
+}
+
+func TestDecodePowerOrdering(t *testing.T) {
+	// At the source frame rate, every phone must satisfy the paper's central
+	// power ordering: Ptile < Nontile < Ftile < Ctile.
+	for _, phone := range Phones() {
+		m, err := TableI(phone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := 30.0
+		pt := m.Decode[PtileScheme].At(f)
+		nt := m.Decode[Nontile].At(f)
+		ft := m.Decode[Ftile].At(f)
+		ct := m.Decode[Ctile].At(f)
+		if !(pt < nt && nt < ft && ft < ct) {
+			t.Fatalf("%v: decode power ordering broken: Ptile %g, Nontile %g, Ftile %g, Ctile %g", phone, pt, nt, ft, ct)
+		}
+	}
+}
+
+func TestLinearAt(t *testing.T) {
+	l := Linear{Base: 100, Slope: 5}
+	if got := l.At(30); got != 250 {
+		t.Fatalf("At(30) = %g, want 250", got)
+	}
+}
+
+func TestSegmentEnergyEq1(t *testing.T) {
+	m, _ := TableI(Pixel3)
+	// 2 Mbit at 4 Mbps → 0.5 s of radio: Et = 1429.08 · 0.5.
+	e, err := m.Segment(PtileScheme, 2e6, 4e6, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Tx-1429.08*0.5) > 1e-9 {
+		t.Fatalf("Tx energy = %g", e.Tx)
+	}
+	wantDec := (140.73 + 5.96*30) * 1.0
+	if math.Abs(e.Decode-wantDec) > 1e-9 {
+		t.Fatalf("decode energy = %g, want %g", e.Decode, wantDec)
+	}
+	wantRen := (57.76 + 4.19*30) * 1.0
+	if math.Abs(e.Render-wantRen) > 1e-9 {
+		t.Fatalf("render energy = %g, want %g", e.Render, wantRen)
+	}
+	if math.Abs(e.Total()-(e.Tx+e.Decode+e.Render)) > 1e-12 {
+		t.Fatal("Total is not the sum of parts")
+	}
+}
+
+func TestSegmentValidation(t *testing.T) {
+	m, _ := TableI(Pixel3)
+	cases := []struct {
+		size, rate, f, dur float64
+	}{
+		{-1, 4e6, 30, 1},
+		{1e6, 0, 30, 1},
+		{1e6, 4e6, 0, 1},
+		{1e6, 4e6, 30, 0},
+	}
+	for i, c := range cases {
+		if _, err := m.Segment(PtileScheme, c.size, c.rate, c.f, c.dur); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, err := m.Segment(Scheme(42), 1e6, 4e6, 30, 1); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+}
+
+// Property: lowering frame rate never increases any energy component.
+func TestSegmentEnergyMonotoneInFrameRate(t *testing.T) {
+	m, _ := TableI(GalaxyS20)
+	check := func(fRaw float64) bool {
+		f := 10 + math.Mod(math.Abs(fRaw), 19) // [10, 29]
+		lo, err1 := m.Segment(PtileScheme, 1e6, 4e6, f, 1)
+		hi, err2 := m.Segment(PtileScheme, 1e6, 4e6, 30, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return lo.Decode <= hi.Decode && lo.Render <= hi.Render && lo.Tx == hi.Tx
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonsoonMeasurements(t *testing.T) {
+	mo, err := NewMonsoon(Pixel3, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		sum += mo.MeasureTx()
+	}
+	if m := sum / float64(n); math.Abs(m-1429.08) > 1 {
+		t.Fatalf("Tx sample mean = %g, want ≈1429.08", m)
+	}
+	if _, err := mo.MeasureDecode(Scheme(42), 30); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+	if _, err := NewMonsoon(Pixel3, -1, 1); err == nil {
+		t.Fatal("want error for negative noise")
+	}
+	if _, err := NewMonsoon(Phone(42), 1, 1); err == nil {
+		t.Fatal("want error for unknown phone")
+	}
+}
+
+func TestFitLinearRecoversModel(t *testing.T) {
+	fs := []float64{10, 20, 30}
+	ps := make([]float64, len(fs))
+	truth := Linear{Base: 140, Slope: 6}
+	for i, f := range fs {
+		ps[i] = truth.At(f)
+	}
+	fit, err := FitLinear(fs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Base-truth.Base) > 1e-9 || math.Abs(fit.Slope-truth.Slope) > 1e-9 {
+		t.Fatalf("fit = %+v, want %+v", fit, truth)
+	}
+}
+
+func TestFitLinearValidation(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := FitLinear([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("want error for single sample")
+	}
+}
+
+// TestReproduceTableI is the Table I experiment: fitted coefficients must
+// match the published models within tight tolerances.
+func TestReproduceTableI(t *testing.T) {
+	frameRates := []float64{21, 24, 27, 30}
+	for _, phone := range Phones() {
+		truth, _ := TableI(phone)
+		fitted, err := ReproduceTableI(phone, frameRates, 50, 8, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", phone, err)
+		}
+		if math.Abs(fitted.Tx-truth.Tx) > 2 {
+			t.Fatalf("%v: Tx fitted %g, want %g", phone, fitted.Tx, truth.Tx)
+		}
+		for _, scheme := range Schemes() {
+			ft, tr := fitted.Decode[scheme], truth.Decode[scheme]
+			if math.Abs(ft.Base-tr.Base) > 15 || math.Abs(ft.Slope-tr.Slope) > 0.6 {
+				t.Fatalf("%v/%v: fitted %+v, want %+v", phone, scheme, ft, tr)
+			}
+		}
+		if math.Abs(fitted.Render.Base-truth.Render.Base) > 15 ||
+			math.Abs(fitted.Render.Slope-truth.Render.Slope) > 0.6 {
+			t.Fatalf("%v: render fitted %+v, want %+v", phone, fitted.Render, truth.Render)
+		}
+	}
+}
+
+func TestReproduceTableIValidation(t *testing.T) {
+	if _, err := ReproduceTableI(Pixel3, []float64{30}, 10, 1, 1); err == nil {
+		t.Fatal("want error for single frame rate")
+	}
+	if _, err := ReproduceTableI(Pixel3, []float64{20, 30}, 0, 1, 1); err == nil {
+		t.Fatal("want error for zero samples")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Pixel3.String() != "Pixel 3" || Phone(9).String() == "" {
+		t.Fatal("Phone.String misbehaves")
+	}
+	if PtileScheme.String() != "Ptile" || Scheme(9).String() == "" {
+		t.Fatal("Scheme.String misbehaves")
+	}
+}

@@ -1,0 +1,138 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func observeAll(t *testing.T, e Estimator, samples ...float64) {
+	t.Helper()
+	for _, s := range samples {
+		if err := e.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLastSample(t *testing.T) {
+	e := NewLastSample()
+	if e.Ready() {
+		t.Fatal("fresh estimator should not be ready")
+	}
+	if _, err := e.Estimate(); err == nil {
+		t.Fatal("want error before observations")
+	}
+	observeAll(t, e, 4e6, 8e6)
+	est, err := e.Estimate()
+	if err != nil || est != 8e6 {
+		t.Fatalf("estimate = %g, %v", est, err)
+	}
+	if err := e.Observe(0); err == nil {
+		t.Fatal("want error for zero sample")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Estimate(); err == nil {
+		t.Fatal("want error before observations")
+	}
+	observeAll(t, e, 4e6) // seeds
+	observeAll(t, e, 8e6) // 0.5·8 + 0.5·4 = 6
+	est, err := e.Estimate()
+	if err != nil || math.Abs(est-6e6) > 1 {
+		t.Fatalf("estimate = %g, %v", est, err)
+	}
+	if _, err := NewEWMA(0); err == nil {
+		t.Fatal("want error for alpha 0")
+	}
+	if _, err := NewEWMA(1.5); err == nil {
+		t.Fatal("want error for alpha > 1")
+	}
+	if err := e.Observe(-1); err == nil {
+		t.Fatal("want error for negative sample")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	e, err := NewMovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Estimate(); err == nil {
+		t.Fatal("want error before observations")
+	}
+	observeAll(t, e, 2e6, 4e6, 8e6) // window keeps {4, 8}
+	est, err := e.Estimate()
+	if err != nil || math.Abs(est-6e6) > 1 {
+		t.Fatalf("estimate = %g, %v", est, err)
+	}
+	if _, err := NewMovingAverage(0); err == nil {
+		t.Fatal("want error for zero window")
+	}
+	if err := e.Observe(0); err == nil {
+		t.Fatal("want error for zero sample")
+	}
+}
+
+// TestEstimatorSpikeBehaviour contrasts the families on a spiky series: the
+// harmonic mean must be the most conservative, the arithmetic mean biased
+// upward, last-sample fully captured by the spike.
+func TestEstimatorSpikeBehaviour(t *testing.T) {
+	series := []float64{4e6, 4e6, 4e6, 4e6, 40e6}
+	hm, err := NewEstimator(EstimatorHarmonic, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := NewEstimator(EstimatorMovingAverage, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewEstimator(EstimatorLastSample, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		for _, e := range []Estimator{hm, ma, ls} {
+			if err := e.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hme, _ := hm.Estimate()
+	mae, _ := ma.Estimate()
+	lse, _ := ls.Estimate()
+	if !(hme < mae && mae < lse) {
+		t.Fatalf("spike ordering broken: harmonic %g, mean %g, last %g", hme, mae, lse)
+	}
+	if hme > 5.5e6 {
+		t.Fatalf("harmonic estimate %g not conservative", hme)
+	}
+	if lse != 40e6 {
+		t.Fatalf("last-sample estimate %g", lse)
+	}
+}
+
+func TestNewEstimatorKinds(t *testing.T) {
+	for _, kind := range []EstimatorKind{EstimatorHarmonic, EstimatorLastSample, EstimatorEWMA, EstimatorMovingAverage} {
+		e, err := NewEstimator(kind, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if e.Ready() {
+			t.Fatalf("%v: fresh estimator ready", kind)
+		}
+		if kind.String() == "" {
+			t.Fatalf("%v: empty name", kind)
+		}
+	}
+	if _, err := NewEstimator(EstimatorKind(42), 5); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+	if EstimatorKind(42).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}

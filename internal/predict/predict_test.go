@@ -1,0 +1,289 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+)
+
+func TestDefaultViewportConfig(t *testing.T) {
+	if err := DefaultViewportConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewportConfigValidate(t *testing.T) {
+	muts := []func(*ViewportConfig){
+		func(c *ViewportConfig) { c.HistorySec = 0 },
+		func(c *ViewportConfig) { c.SampleRate = 0 },
+		func(c *ViewportConfig) { c.Lambda = -1 },
+	}
+	for i, mutate := range muts {
+		cfg := DefaultViewportConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func linearSeries(n int, x0, vx, y0, vy, dt float64) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts := float64(i) * dt
+		xs[i] = x0 + vx*ts
+		ys[i] = y0 + vy*ts
+	}
+	return xs, ys
+}
+
+func TestViewportExtrapolatesLinearMotion(t *testing.T) {
+	cfg := DefaultViewportConfig()
+	cfg.Lambda = 1e-6
+	// Head turning at 20°/s for 2 s of history; predict 0.5 s ahead.
+	xs, ys := linearSeries(100, 100, 20, 90, -4, 1.0/cfg.SampleRate)
+	p, err := Viewport(xs, ys, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Position "now" (sample 99 at t=1.98): x = 139.6; +0.5 s → 149.6.
+	wantX := 100 + 20*(99.0/50.0+0.5)
+	wantY := 90 - 4*(99.0/50.0+0.5)
+	if math.Abs(p.X-wantX) > 0.5 || math.Abs(p.Y-wantY) > 0.5 {
+		t.Fatalf("predicted (%g, %g), want ≈(%g, %g)", p.X, p.Y, wantX, wantY)
+	}
+}
+
+func TestViewportStationary(t *testing.T) {
+	cfg := DefaultViewportConfig()
+	xs, ys := linearSeries(60, 200, 0, 70, 0, 1.0/cfg.SampleRate)
+	p, err := Viewport(xs, ys, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.X-200) > 1 || math.Abs(p.Y-70) > 1 {
+		t.Fatalf("stationary prediction drifted: %+v", p)
+	}
+}
+
+func TestViewportWrapsSeam(t *testing.T) {
+	cfg := DefaultViewportConfig()
+	cfg.Lambda = 1e-6
+	// Unwrapped x crosses 360: prediction must come back normalized.
+	xs, ys := linearSeries(100, 350, 20, 90, 0, 1.0/cfg.SampleRate)
+	p, err := Viewport(xs, ys, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X < 0 || p.X >= 360 {
+		t.Fatalf("prediction not normalized: %g", p.X)
+	}
+	wantX := geom.NormalizeYaw(350 + 20*(99.0/50.0+0.5))
+	if math.Abs(geom.WrapDeltaX(p.X, wantX)) > 0.5 {
+		t.Fatalf("seam prediction = %g, want ≈%g", p.X, wantX)
+	}
+}
+
+func TestViewportClampsPitch(t *testing.T) {
+	cfg := DefaultViewportConfig()
+	cfg.Lambda = 1e-6
+	// Heading toward the pole fast: y extrapolation must clamp at 0.
+	xs, ys := linearSeries(100, 100, 0, 10, -40, 1.0/cfg.SampleRate)
+	p, err := Viewport(xs, ys, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Y != 0 {
+		t.Fatalf("pitch not clamped: %g", p.Y)
+	}
+}
+
+func TestViewportShortHistory(t *testing.T) {
+	cfg := DefaultViewportConfig()
+	// Fewer samples than the window: still predicts from what exists.
+	xs, ys := linearSeries(10, 50, 10, 90, 0, 1.0/cfg.SampleRate)
+	p, err := Viewport(xs, ys, 0.2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X < 50 || p.X > 60 {
+		t.Fatalf("short-history prediction = %g", p.X)
+	}
+}
+
+func TestViewportValidation(t *testing.T) {
+	cfg := DefaultViewportConfig()
+	if _, err := Viewport([]float64{1}, []float64{1, 2}, 0.5, cfg); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := Viewport([]float64{1}, []float64{1}, 0.5, cfg); err == nil {
+		t.Fatal("want error for single sample")
+	}
+	if _, err := Viewport([]float64{1, 2}, []float64{1, 2}, -1, cfg); err == nil {
+		t.Fatal("want error for negative horizon")
+	}
+	bad := cfg
+	bad.SampleRate = 0
+	if _, err := Viewport([]float64{1, 2}, []float64{1, 2}, 0.5, bad); err == nil {
+		t.Fatal("want config validation error")
+	}
+	tiny := cfg
+	tiny.HistorySec = 0.01
+	if _, err := Viewport([]float64{1, 2}, []float64{1, 2}, 0.5, tiny); err == nil {
+		t.Fatal("want error for sub-2-sample window")
+	}
+}
+
+func TestViewportRidgeRobustness(t *testing.T) {
+	// Noisy stationary series: with a strong ridge penalty the slope term is
+	// damped, so prediction stays near the mean rather than chasing noise.
+	rng := stats.NewRNG(3)
+	n := 50
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = 180 + rng.Normal(0, 2)
+		ys[i] = 90 + rng.Normal(0, 2)
+	}
+	cfg := DefaultViewportConfig()
+	cfg.Lambda = 50
+	p, err := Viewport(xs, ys, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.X-180) > 5 || math.Abs(p.Y-90) > 5 {
+		t.Fatalf("ridge prediction drifted: %+v", p)
+	}
+}
+
+func TestBandwidthEstimator(t *testing.T) {
+	b, err := NewBandwidth(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ready() {
+		t.Fatal("estimator should not be ready before observations")
+	}
+	if _, err := b.Estimate(); err == nil {
+		t.Fatal("want error before any observation")
+	}
+	for _, r := range []float64{4e6, 4e6, 4e6} {
+		if err := b.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := b.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-4e6) > 1 {
+		t.Fatalf("estimate = %g, want 4e6", est)
+	}
+}
+
+func TestBandwidthWindowSlides(t *testing.T) {
+	b, _ := NewBandwidth(2)
+	for _, r := range []float64{1e6, 8e6, 8e6} {
+		if err := b.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := b.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the last two samples remain.
+	if math.Abs(est-8e6) > 1 {
+		t.Fatalf("estimate = %g, want 8e6 after window slide", est)
+	}
+}
+
+func TestBandwidthDampensSpikes(t *testing.T) {
+	b, _ := NewBandwidth(5)
+	for _, r := range []float64{4e6, 4e6, 4e6, 4e6, 40e6} {
+		if err := b.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, _ := b.Estimate()
+	// Harmonic mean of {4,4,4,4,40} Mbps = 5/(4·0.25+0.025) ≈ 4.88 Mbps:
+	// the 40 Mbps spike barely moves the estimate.
+	if est > 5.5e6 {
+		t.Fatalf("estimate = %g, spike not damped", est)
+	}
+}
+
+func TestBandwidthValidation(t *testing.T) {
+	if _, err := NewBandwidth(0); err == nil {
+		t.Fatal("want error for zero window")
+	}
+	b, _ := NewBandwidth(2)
+	if err := b.Observe(0); err == nil {
+		t.Fatal("want error for zero throughput")
+	}
+}
+
+func TestViewportStaticKind(t *testing.T) {
+	cfg := DefaultViewportConfig()
+	cfg.Kind = ViewportStatic
+	xs, ys := linearSeries(100, 100, 20, 90, 0, 1.0/cfg.SampleRate)
+	p, err := Viewport(xs, ys, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static ignores the horizon: prediction = last position.
+	wantX := geom.NormalizeYaw(xs[len(xs)-1])
+	if math.Abs(geom.WrapDeltaX(p.X, wantX)) > 1e-9 || p.Y != ys[len(ys)-1] {
+		t.Fatalf("static prediction %+v, want (%g, %g)", p, wantX, ys[len(ys)-1])
+	}
+}
+
+func TestViewportOLSChasesNoiseMoreThanRidge(t *testing.T) {
+	// A noisy stationary series with one outlier run at the end: OLS
+	// extrapolates the spurious slope further than ridge.
+	rng := stats.NewRNG(5)
+	n := 50
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = 180 + rng.Normal(0, 1.5)
+		ys[i] = 90 + rng.Normal(0, 1.5)
+	}
+	// Last few samples drift.
+	for i := n - 5; i < n; i++ {
+		xs[i] = 180 + float64(i-(n-5))*3
+	}
+	ridgeCfg := DefaultViewportConfig()
+	ridgeCfg.Lambda = 200
+	olsCfg := ridgeCfg
+	olsCfg.Kind = ViewportOLS
+	pr, err := Viewport(xs, ys, 2, ridgeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := Viewport(xs, ys, 2, olsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devR := math.Abs(geom.WrapDeltaX(180, pr.X))
+	devO := math.Abs(geom.WrapDeltaX(180, po.X))
+	if devO <= devR {
+		t.Fatalf("OLS deviation %.1f should exceed ridge %.1f", devO, devR)
+	}
+}
+
+func TestViewportKindString(t *testing.T) {
+	for k, want := range map[ViewportKind]string{
+		ViewportRidge: "ridge", ViewportOLS: "ols", ViewportStatic: "static",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if ViewportKind(9).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}

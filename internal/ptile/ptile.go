@@ -1,0 +1,175 @@
+// Package ptile constructs popularity tiles (Ptiles) from clustered viewing
+// centers (paper Section IV-A) and the low-quality background blocks
+// downloaded alongside them, and computes the coverage metrics of Fig. 7.
+//
+// A Ptile is the grid-aligned bounding rectangle of the FoV tile blocks of
+// every user in one cluster, encoded as a single independently decodable
+// tile. Clusters smaller than MinUsers do not earn a Ptile (the paper
+// requires at least five users, i.e. 10 % of the training population).
+package ptile
+
+import (
+	"fmt"
+
+	"ptile360/internal/cluster"
+	"ptile360/internal/geom"
+)
+
+// Config controls Ptile construction.
+type Config struct {
+	// Grid is the conventional tile grid the Ptile is assembled from.
+	Grid geom.Grid
+	// FoVDeg is the device field of view in degrees (horizontal = vertical,
+	// 100° in the paper).
+	FoVDeg float64
+	// MinUsers is the minimum cluster size that earns a Ptile (5 in the
+	// paper, i.e. roughly 10 % of the users in the dataset).
+	MinUsers int
+	// Params are the Algorithm 1 clustering parameters.
+	Params cluster.Params
+}
+
+// DefaultConfig returns the paper's evaluation setting: 4×8 grid, 100° FoV,
+// Ptiles require five users, σ = tile width, δ = σ/4.
+func DefaultConfig() (Config, error) {
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Grid:     grid,
+		FoVDeg:   100,
+		MinUsers: 5,
+		Params:   cluster.DefaultParams(),
+	}, nil
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Grid.Rows <= 0 || c.Grid.Cols <= 0 {
+		return fmt.Errorf("ptile: invalid grid %dx%d", c.Grid.Rows, c.Grid.Cols)
+	}
+	if c.FoVDeg <= 0 || c.FoVDeg > 180 {
+		return fmt.Errorf("ptile: FoV %g outside (0, 180]", c.FoVDeg)
+	}
+	if c.MinUsers < 1 {
+		return fmt.Errorf("ptile: MinUsers %d below 1", c.MinUsers)
+	}
+	return c.Params.Validate()
+}
+
+// Ptile is one constructed popularity tile.
+type Ptile struct {
+	// Rect is the panorama area the Ptile covers (grid-aligned).
+	Rect geom.Rect
+	// Users holds the indices (into the clustering input) of the covered
+	// training users.
+	Users []int
+}
+
+// Covers reports whether the viewer's snapped FoV tile block lies entirely
+// within the Ptile, i.e. whether downloading this Ptile serves the viewer.
+func (p Ptile) Covers(g geom.Grid, center geom.Point, fovDeg float64) bool {
+	for _, id := range g.FoVTiles(center, fovDeg, fovDeg) {
+		if !rectContainsTile(p.Rect, g, id) {
+			return false
+		}
+	}
+	return true
+}
+
+func rectContainsTile(r geom.Rect, g geom.Grid, id geom.TileID) bool {
+	return r.Contains(g.TileRect(id).Center())
+}
+
+// SegmentResult is the construction outcome for one video segment.
+type SegmentResult struct {
+	// Ptiles are the constructed popularity tiles, largest cluster first.
+	Ptiles []Ptile
+	// CoveredUsers is the number of training users whose cluster earned a
+	// Ptile.
+	CoveredUsers int
+	// TotalUsers is the number of training viewing centers clustered.
+	TotalUsers int
+}
+
+// CoverageFraction returns CoveredUsers/TotalUsers (0 when empty).
+func (r SegmentResult) CoverageFraction() float64 {
+	if r.TotalUsers == 0 {
+		return 0
+	}
+	return float64(r.CoveredUsers) / float64(r.TotalUsers)
+}
+
+// BuildSegment clusters the per-segment viewing centers and constructs the
+// Ptiles for one video segment.
+func BuildSegment(centers []geom.Point, cfg Config) (SegmentResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SegmentResult{}, err
+	}
+	clusters, err := cluster.ViewingCenters(centers, cfg.Params)
+	if err != nil {
+		return SegmentResult{}, err
+	}
+	res := SegmentResult{TotalUsers: len(centers)}
+	for _, cl := range clusters {
+		if len(cl.Members) < cfg.MinUsers {
+			continue
+		}
+		pt, err := buildPtile(centers, cl.Members, cfg)
+		if err != nil {
+			return SegmentResult{}, err
+		}
+		res.Ptiles = append(res.Ptiles, pt)
+		res.CoveredUsers += len(cl.Members)
+	}
+	return res, nil
+}
+
+// buildPtile encodes the conventional tiles covering the cluster members'
+// FoV blocks as one large tile.
+func buildPtile(centers []geom.Point, members []int, cfg Config) (Ptile, error) {
+	seen := make(map[geom.TileID]bool)
+	var tiles []geom.TileID
+	for _, m := range members {
+		for _, id := range cfg.Grid.FoVTiles(centers[m], cfg.FoVDeg, cfg.FoVDeg) {
+			if !seen[id] {
+				seen[id] = true
+				tiles = append(tiles, id)
+			}
+		}
+	}
+	rect, err := cfg.Grid.BoundingRect(tiles)
+	if err != nil {
+		return Ptile{}, fmt.Errorf("ptile: bounding cluster of %d users: %w", len(members), err)
+	}
+	users := make([]int, len(members))
+	copy(users, members)
+	return Ptile{Rect: rect, Users: users}, nil
+}
+
+// BackgroundBlocks partitions the panorama area outside the Ptile into at
+// most four large blocks along the Ptile's upper and lower horizontal lines
+// (Section IV-A): a full-width strip above, a full-width strip below, and
+// left/right side blocks at the Ptile's vertical extent.
+func BackgroundBlocks(p Ptile, g geom.Grid) []geom.Rect {
+	var blocks []geom.Rect
+	r := p.Rect
+	if r.Y0 > 0 {
+		blocks = append(blocks, geom.Rect{X0: 0, Y0: 0, W: 360, H: r.Y0})
+	}
+	if bottom := r.Y0 + r.H; bottom < 180 {
+		blocks = append(blocks, geom.Rect{X0: 0, Y0: bottom, W: 360, H: 180 - bottom})
+	}
+	if r.W < 360 {
+		// The remaining side band at the Ptile's rows, wrapping from the
+		// Ptile's right edge around to its left edge.
+		blocks = append(blocks, geom.Rect{
+			X0: geom.NormalizeYaw(r.X0 + r.W),
+			Y0: r.Y0,
+			W:  360 - r.W,
+			H:  r.H,
+		})
+	}
+	return blocks
+}

@@ -1,0 +1,195 @@
+// Package sim runs trace-driven 360° streaming sessions (paper Section V):
+// it combines the head-movement traces, the encoder model, the Ptile
+// catalogue, the LTE bandwidth trace, the viewport predictor, the ABR
+// controllers, the power models and the QoE model into one client-side
+// playback loop, and reports the energy and QoE accounting behind
+// Figs. 9–11.
+package sim
+
+import (
+	"fmt"
+
+	"ptile360/internal/cluster"
+	"ptile360/internal/geom"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/ptile"
+	"ptile360/internal/video"
+)
+
+// FtileGroup is one variable-size tile of the Ftile baseline: a cluster of
+// grid tiles encoded together.
+type FtileGroup struct {
+	// Tiles are the member grid tiles.
+	Tiles []geom.TileID
+	// AreaFrac is the group's share of the panorama area.
+	AreaFrac float64
+}
+
+// Catalog is the server-side preparation for one video: per-segment content
+// metadata, the Ptile catalogue built from the training users (Section
+// IV-A), and the Ftile grouping (Section V-A).
+type Catalog struct {
+	// Video is the content profile.
+	Video video.Profile
+	// SegmentSec is the segment duration L.
+	SegmentSec float64
+	// Content holds per-segment SI/TI/jitter.
+	Content []video.SegmentContent
+	// Ptiles holds the constructed Ptiles per segment.
+	Ptiles [][]ptile.Ptile
+	// Ftiles holds the ten variable-size tile groups per segment.
+	Ftiles [][]FtileGroup
+	// Coverage holds the per-segment training-user coverage fraction
+	// (Fig. 7b).
+	Coverage []float64
+}
+
+// CatalogConfig tunes catalogue construction.
+type CatalogConfig struct {
+	// Encoder is the encoder model (content series generation).
+	Encoder video.EncoderConfig
+	// Ptile is the Ptile construction setting.
+	Ptile ptile.Config
+	// SegmentSec is the segment duration L.
+	SegmentSec float64
+	// FtileCount is the number of variable-size tiles (10 in the paper).
+	FtileCount int
+	// Seed drives the deterministic content series and k-means seeding.
+	Seed int64
+}
+
+// DefaultCatalogConfig returns the paper's evaluation setting.
+func DefaultCatalogConfig() (CatalogConfig, error) {
+	pcfg, err := ptile.DefaultConfig()
+	if err != nil {
+		return CatalogConfig{}, err
+	}
+	return CatalogConfig{
+		Encoder:    video.DefaultEncoderConfig(),
+		Ptile:      pcfg,
+		SegmentSec: 1,
+		FtileCount: 10,
+		Seed:       1,
+	}, nil
+}
+
+// BuildCatalog prepares the server-side catalogue for one video from the
+// training users' traces.
+func BuildCatalog(p video.Profile, train []*headtrace.Trace, cfg CatalogConfig) (*Catalog, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("sim: no training traces")
+	}
+	if cfg.SegmentSec <= 0 {
+		return nil, fmt.Errorf("sim: non-positive segment duration %g", cfg.SegmentSec)
+	}
+	if cfg.FtileCount <= 0 {
+		return nil, fmt.Errorf("sim: non-positive Ftile count %d", cfg.FtileCount)
+	}
+	if err := cfg.Encoder.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Ptile.Validate(); err != nil {
+		return nil, err
+	}
+	nSeg := p.Segments(cfg.SegmentSec)
+	if nSeg == 0 {
+		return nil, fmt.Errorf("sim: video %d shorter than one segment", p.ID)
+	}
+	content, err := p.ContentSeries(nSeg, cfg.Seed, cfg.Encoder)
+	if err != nil {
+		return nil, err
+	}
+	cat := &Catalog{
+		Video:      p,
+		SegmentSec: cfg.SegmentSec,
+		Content:    content,
+		Ptiles:     make([][]ptile.Ptile, nSeg),
+		Ftiles:     make([][]FtileGroup, nSeg),
+		Coverage:   make([]float64, nSeg),
+	}
+	for seg := 0; seg < nSeg; seg++ {
+		centers := make([]geom.Point, 0, len(train))
+		for _, tr := range train {
+			pt, err := tr.ViewingCenter(seg, cfg.SegmentSec)
+			if err != nil {
+				return nil, fmt.Errorf("sim: user %d segment %d: %w", tr.UserID, seg, err)
+			}
+			centers = append(centers, pt)
+		}
+		res, err := ptile.BuildSegment(centers, cfg.Ptile)
+		if err != nil {
+			return nil, fmt.Errorf("sim: Ptile construction segment %d: %w", seg, err)
+		}
+		cat.Ptiles[seg] = res.Ptiles
+		cat.Coverage[seg] = res.CoverageFraction()
+
+		groups, err := buildFtileGroups(centers, cfg.Ptile.Grid, cfg.FtileCount, cfg.Seed+int64(seg))
+		if err != nil {
+			return nil, fmt.Errorf("sim: Ftile grouping segment %d: %w", seg, err)
+		}
+		cat.Ftiles[seg] = groups
+	}
+	return cat, nil
+}
+
+// buildFtileGroups clusters the training viewing centers into k groups and
+// assigns every grid tile to the nearest group centroid, yielding the
+// variable-size tiling of the Ftile baseline.
+func buildFtileGroups(centers []geom.Point, grid geom.Grid, k int, seed int64) ([]FtileGroup, error) {
+	clusters, err := cluster.KMeans(centers, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(clusters) == 0 {
+		// No viewers at all: a single group covering everything.
+		all := make([]geom.TileID, 0, grid.NumTiles())
+		for r := 0; r < grid.Rows; r++ {
+			for c := 0; c < grid.Cols; c++ {
+				all = append(all, geom.TileID{Row: r, Col: c})
+			}
+		}
+		return []FtileGroup{{Tiles: all, AreaFrac: 1}}, nil
+	}
+	centroids := make([]geom.Point, len(clusters))
+	for i, cl := range clusters {
+		centroids[i] = centroidOf(centers, cl.Members)
+	}
+	groups := make([]FtileGroup, len(clusters))
+	tileArea := 1.0 / float64(grid.NumTiles())
+	for r := 0; r < grid.Rows; r++ {
+		for c := 0; c < grid.Cols; c++ {
+			id := geom.TileID{Row: r, Col: c}
+			center := grid.TileRect(id).Center()
+			best, bestD := 0, geom.Dist(center, centroids[0])
+			for j := 1; j < len(centroids); j++ {
+				if d := geom.Dist(center, centroids[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			groups[best].Tiles = append(groups[best].Tiles, id)
+			groups[best].AreaFrac += tileArea
+		}
+	}
+	// Drop empty groups (clusters whose centroid attracted no tiles).
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g.Tiles) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+func centroidOf(points []geom.Point, members []int) geom.Point {
+	if len(members) == 0 {
+		return geom.Point{}
+	}
+	anchor := points[members[0]]
+	var sx, sy float64
+	for _, m := range members {
+		sx += anchor.X + geom.WrapDeltaX(anchor.X, points[m].X)
+		sy += points[m].Y
+	}
+	n := float64(len(members))
+	return geom.Point{X: geom.NormalizeYaw(sx / n), Y: sy / n}
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ptile360/internal/abr"
+	"ptile360/internal/geom"
+	"ptile360/internal/power"
+	"ptile360/internal/ptile"
+	"ptile360/internal/video"
+)
+
+// segmentPlan is the request structure for one segment: the quality-version
+// options offered to the controller plus what they cover.
+type segmentPlan struct {
+	// options are the downloadable versions.
+	options []abr.OptionMeta
+	// chosenPtile is the serving Ptile (Ptile/Ours schemes, nil on
+	// fallback).
+	chosenPtile *ptile.Ptile
+	// hqTiles is the high-quality grid-tile set (Ctile and fallback).
+	hqTiles []geom.TileID
+	// hqGroups marks the high-quality Ftile groups by index.
+	hqGroups map[int]bool
+	// fallback reports that a Ptile scheme had no covering Ptile and
+	// reverted to conventional tiles for this segment.
+	fallback bool
+}
+
+// segmentPlan builds the request options for segment k given the predicted
+// viewing center and the estimated switching speed.
+func (s *session) segmentPlan(k int, predCenter geom.Point, speedEst float64) (*segmentPlan, error) {
+	sc := s.cat.Content[k]
+	switch s.cfg.Scheme {
+	case SchemeCtile:
+		return s.ctilePlan(k, predCenter, speedEst, sc)
+	case SchemeFtile:
+		return s.ftilePlan(k, predCenter, speedEst, sc)
+	case SchemeNontile:
+		return s.nontilePlan(k, speedEst, sc)
+	case SchemePtile, SchemeOurs:
+		return s.ptilePlan(k, predCenter, speedEst, sc, false)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %v", s.cfg.Scheme)
+	}
+}
+
+// quality evaluates the perceived quality Q(v, f) for this segment. The
+// switching speed is scaled by AlphaScale, implementing α = κ·S_fov/TI
+// (see Config.AlphaScale).
+func (s *session) quality(sc video.SegmentContent, v video.Quality, f, speed float64) (float64, error) {
+	b, err := s.cfg.Encoder.QoEBitrateMbps(v)
+	if err != nil {
+		return 0, err
+	}
+	return s.cfg.QoECoeffs.PerceivedQuality(sc.SI, sc.TI, b, speed*s.cfg.AlphaScale, f, s.fm)
+}
+
+// procPower returns P_d(f) + P_r(f) for the given decode pipeline.
+func (s *session) procPower(scheme power.Scheme, f float64) (float64, error) {
+	dec, ok := s.pm.Decode[scheme]
+	if !ok {
+		return 0, fmt.Errorf("sim: no decode model for %v", scheme)
+	}
+	return dec.At(f) + s.pm.Render.At(f), nil
+}
+
+// ctilePlan: nine FoV grid tiles at quality v, the rest at the lowest
+// quality, one option per v at the source frame rate.
+func (s *session) ctilePlan(k int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
+	hq := s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
+	tileFrac := 1.0 / float64(s.cfg.Grid.NumTiles())
+	nBG := s.cfg.Grid.NumTiles() - len(hq)
+
+	bgBits, err := s.cfg.Encoder.RegionBits(tileFrac, video.MinQuality, s.fm, video.KindGrid, s.cfg.SegmentSec, sc)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := s.procPower(power.Ctile, s.fm)
+	if err != nil {
+		return nil, err
+	}
+	plan := &segmentPlan{hqTiles: hq}
+	for v := video.MinQuality; v <= video.MaxQuality; v++ {
+		tileBits, err := s.cfg.Encoder.RegionBits(tileFrac, v, s.fm, video.KindGrid, s.cfg.SegmentSec, sc)
+		if err != nil {
+			return nil, err
+		}
+		q, err := s.quality(sc, v, s.fm, speedEst)
+		if err != nil {
+			return nil, err
+		}
+		plan.options = append(plan.options, abr.OptionMeta{
+			Option:           abr.Option{Quality: v, FrameRate: s.fm},
+			SizeBits:         float64(len(hq))*tileBits + float64(nBG)*bgBits,
+			PerceivedQuality: q,
+			ProcPowerMW:      proc,
+		})
+	}
+	return plan, nil
+}
+
+// ftilePlan: the variable-size groups intersecting the predicted FoV at
+// quality v, the rest at the lowest quality.
+func (s *session) ftilePlan(k int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
+	groups := s.cat.Ftiles[k]
+	fov := s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
+	inFoV := make(map[geom.TileID]bool, len(fov))
+	for _, id := range fov {
+		inFoV[id] = true
+	}
+	hq := make(map[int]bool)
+	for gi, g := range groups {
+		for _, id := range g.Tiles {
+			if inFoV[id] {
+				hq[gi] = true
+				break
+			}
+		}
+	}
+	proc, err := s.procPower(power.Ftile, s.fm)
+	if err != nil {
+		return nil, err
+	}
+	plan := &segmentPlan{hqGroups: hq}
+	for v := video.MinQuality; v <= video.MaxQuality; v++ {
+		var total float64
+		for gi, g := range groups {
+			q := video.MinQuality
+			if hq[gi] {
+				q = v
+			}
+			bits, err := s.cfg.Encoder.RegionBits(g.AreaFrac, q, s.fm, video.KindFtile, s.cfg.SegmentSec, sc)
+			if err != nil {
+				return nil, err
+			}
+			total += bits
+		}
+		q, err := s.quality(sc, v, s.fm, speedEst)
+		if err != nil {
+			return nil, err
+		}
+		plan.options = append(plan.options, abr.OptionMeta{
+			Option:           abr.Option{Quality: v, FrameRate: s.fm},
+			SizeBits:         total,
+			PerceivedQuality: q,
+			ProcPowerMW:      proc,
+		})
+	}
+	return plan, nil
+}
+
+// nontilePlan: the whole panorama at quality v.
+func (s *session) nontilePlan(k int, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
+	proc, err := s.procPower(power.Nontile, s.fm)
+	if err != nil {
+		return nil, err
+	}
+	plan := &segmentPlan{}
+	for v := video.MinQuality; v <= video.MaxQuality; v++ {
+		bits, err := s.cfg.Encoder.RegionBits(1, v, s.fm, video.KindPanorama, s.cfg.SegmentSec, sc)
+		if err != nil {
+			return nil, err
+		}
+		q, err := s.quality(sc, v, s.fm, speedEst)
+		if err != nil {
+			return nil, err
+		}
+		plan.options = append(plan.options, abr.OptionMeta{
+			Option:           abr.Option{Quality: v, FrameRate: s.fm},
+			SizeBits:         bits,
+			PerceivedQuality: q,
+			ProcPowerMW:      proc,
+		})
+	}
+	return plan, nil
+}
+
+// ptilePlan: the covering Ptile at (v, f) plus low-quality background
+// blocks; falls back to conventional tiles when no Ptile covers the
+// predicted viewport. preferLargest selects the most popular Ptile instead
+// of the viewport-covering one (used for horizon approximation).
+func (s *session) ptilePlan(k int, predCenter geom.Point, speedEst float64, sc video.SegmentContent, preferLargest bool) (*segmentPlan, error) {
+	pt := s.coveringPtile(k, predCenter)
+	if pt == nil && preferLargest && len(s.cat.Ptiles[k]) > 0 {
+		pt = &s.cat.Ptiles[k][0]
+	}
+	if pt == nil {
+		// Section IV-B: no covering Ptile → conventional tiles at the best
+		// possible quality, decoded with the conventional pipeline.
+		plan, err := s.ctilePlan(k, predCenter, speedEst, sc)
+		if err != nil {
+			return nil, err
+		}
+		plan.fallback = true
+		return plan, nil
+	}
+
+	// Background blocks at lowest quality and full frame rate.
+	var bgBits float64
+	for _, block := range ptile.BackgroundBlocks(*pt, s.cfg.Grid) {
+		bits, err := s.cfg.Encoder.TileBits(video.TileSpec{
+			Rect: block, Quality: video.MinQuality, Kind: video.KindBlock,
+		}, s.cfg.SegmentSec, sc)
+		if err != nil {
+			return nil, err
+		}
+		bgBits += bits
+	}
+
+	plan := &segmentPlan{chosenPtile: pt}
+	for v := video.MinQuality; v <= video.MaxQuality; v++ {
+		for _, f := range s.cfg.FrameRates {
+			bits, err := s.cfg.Encoder.TileBits(video.TileSpec{
+				Rect: pt.Rect, Quality: v, FrameRate: f, Kind: video.KindPtile,
+			}, s.cfg.SegmentSec, sc)
+			if err != nil {
+				return nil, err
+			}
+			q, err := s.quality(sc, v, f, speedEst)
+			if err != nil {
+				return nil, err
+			}
+			proc, err := s.procPower(power.PtileScheme, f)
+			if err != nil {
+				return nil, err
+			}
+			plan.options = append(plan.options, abr.OptionMeta{
+				Option:           abr.Option{Quality: v, FrameRate: f},
+				SizeBits:         bits + bgBits,
+				PerceivedQuality: q,
+				ProcPowerMW:      proc,
+			})
+		}
+	}
+	return plan, nil
+}
+
+// coveringPtile returns the catalogue Ptile of segment k serving a viewer
+// predicted at center: the smallest Ptile fully covering the FoV block, or —
+// when prediction noise pushes the block edge outside every Ptile — the
+// largest Ptile still containing the center itself (the viewer then gets
+// partial high-quality coverage rather than a full conventional fallback).
+func (s *session) coveringPtile(k int, center geom.Point) *ptile.Ptile {
+	var best *ptile.Ptile
+	bestArea := math.Inf(1)
+	for i := range s.cat.Ptiles[k] {
+		pt := &s.cat.Ptiles[k][i]
+		if pt.Covers(s.cfg.Grid, center, s.cfg.FoVDeg) && pt.Rect.Area() < bestArea {
+			best, bestArea = pt, pt.Rect.Area()
+		}
+	}
+	if best != nil {
+		return best
+	}
+	bestArea = 0
+	for i := range s.cat.Ptiles[k] {
+		pt := &s.cat.Ptiles[k][i]
+		if pt.Rect.Contains(center) && pt.Rect.Area() > bestArea {
+			best, bestArea = pt, pt.Rect.Area()
+		}
+	}
+	return best
+}
+
+// horizonPlans assembles the MPC horizon: segment k's actual plan followed
+// by approximate plans for k+1..k+H−1 using the current viewport prediction
+// (far-future predictions are unreliable, so popular Ptiles stand in).
+func (s *session) horizonPlans(k int, predCenter geom.Point, speedEst float64, first *segmentPlan) ([]abr.SegmentMeta, error) {
+	out := []abr.SegmentMeta{{Options: first.options}}
+	for i := k + 1; i < k+s.cfg.Horizon && i < len(s.cat.Content); i++ {
+		plan, err := s.ptilePlan(i, predCenter, speedEst, s.cat.Content[i], true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, abr.SegmentMeta{Options: plan.options})
+	}
+	return out, nil
+}
+
+// perceivedQuality determines what the user experienced for segment k: the
+// delivered quality Q(v, f) evaluated at the actual switching speed. With
+// StrictViewportQoE the quality is additionally blended down by the
+// uncovered fraction of the actually-viewed FoV block (a slightly-off
+// viewport prediction degrades the edge of the view, not the whole frame).
+// hit reports full coverage either way.
+func (s *session) perceivedQuality(k int, plan *segmentPlan, chosen abr.OptionMeta) (q0 float64, hit bool, err error) {
+	actual, err := s.user.ViewingCenter(k, s.cfg.SegmentSec)
+	if err != nil {
+		return 0, false, err
+	}
+	actualSpeed, err := s.user.SegmentPeakSpeed(k, s.cfg.SegmentSec)
+	if err != nil {
+		actualSpeed = 0
+	}
+	sc := s.cat.Content[k]
+	frac := s.coverageFraction(k, plan, actual)
+
+	qHigh, err := s.quality(sc, chosen.Quality, chosen.FrameRate, actualSpeed)
+	if err != nil {
+		return 0, false, err
+	}
+	if !s.cfg.StrictViewportQoE {
+		return qHigh, frac >= 1, nil
+	}
+	qLow, err := s.quality(sc, video.MinQuality, s.fm, actualSpeed)
+	if err != nil {
+		return 0, false, err
+	}
+	return frac*qHigh + (1-frac)*qLow, frac >= 1, nil
+}
+
+// coverageFraction returns the fraction of the actually-viewed FoV tile
+// block that the downloaded high-quality region covers.
+func (s *session) coverageFraction(k int, plan *segmentPlan, actual geom.Point) float64 {
+	if s.cfg.Scheme == SchemeNontile {
+		return 1
+	}
+	fov := s.cfg.Grid.FoVTiles(actual, s.cfg.FoVDeg, s.cfg.FoVDeg)
+	if len(fov) == 0 {
+		return 0
+	}
+	covered := 0
+	switch {
+	case plan.chosenPtile != nil:
+		for _, id := range fov {
+			if plan.chosenPtile.Rect.Contains(s.cfg.Grid.TileRect(id).Center()) {
+				covered++
+			}
+		}
+	case plan.hqGroups != nil:
+		inHQ := make(map[geom.TileID]bool)
+		for gi, g := range s.cat.Ftiles[k] {
+			if plan.hqGroups[gi] {
+				for _, id := range g.Tiles {
+					inHQ[id] = true
+				}
+			}
+		}
+		for _, id := range fov {
+			if inHQ[id] {
+				covered++
+			}
+		}
+	default:
+		have := make(map[geom.TileID]bool, len(plan.hqTiles))
+		for _, id := range plan.hqTiles {
+			have[id] = true
+		}
+		for _, id := range fov {
+			if have[id] {
+				covered++
+			}
+		}
+	}
+	return float64(covered) / float64(len(fov))
+}

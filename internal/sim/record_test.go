@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ptile360/internal/power"
+	"ptile360/internal/predict"
+)
+
+func TestRecordSegments(t *testing.T) {
+	fx := fixture(t)
+	cfg, err := DefaultConfig(SchemeOurs, power.Pixel3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RecordSegments = true
+	res, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSegment) != res.Segments {
+		t.Fatalf("recorded %d traces for %d segments", len(res.PerSegment), res.Segments)
+	}
+	var energy, bits float64
+	for i, tr := range res.PerSegment {
+		if tr.Segment != i {
+			t.Fatalf("trace %d has segment index %d", i, tr.Segment)
+		}
+		if tr.Quality < 1 || tr.Quality > 5 || tr.FrameRate <= 0 || tr.SizeBits <= 0 {
+			t.Fatalf("malformed trace: %+v", tr)
+		}
+		if tr.BufferSec < 0 || tr.ThroughputBps <= 0 {
+			t.Fatalf("malformed trace: %+v", tr)
+		}
+		energy += tr.EnergyMJ
+		bits += tr.SizeBits
+	}
+	// Per-segment records must reconcile with the session totals.
+	if diff := energy - res.Energy.Total(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("per-segment energy %g != session total %g", energy, res.Energy.Total())
+	}
+	if diff := bits - res.BitsDownloaded; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("per-segment bits %g != session total %g", bits, res.BitsDownloaded)
+	}
+}
+
+func TestRecordSegmentsOffByDefault(t *testing.T) {
+	fx := fixture(t)
+	cfg, _ := DefaultConfig(SchemeCtile, power.Pixel3)
+	res, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerSegment != nil {
+		t.Fatal("PerSegment should be nil when recording is off")
+	}
+}
+
+func TestWriteSegmentsCSV(t *testing.T) {
+	fx := fixture(t)
+	cfg, _ := DefaultConfig(SchemeOurs, power.Pixel3)
+	cfg.RecordSegments = true
+	res, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSegmentsCSV(&buf, res.PerSegment); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != res.Segments+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), res.Segments+1)
+	}
+	if !strings.HasPrefix(lines[0], "segment,quality,fps") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 11 {
+			t.Fatalf("row %q has %d commas, want 11", line, got)
+		}
+	}
+}
+
+func TestEstimatorKindsRun(t *testing.T) {
+	// Every estimator family must drive a session to completion with sane
+	// accounting (the relative stall behaviour is workload-dependent and is
+	// explored by BenchmarkAblationBandwidthEstimator, not asserted here).
+	fx := fixture(t)
+	for _, kind := range []struct {
+		name string
+		k    int
+	}{
+		{"harmonic", 1}, {"last-sample", 2}, {"ewma", 3}, {"moving-average", 4},
+	} {
+		cfg, _ := DefaultConfig(SchemeOurs, power.Pixel3)
+		cfg.Estimator = estimatorKindFromInt(kind.k)
+		res, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind.name, err)
+		}
+		if res.Segments != len(fx.cat.Content) || res.Energy.Total() <= 0 {
+			t.Fatalf("%s: malformed result", kind.name)
+		}
+		if res.QoE.Stalls > res.Segments/4 {
+			t.Fatalf("%s: %d stalls over %d segments", kind.name, res.QoE.Stalls, res.Segments)
+		}
+	}
+}
+
+// estimatorKindFromInt maps 1..4 to the predict estimator kinds without
+// importing the package constants into the test table literal.
+func estimatorKindFromInt(k int) predict.EstimatorKind { return predict.EstimatorKind(k) }

@@ -1,0 +1,599 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ptile360/internal/abr"
+	"ptile360/internal/geom"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/predict"
+	"ptile360/internal/qoe"
+	"ptile360/internal/video"
+	"ptile360/internal/vmaf"
+)
+
+// Scheme identifies the evaluated streaming approach (Section V-A).
+type Scheme int
+
+// Evaluated schemes.
+const (
+	// SchemeCtile is conventional fixed 4×8 tiling with multiple decoders.
+	SchemeCtile Scheme = iota + 1
+	// SchemeFtile is the fixed-count variable-size tiling baseline.
+	SchemeFtile
+	// SchemeNontile downloads the whole panorama at one quality.
+	SchemeNontile
+	// SchemePtile downloads Ptiles at the source frame rate (the "Ptile"
+	// variant of Ours).
+	SchemePtile
+	// SchemeOurs is the full energy-efficient QoE-aware algorithm with
+	// frame-rate adaptation.
+	SchemeOurs
+)
+
+// Schemes lists all evaluated schemes in presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeCtile, SchemeFtile, SchemeNontile, SchemePtile, SchemeOurs}
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCtile:
+		return "Ctile"
+	case SchemeFtile:
+		return "Ftile"
+	case SchemeNontile:
+		return "Nontile"
+	case SchemePtile:
+		return "Ptile"
+	case SchemeOurs:
+		return "Ours"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// decodeScheme maps a streaming scheme to its Table I decode pipeline.
+func (s Scheme) decodeScheme() power.Scheme {
+	switch s {
+	case SchemeFtile:
+		return power.Ftile
+	case SchemeNontile:
+		return power.Nontile
+	case SchemePtile, SchemeOurs:
+		return power.PtileScheme
+	default:
+		return power.Ctile
+	}
+}
+
+// Config tunes one streaming session.
+type Config struct {
+	// Scheme selects the approach under evaluation.
+	Scheme Scheme
+	// Phone selects the Table I power model.
+	Phone power.Phone
+	// Encoder is the encoder model (must match the catalogue's).
+	Encoder video.EncoderConfig
+	// Grid is the conventional tile grid.
+	Grid geom.Grid
+	// FoVDeg is the device field of view (100° in the paper).
+	FoVDeg float64
+	// SegmentSec is the segment duration L.
+	SegmentSec float64
+	// BufferCapSec is the playback buffer threshold β (3 s in the paper).
+	BufferCapSec float64
+	// Horizon is the MPC look-ahead H.
+	Horizon int
+	// Epsilon is the QoE-loss tolerance of constraint (8c).
+	Epsilon float64
+	// FrameRates are the available encoded frame rates for Ours
+	// (the paper constructs {0, 10, 20, 30}% reductions).
+	FrameRates []float64
+	// BandwidthWindow is the bandwidth-estimator window.
+	BandwidthWindow int
+	// Estimator selects the bandwidth-estimator family; the zero value means
+	// the paper's harmonic mean.
+	Estimator predict.EstimatorKind
+	// Viewport is the ridge-regression predictor setting.
+	Viewport predict.ViewportConfig
+	// Weights are the QoE weights (ω_v, ω_r).
+	Weights qoe.Weights
+	// RateSafety is the rate-based baseline's buffer-budget factor.
+	RateSafety float64
+	// QoECoeffs are the Eq. 3 coefficients (Table II).
+	QoECoeffs vmaf.Coefficients
+	// AlphaScale is the κ in α = κ·S_fov/TI (Eq. 4). The paper leaves the
+	// effective scale of S_fov unspecified; κ is calibrated so the
+	// controller's average QoE expenditure sits near the ε boundary, which
+	// reproduces the published Ours-vs-Ptile gaps (≈20 % energy for ≤5 %
+	// QoE, Figs. 9c/11c).
+	AlphaScale float64
+	// StrictViewportQoE blends the perceived quality down by the fraction of
+	// the actually-viewed FoV left uncovered at high quality. The paper's
+	// evaluation scores delivered segment quality (its rebuffering and
+	// background-quality machinery handles viewing-interest changes), so
+	// this is off by default; it exists for the viewport-sensitivity
+	// ablation.
+	StrictViewportQoE bool
+	// RecordSegments fills Result.PerSegment with a per-segment trace for
+	// timeline analysis (see WriteSegmentsCSV).
+	RecordSegments bool
+	// VersionHysteresis keeps the previous (v, f) version when it remains
+	// feasible, within the ε quality floor, and within a few percent of the
+	// fresh optimum's energy — trading a little energy for smoother quality
+	// (lower I_v). Off by default: the paper's controller re-optimizes every
+	// segment.
+	VersionHysteresis bool
+	// UseQoEMPC swaps Ours' energy-minimizing controller for the
+	// QoE-maximizing MPC it descends from (Yin et al. [24]) — the
+	// objective-swap ablation. Ignored for the baseline schemes.
+	UseQoEMPC bool
+}
+
+// DefaultConfig returns the paper's evaluation setting for the given scheme
+// and phone.
+func DefaultConfig(scheme Scheme, phone power.Phone) (Config, error) {
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Scheme:          scheme,
+		Phone:           phone,
+		Encoder:         video.DefaultEncoderConfig(),
+		Grid:            grid,
+		FoVDeg:          100,
+		SegmentSec:      1,
+		BufferCapSec:    3,
+		Horizon:         5,
+		Epsilon:         0.05,
+		BandwidthWindow: 5,
+		Viewport:        predict.DefaultViewportConfig(),
+		Weights:         qoe.DefaultWeights(),
+		RateSafety:      0.9,
+		QoECoeffs:       vmaf.TableII(),
+		AlphaScale:      6.0,
+	}
+	if scheme == SchemeOurs {
+		// {0, 10, 20, 30}% frame-rate reductions of the 30 fps source.
+		cfg.FrameRates = []float64{30, 27, 24, 21}
+	} else {
+		cfg.FrameRates = []float64{cfg.Encoder.FrameRate}
+	}
+	return cfg, nil
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Scheme < SchemeCtile || c.Scheme > SchemeOurs {
+		return fmt.Errorf("sim: unknown scheme %d", int(c.Scheme))
+	}
+	if err := c.Encoder.Validate(); err != nil {
+		return err
+	}
+	if c.Grid.Rows <= 0 || c.Grid.Cols <= 0 {
+		return fmt.Errorf("sim: invalid grid")
+	}
+	if c.FoVDeg <= 0 || c.FoVDeg > 180 {
+		return fmt.Errorf("sim: FoV %g outside (0, 180]", c.FoVDeg)
+	}
+	if c.SegmentSec <= 0 || c.BufferCapSec <= 0 {
+		return fmt.Errorf("sim: non-positive timing (L %g, β %g)", c.SegmentSec, c.BufferCapSec)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sim: non-positive horizon %d", c.Horizon)
+	}
+	if c.Epsilon < 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("sim: epsilon %g outside [0, 1)", c.Epsilon)
+	}
+	if len(c.FrameRates) == 0 {
+		return fmt.Errorf("sim: no frame rates")
+	}
+	for _, f := range c.FrameRates {
+		if f <= 0 || f > c.Encoder.FrameRate {
+			return fmt.Errorf("sim: frame rate %g outside (0, %g]", f, c.Encoder.FrameRate)
+		}
+	}
+	if c.BandwidthWindow <= 0 {
+		return fmt.Errorf("sim: non-positive bandwidth window %d", c.BandwidthWindow)
+	}
+	if c.RateSafety <= 0 || c.RateSafety > 1 {
+		return fmt.Errorf("sim: rate safety %g outside (0, 1]", c.RateSafety)
+	}
+	if c.AlphaScale <= 0 {
+		return fmt.Errorf("sim: non-positive alpha scale %g", c.AlphaScale)
+	}
+	if err := c.Viewport.Validate(); err != nil {
+		return err
+	}
+	return c.Weights.Validate()
+}
+
+// EnergyBreakdown accumulates Eq. 1 energy in mJ.
+type EnergyBreakdown struct {
+	Tx, Decode, Render float64
+}
+
+// Total returns the summed energy.
+func (e EnergyBreakdown) Total() float64 { return e.Tx + e.Decode + e.Render }
+
+// Result reports one streaming session.
+type Result struct {
+	// Scheme and Phone identify the configuration.
+	Scheme Scheme
+	Phone  power.Phone
+	// VideoID and UserID identify the trace pair.
+	VideoID, UserID int
+	// Segments is the number of segments streamed.
+	Segments int
+	// Energy is the session's Eq. 1 energy.
+	Energy EnergyBreakdown
+	// QoE is the Eq. 2 session summary.
+	QoE qoe.SessionSummary
+	// BitsDownloaded is the total downloaded volume.
+	BitsDownloaded float64
+	// MeanQuality is the average chosen quality level.
+	MeanQuality float64
+	// MeanFrameRate is the average chosen frame rate.
+	MeanFrameRate float64
+	// PtileSegments counts segments served from a Ptile (vs fallback).
+	PtileSegments int
+	// ViewportHits counts segments whose actually-viewed area was fully
+	// covered at the chosen quality.
+	ViewportHits int
+	// Emergencies counts segments downloaded in emergency (stall-accepting)
+	// mode.
+	Emergencies int
+	// PerSegment holds the per-segment timeline when Config.RecordSegments
+	// is set; nil otherwise.
+	PerSegment []SegmentTrace
+}
+
+// session is the per-run mutable state.
+type session struct {
+	cfg        Config
+	cat        *Catalog
+	user       *headtrace.Trace
+	net        *lte.Trace
+	pm         power.Model
+	mpc        *abr.EnergyMPC
+	qoeMPC     *abr.QoEMPC
+	rate       *abr.RateBased
+	bw         predict.Estimator
+	xs, ys     []float64
+	fm         float64
+	tWall      float64
+	buffer     float64
+	prevQ0     float64
+	hasPrevQ0  bool
+	prevChoice abr.Option
+	hasPrev    bool
+}
+
+// Run streams the whole video for one evaluation user and returns the
+// session accounting.
+func Run(cat *Catalog, user *headtrace.Trace, net *lte.Trace, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cat == nil || len(cat.Content) == 0 {
+		return nil, fmt.Errorf("sim: empty catalogue")
+	}
+	if user == nil || len(user.Samples) == 0 {
+		return nil, fmt.Errorf("sim: empty user trace")
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if cat.SegmentSec != cfg.SegmentSec {
+		return nil, fmt.Errorf("sim: catalogue segment duration %g != config %g", cat.SegmentSec, cfg.SegmentSec)
+	}
+	pm, err := power.TableI(cfg.Phone)
+	if err != nil {
+		return nil, err
+	}
+	mpcCfg := abr.DefaultConfig(pm.Tx)
+	mpcCfg.Horizon = cfg.Horizon
+	mpcCfg.SegmentSec = cfg.SegmentSec
+	mpcCfg.BufferCapSec = cfg.BufferCapSec
+	mpcCfg.Epsilon = cfg.Epsilon
+	mpc, err := abr.NewEnergyMPC(mpcCfg)
+	if err != nil {
+		return nil, err
+	}
+	qoeMPC, err := abr.NewQoEMPC(mpcCfg, cfg.Weights.Variation)
+	if err != nil {
+		return nil, err
+	}
+	rateCtl, err := abr.NewRateBased(cfg.RateSafety)
+	if err != nil {
+		return nil, err
+	}
+	estKind := cfg.Estimator
+	if estKind == 0 {
+		estKind = predict.EstimatorHarmonic
+	}
+	bw, err := predict.NewEstimator(estKind, cfg.BandwidthWindow)
+	if err != nil {
+		return nil, err
+	}
+	xs, ys := user.XYSeries()
+
+	s := &session{
+		cfg: cfg, cat: cat, user: user, net: net,
+		pm: pm, mpc: mpc, qoeMPC: qoeMPC, rate: rateCtl, bw: bw,
+		xs: xs, ys: ys, fm: cfg.Encoder.FrameRate,
+	}
+	return s.run()
+}
+
+func (s *session) run() (*Result, error) {
+	nSeg := len(s.cat.Content)
+	res := &Result{
+		Scheme:  s.cfg.Scheme,
+		Phone:   s.cfg.Phone,
+		VideoID: s.cat.Video.ID,
+		UserID:  s.user.UserID,
+	}
+	breakdowns := make([]qoe.Breakdown, 0, nSeg)
+
+	// Seed the bandwidth estimator with an initial probe (the paper's
+	// startup phase downloads segment metadata).
+	if err := s.bw.Observe(s.net.At(0)); err != nil {
+		return nil, err
+	}
+
+	for k := 0; k < nSeg; k++ {
+		// Wait rule: Δt = max(B − β, 0) before requesting segment k.
+		if dt := s.buffer - s.cfg.BufferCapSec; dt > 0 {
+			s.tWall += dt
+			s.buffer -= dt
+		}
+
+		rateEst, err := s.bw.Estimate()
+		if err != nil {
+			return nil, err
+		}
+
+		predCenter := s.predictViewport(k)
+		speedEst := s.recentSwitchingSpeed(k)
+
+		seg, err := s.segmentPlan(k, predCenter, speedEst)
+		if err != nil {
+			return nil, err
+		}
+
+		// Only Ours runs the energy-minimizing MPC (Section IV-C). The Ptile
+		// baseline is "similar to the Ctile approach" (Section V-A): it
+		// requests the best quality the network affords, merely encoded as
+		// one large tile.
+		var decision abr.Decision
+		switch s.cfg.Scheme {
+		case SchemeOurs:
+			horizon, err := s.horizonPlans(k, predCenter, speedEst, seg)
+			if err != nil {
+				return nil, err
+			}
+			if s.cfg.UseQoEMPC {
+				prevQ := s.prevQ0
+				if !s.hasPrevQ0 {
+					prevQ = bestQuality(seg.options)
+				}
+				decision, err = s.qoeMPC.Decide(s.buffer, rateEst, prevQ, horizon)
+			} else {
+				decision, err = s.mpc.Decide(s.buffer, rateEst, horizon)
+			}
+			if err != nil {
+				return nil, err
+			}
+		default:
+			decision, err = s.rate.Decide(s.buffer, rateEst, seg.options)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if decision.Emergency {
+			res.Emergencies++
+		}
+		chosen := decision.Chosen
+		// Version hysteresis (Ours only): Eq. 2 charges |ΔQ| between
+		// consecutive segments, which the energy DP does not model. When
+		// last segment's version is still feasible and within a small energy
+		// margin of the fresh optimum, keep it to avoid quality flapping.
+		if s.cfg.VersionHysteresis && s.cfg.Scheme == SchemeOurs && !s.cfg.UseQoEMPC &&
+			s.hasPrev && !decision.Emergency {
+			chosen = s.applyHysteresis(seg.options, chosen, rateEst)
+		}
+		s.prevChoice = chosen.Option
+		s.hasPrev = true
+
+		// Download against the bandwidth trace.
+		bufferAtRequest := s.buffer
+		dl, err := s.net.DownloadTime(chosen.SizeBits, s.tWall)
+		if err != nil {
+			return nil, err
+		}
+		s.tWall += dl
+		measuredRate := chosen.SizeBits / dl
+		if dl <= 0 {
+			measuredRate = s.net.At(s.tWall)
+		}
+		if err := s.bw.Observe(measuredRate); err != nil {
+			return nil, err
+		}
+		s.buffer = math.Max(s.buffer-dl, 0) + s.cfg.SegmentSec
+
+		// Energy accounting (Eq. 1). Fallback segments decode with the
+		// conventional pipeline.
+		decSch := s.cfg.Scheme.decodeScheme()
+		if seg.fallback {
+			decSch = power.Ctile
+		}
+		e, err := s.pm.Segment(decSch, chosen.SizeBits, measuredRate, chosen.FrameRate, s.cfg.SegmentSec)
+		if err != nil {
+			return nil, err
+		}
+		res.Energy.Tx += e.Tx
+		res.Energy.Decode += e.Decode
+		res.Energy.Render += e.Render
+
+		// QoE accounting: the user perceives the chosen quality only if the
+		// downloaded high-quality region covers what they actually watch;
+		// otherwise they see the low-quality background.
+		q0, hit, err := s.perceivedQuality(k, seg, chosen)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			res.ViewportHits++
+		}
+		prev := q0
+		if s.hasPrevQ0 {
+			prev = s.prevQ0
+		}
+		// The startup download (k = 0, empty buffer) is excluded from
+		// rebuffering, as is standard in ABR evaluation.
+		qoeBuffer := bufferAtRequest
+		if k == 0 {
+			qoeBuffer = dl + 1
+		}
+		bd, err := qoe.Segment(qoe.SegmentInput{
+			Q0: q0, PrevQ0: prev,
+			SizeBits: chosen.SizeBits, RateBps: measuredRate,
+			BufferSec: qoeBuffer,
+		}, s.cfg.Weights)
+		if err != nil {
+			return nil, err
+		}
+		breakdowns = append(breakdowns, bd)
+		s.prevQ0 = q0
+		s.hasPrevQ0 = true
+
+		res.BitsDownloaded += chosen.SizeBits
+		res.MeanQuality += float64(chosen.Quality)
+		res.MeanFrameRate += chosen.FrameRate
+		if !seg.fallback && (s.cfg.Scheme == SchemePtile || s.cfg.Scheme == SchemeOurs) {
+			res.PtileSegments++
+		}
+		if s.cfg.RecordSegments {
+			res.PerSegment = append(res.PerSegment, SegmentTrace{
+				Segment:       k,
+				Quality:       chosen.Quality,
+				FrameRate:     chosen.FrameRate,
+				SizeBits:      chosen.SizeBits,
+				ThroughputBps: measuredRate,
+				BufferSec:     bufferAtRequest,
+				Q0:            q0,
+				Q:             bd.Q,
+				StallSec:      bd.StallSec,
+				EnergyMJ:      e.Total(),
+				FromPtile:     !seg.fallback && (s.cfg.Scheme == SchemePtile || s.cfg.Scheme == SchemeOurs),
+				Emergency:     decision.Emergency,
+			})
+		}
+		res.Segments++
+	}
+
+	summary, err := qoe.Summarize(breakdowns)
+	if err != nil {
+		return nil, err
+	}
+	res.QoE = summary
+	res.MeanQuality /= float64(res.Segments)
+	res.MeanFrameRate /= float64(res.Segments)
+	return res, nil
+}
+
+// predictViewport estimates the viewing center for segment k's playback
+// midpoint from the head-movement history available at request time.
+func (s *session) predictViewport(k int) geom.Point {
+	// Playback position: seconds of video already watched.
+	played := float64(k)*s.cfg.SegmentSec - s.buffer
+	if played < 0 {
+		played = 0
+	}
+	idx := int(played * headtrace.SampleRate)
+	if idx < 2 {
+		return geom.PointOf(s.user.Samples[0].O)
+	}
+	if idx > len(s.xs) {
+		idx = len(s.xs)
+	}
+	horizon := (float64(k)+0.5)*s.cfg.SegmentSec - played
+	if horizon < 0 {
+		horizon = 0
+	}
+	// Cap the extrapolation horizon: a linear slope extrapolated several
+	// buffer-lengths ahead overshoots wildly; beyond ~1 s the user's current
+	// region is the better predictor (the buffer is small, Section IV-B).
+	if horizon > 1 {
+		horizon = 1
+	}
+	p, err := predict.Viewport(s.xs[:idx], s.ys[:idx], horizon, s.cfg.Viewport)
+	if err != nil {
+		return geom.PointOf(s.user.Samples[idx-1].O)
+	}
+	return p
+}
+
+// recentSwitchingSpeed estimates S_fov from the most recently played
+// segment, using the within-segment peak (see SegmentPeakSpeed): the Eq. 4
+// blurred-vision tolerance applies when the segment contains a fast switch.
+func (s *session) recentSwitchingSpeed(k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	sp, err := s.user.SegmentPeakSpeed(k-1, s.cfg.SegmentSec)
+	if err != nil {
+		return 0
+	}
+	return sp
+}
+
+// bestQuality returns the highest perceived quality among the options.
+func bestQuality(options []abr.OptionMeta) float64 {
+	var best float64
+	for _, o := range options {
+		if o.PerceivedQuality > best {
+			best = o.PerceivedQuality
+		}
+	}
+	return best
+}
+
+// applyHysteresis returns the previous segment's (v, f) version when it is
+// offered, downloads safely, still satisfies the ε QoE floor against the
+// best currently downloadable version (so it cannot ratchet quality down),
+// and costs at most a few percent more energy than the DP's fresh choice.
+func (s *session) applyHysteresis(options []abr.OptionMeta, chosen abr.OptionMeta, rateEst float64) abr.OptionMeta {
+	const margin = 1.03
+	var qMax float64
+	for _, o := range options {
+		if o.SizeBits/rateEst <= s.buffer && o.PerceivedQuality > qMax {
+			qMax = o.PerceivedQuality
+		}
+	}
+	for _, o := range options {
+		if o.Option != s.prevChoice {
+			continue
+		}
+		if o.SizeBits/rateEst > s.buffer {
+			return chosen
+		}
+		if o.PerceivedQuality < (1-s.cfg.Epsilon)*qMax {
+			return chosen
+		}
+		prevCost := s.pm.Tx*o.SizeBits/rateEst + o.ProcPowerMW*s.cfg.SegmentSec
+		chosenCost := s.pm.Tx*chosen.SizeBits/rateEst + chosen.ProcPowerMW*s.cfg.SegmentSec
+		if prevCost <= chosenCost*margin {
+			return o
+		}
+		return chosen
+	}
+	return chosen
+}

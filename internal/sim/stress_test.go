@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+)
+
+// Stress tests: sessions must complete with consistent accounting under
+// pathological network conditions, for every scheme.
+
+func constantTrace(bps float64, n int) *lte.Trace {
+	tr := &lte.Trace{IntervalSec: 1, Bps: make([]float64, n)}
+	for i := range tr.Bps {
+		tr.Bps[i] = bps
+	}
+	return tr
+}
+
+func sawtoothTrace(lo, hi float64, n int) *lte.Trace {
+	tr := &lte.Trace{IntervalSec: 1, Bps: make([]float64, n)}
+	for i := range tr.Bps {
+		if i%8 < 4 {
+			tr.Bps[i] = hi
+		} else {
+			tr.Bps[i] = lo
+		}
+	}
+	return tr
+}
+
+func assertSane(t *testing.T, r *Result, scheme Scheme) {
+	t.Helper()
+	if r.Segments == 0 {
+		t.Fatalf("%v: no segments streamed", scheme)
+	}
+	if r.Energy.Tx < 0 || r.Energy.Decode <= 0 || r.Energy.Render <= 0 {
+		t.Fatalf("%v: bad energy %+v", scheme, r.Energy)
+	}
+	if r.BitsDownloaded <= 0 {
+		t.Fatalf("%v: no bits downloaded", scheme)
+	}
+	if r.QoE.MeanQ0 < 0 || r.QoE.MeanQ0 > 100 {
+		t.Fatalf("%v: Q0 %g outside [0, 100]", scheme, r.QoE.MeanQ0)
+	}
+	if r.QoE.Stalls > r.Segments {
+		t.Fatalf("%v: more stalls (%d) than segments (%d)", scheme, r.QoE.Stalls, r.Segments)
+	}
+	if r.ViewportHits > r.Segments || r.PtileSegments > r.Segments {
+		t.Fatalf("%v: hit counters exceed segments", scheme)
+	}
+}
+
+func TestStressStarvationNetwork(t *testing.T) {
+	// 500 kbps: nothing fits; every scheme must survive on emergency picks.
+	fx := fixture(t)
+	net := constantTrace(0.5e6, 400)
+	for _, scheme := range Schemes() {
+		cfg, _ := DefaultConfig(scheme, power.Pixel3)
+		r, err := Run(fx.cat, fx.eval[0], net, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		assertSane(t, r, scheme)
+		if r.MeanQuality > 1.5 {
+			t.Fatalf("%v: mean quality %g on a starved link", scheme, r.MeanQuality)
+		}
+	}
+}
+
+func TestStressOverprovisionedNetwork(t *testing.T) {
+	// 100 Mbps: everything fits instantly; top qualities everywhere, no
+	// stalls after startup.
+	fx := fixture(t)
+	net := constantTrace(100e6, 400)
+	for _, scheme := range Schemes() {
+		cfg, _ := DefaultConfig(scheme, power.Pixel3)
+		r, err := Run(fx.cat, fx.eval[0], net, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		assertSane(t, r, scheme)
+		if r.MeanQuality < 4.4 {
+			t.Fatalf("%v: mean quality %g on a 100 Mbps link", scheme, r.MeanQuality)
+		}
+		if r.QoE.Stalls > 0 {
+			t.Fatalf("%v: %d stalls on a 100 Mbps link", scheme, r.QoE.Stalls)
+		}
+	}
+}
+
+func TestStressSawtoothNetwork(t *testing.T) {
+	// Violent 1↔10 Mbps oscillation: controllers must adapt without error
+	// and with bounded stalling.
+	fx := fixture(t)
+	net := sawtoothTrace(1e6, 10e6, 400)
+	for _, scheme := range Schemes() {
+		cfg, _ := DefaultConfig(scheme, power.Pixel3)
+		r, err := Run(fx.cat, fx.eval[0], net, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		assertSane(t, r, scheme)
+		if frac := float64(r.QoE.Stalls) / float64(r.Segments); frac > 0.5 {
+			t.Fatalf("%v: stalls on %.0f%% of segments", scheme, 100*frac)
+		}
+	}
+}
+
+func TestStressEveryEvalUserEveryScheme(t *testing.T) {
+	// Exhaustive small sweep: all eval users × all schemes on the standard
+	// trace, checking accounting invariants everywhere.
+	fx := fixture(t)
+	for _, scheme := range Schemes() {
+		cfg, _ := DefaultConfig(scheme, power.Pixel3)
+		cfg.RecordSegments = true
+		for _, user := range fx.eval {
+			r, err := Run(fx.cat, user, fx.trace, cfg)
+			if err != nil {
+				t.Fatalf("%v user %d: %v", scheme, user.UserID, err)
+			}
+			assertSane(t, r, scheme)
+			// Per-segment records must reconcile with totals.
+			var bits float64
+			for _, tr := range r.PerSegment {
+				bits += tr.SizeBits
+			}
+			if diff := bits - r.BitsDownloaded; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("%v user %d: per-segment bits %g != total %g", scheme, user.UserID, bits, r.BitsDownloaded)
+			}
+		}
+	}
+}
+
+func TestStressAllPhones(t *testing.T) {
+	fx := fixture(t)
+	for _, phone := range power.Phones() {
+		for _, scheme := range []Scheme{SchemeCtile, SchemeOurs} {
+			cfg, _ := DefaultConfig(scheme, phone)
+			r, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", phone, scheme, err)
+			}
+			assertSane(t, r, scheme)
+		}
+	}
+}
+
+func TestStressQoEMPCController(t *testing.T) {
+	fx := fixture(t)
+	cfg, _ := DefaultConfig(SchemeOurs, power.Pixel3)
+	cfg.UseQoEMPC = true
+	qoeRes, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, qoeRes, SchemeOurs)
+	cfg.UseQoEMPC = false
+	energyRes, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The objective swap: QoE-max must not beat energy-min on energy.
+	if energyRes.Energy.Total() > qoeRes.Energy.Total()+1 {
+		t.Fatalf("energy MPC (%g mJ) spends more than QoE MPC (%g mJ)",
+			energyRes.Energy.Total(), qoeRes.Energy.Total())
+	}
+	// The QoE controller only drops frames when the Eq. 4 factor saturates
+	// to exactly 1.0 (a free tie); it must play at least as fast as the
+	// energy controller on average.
+	if qoeRes.MeanFrameRate < energyRes.MeanFrameRate {
+		t.Fatalf("QoE MPC frame rate %g below energy MPC %g",
+			qoeRes.MeanFrameRate, energyRes.MeanFrameRate)
+	}
+}
+
+func TestVersionHysteresis(t *testing.T) {
+	fx := fixture(t)
+	cfg, _ := DefaultConfig(SchemeOurs, power.Pixel3)
+	base, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.VersionHysteresis = true
+	hyst, err := Run(fx.cat, fx.eval[0], fx.trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSane(t, hyst, SchemeOurs)
+	// The guarded hysteresis may smooth quality but must stay within a
+	// modest energy band of the default controller.
+	ratio := hyst.Energy.Total() / base.Energy.Total()
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Fatalf("hysteresis energy ratio %g outside [0.9, 1.15]", ratio)
+	}
+	// And it cannot worsen quality variation.
+	if hyst.QoE.MeanVariation > base.QoE.MeanVariation+1 {
+		t.Fatalf("hysteresis raised I_v: %g vs %g", hyst.QoE.MeanVariation, base.QoE.MeanVariation)
+	}
+}

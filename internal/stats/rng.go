@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distribution helpers the synthetic substrates
+// need. Every stochastic component in ptile360 draws from an explicitly
+// seeded RNG so that experiments regenerate bit-identically.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// LogNormal returns a sample whose logarithm is Normal(mu, sigma). It models
+// the heavy-tailed per-segment content-complexity factor in the encoder
+// model.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return expFast(mu + sigma*g.r.NormFloat64())
+}
+
+// Exp returns an exponential sample with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Fork derives an independent child generator. The child's stream is a
+// deterministic function of the parent state at the time of the call, so
+// forking in a fixed order is reproducible.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+func expFast(x float64) float64 {
+	// Clamp to avoid +Inf from extreme tails; the substrates only need
+	// moderate dynamic range.
+	if x > 40 {
+		x = 40
+	}
+	if x < -40 {
+		x = -40
+	}
+	return math.Exp(x)
+}

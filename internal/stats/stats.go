@@ -1,0 +1,260 @@
+// Package stats provides the descriptive-statistics toolkit shared by the
+// ptile360 experiments: quantiles, CDFs, harmonic means, Pearson correlation,
+// histograms, and deterministic random-variate helpers.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations over empty data sets.
+var ErrEmpty = errors.New("stats: empty data set")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// HarmonicMean returns the harmonic mean of xs. It is the bandwidth estimator
+// the paper uses to smooth throughput fluctuations (Section IV-C): spikes and
+// dips contribute reciprocally, so outliers are dampened. All samples must be
+// positive.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: harmonic mean requires positive samples, got %g at index %d", x, i)
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g outside [0, 1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// The paper reports r = 0.9791 for the fitted Q₀ model (Section III-C1).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	// Value is the sample value.
+	Value float64
+	// P is the cumulative probability P(X ≤ Value).
+	P float64
+}
+
+// CDF returns the empirical cumulative distribution function of xs as a
+// sorted sequence of (value, probability) points.
+func CDF(xs []float64) ([]CDFPoint, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / n}
+	}
+	return out, nil
+}
+
+// FractionAbove returns the fraction of samples strictly greater than
+// threshold. Fig. 5's ">10°/s for more than 30% of time" claim is checked
+// with this helper.
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var n int
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] and returns
+// per-bin counts along with the bin edges (nbins+1 values).
+func Histogram(xs []float64, nbins int) (counts []int, edges []float64, err error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if nbins <= 0 {
+		return nil, nil, fmt.Errorf("stats: nbins %d must be positive", nbins)
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if lo == hi {
+		hi = lo + 1
+	}
+	counts = make([]int, nbins)
+	edges = make([]float64, nbins+1)
+	width := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, edges, nil
+}
+
+// Summary bundles descriptive statistics of one sample set.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	P25, P50, P75  float64
+	P5, P95        float64
+	HarmonicMean   float64 // 0 when any sample is non-positive
+	FractionAbove0 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	p5, _ := Quantile(xs, 0.05)
+	p25, _ := Quantile(xs, 0.25)
+	p50, _ := Quantile(xs, 0.50)
+	p75, _ := Quantile(xs, 0.75)
+	p95, _ := Quantile(xs, 0.95)
+	hm, err := HarmonicMean(xs)
+	if err != nil {
+		hm = 0
+	}
+	return Summary{
+		N: len(xs), Mean: Mean(xs), Std: StdDev(xs),
+		Min: lo, Max: hi,
+		P5: p5, P25: p25, P50: p50, P75: p75, P95: p95,
+		HarmonicMean:   hm,
+		FractionAbove0: FractionAbove(xs, 0),
+	}, nil
+}

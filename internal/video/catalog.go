@@ -1,0 +1,125 @@
+package video
+
+import (
+	"fmt"
+
+	"ptile360/internal/stats"
+)
+
+// BehaviorClass describes how users were instructed to watch a video in the
+// head-movement dataset (Section V-B): videos 1–4 were watched with focused
+// attention on the content; videos 5–8 were free exploration.
+type BehaviorClass int
+
+// Behavior classes.
+const (
+	// Focused means users were instructed to focus on the video content.
+	Focused BehaviorClass = iota + 1
+	// Exploring means users were free to explore and exhibit unique patterns.
+	Exploring
+)
+
+// String implements fmt.Stringer.
+func (b BehaviorClass) String() string {
+	switch b {
+	case Focused:
+		return "focused"
+	case Exploring:
+		return "exploring"
+	default:
+		return fmt.Sprintf("BehaviorClass(%d)", int(b))
+	}
+}
+
+// Profile describes one test video: its identity (Table III), its content
+// complexity (SI/TI, Fig. 4a), and its viewing-behaviour class.
+type Profile struct {
+	// ID is the 1-based video number from Table III.
+	ID int
+	// Name is the content description from Table III.
+	Name string
+	// DurationSec is the video length in seconds.
+	DurationSec int
+	// Class is the viewing-behaviour class (focused vs exploring).
+	Class BehaviorClass
+	// SIMean and TIMean are the mean ITU-T P.910 spatial and temporal
+	// perceptual information of the content; per-segment values jitter
+	// around these.
+	SIMean, TIMean float64
+	// SIStd and TIStd are the per-segment standard deviations.
+	SIStd, TIStd float64
+	// MotionTrajectories is the number of simultaneously interesting regions
+	// for the head-movement generator (1 for single-focus sports, more for
+	// exploratory scenes).
+	MotionTrajectories int
+}
+
+// Catalog returns the eight Table III test videos with content profiles
+// matching their genre: sports content is high-TI, scenic content is
+// lower-TI with high SI, matching the spread in Fig. 4a.
+func Catalog() []Profile {
+	return []Profile{
+		{ID: 1, Name: "Basketball Match", DurationSec: 361, Class: Focused, SIMean: 52, TIMean: 30, SIStd: 4, TIStd: 5, MotionTrajectories: 2},
+		{ID: 2, Name: "Showtime Boxing", DurationSec: 172, Class: Focused, SIMean: 46, TIMean: 27, SIStd: 3, TIStd: 4, MotionTrajectories: 1},
+		{ID: 3, Name: "Festival Gala", DurationSec: 373, Class: Focused, SIMean: 60, TIMean: 18, SIStd: 5, TIStd: 3, MotionTrajectories: 1},
+		{ID: 4, Name: "Idol Dancing", DurationSec: 278, Class: Focused, SIMean: 55, TIMean: 22, SIStd: 4, TIStd: 4, MotionTrajectories: 1},
+		{ID: 5, Name: "Moving Rhinos", DurationSec: 292, Class: Exploring, SIMean: 64, TIMean: 14, SIStd: 5, TIStd: 3, MotionTrajectories: 2},
+		{ID: 6, Name: "Football Match", DurationSec: 164, Class: Exploring, SIMean: 50, TIMean: 32, SIStd: 4, TIStd: 5, MotionTrajectories: 2},
+		{ID: 7, Name: "Tahiti Surf", DurationSec: 205, Class: Exploring, SIMean: 58, TIMean: 24, SIStd: 5, TIStd: 4, MotionTrajectories: 2},
+		{ID: 8, Name: "Freestyle Skiing", DurationSec: 201, Class: Exploring, SIMean: 56, TIMean: 28, SIStd: 4, TIStd: 5, MotionTrajectories: 2},
+	}
+}
+
+// ProfileByID returns the catalog profile with the given Table III ID.
+func ProfileByID(id int) (Profile, error) {
+	for _, p := range Catalog() {
+		if p.ID == id {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("video: no catalog entry with ID %d", id)
+}
+
+// Segments returns the number of whole segments of length l seconds in the
+// video.
+func (p Profile) Segments(l float64) int {
+	if l <= 0 {
+		return 0
+	}
+	return int(float64(p.DurationSec) / l)
+}
+
+// ContentSeries generates the deterministic per-segment content
+// characteristics (SI, TI, size jitter) for n segments of video p. The
+// series is a pure function of (p.ID, seed), so every experiment regenerates
+// identical segment metadata.
+func (p Profile) ContentSeries(n int, seed int64, cfg EncoderConfig) ([]SegmentContent, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("video: non-positive segment count %d", n)
+	}
+	rng := stats.NewRNG(seed ^ int64(p.ID)*0x9E3779B9)
+	out := make([]SegmentContent, n)
+	// SI/TI evolve as mean-reverting walks so neighbouring segments are
+	// correlated, as real content is.
+	si, ti := p.SIMean, p.TIMean
+	for i := range out {
+		si += 0.35*(p.SIMean-si) + rng.Normal(0, p.SIStd*0.6)
+		ti += 0.35*(p.TIMean-ti) + rng.Normal(0, p.TIStd*0.6)
+		out[i] = SegmentContent{
+			SI:     clamp(si, 10, 90),
+			TI:     clamp(ti, 4, 60),
+			Jitter: rng.LogNormal(-cfg.JitterSigma*cfg.JitterSigma/2, cfg.JitterSigma),
+		}
+	}
+	return out, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,215 @@
+// Package ptile360 is a trace-driven reproduction of "Energy-Efficient and
+// QoE-Aware 360-Degree Video Streaming on Mobile Devices" (Chen & Cao, IEEE
+// ICDCS 2022).
+//
+// The package is the public façade over the internal substrates: it prepares
+// per-video server catalogues (Ptile construction from training users'
+// head-movement traces), streams evaluation sessions under the paper's five
+// schemes (Ctile, Ftile, Nontile, Ptile, Ours), and regenerates every table
+// and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	sys, err := ptile360.NewSystem(ptile360.DefaultOptions())
+//	prep, err := sys.PrepareVideo(8)          // build Ptiles for video 8
+//	res, err := sys.Stream(prep, 0, ptile360.SchemeOurs, ptile360.Pixel3, 2)
+//	fmt.Println(res.Energy.Total(), res.QoE.MeanQ)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
+// results.
+package ptile360
+
+import (
+	"fmt"
+
+	"ptile360/internal/experiments"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/sim"
+	"ptile360/internal/video"
+)
+
+// Re-exported types: the façade aliases the internal vocabulary so library
+// users can name every type they receive.
+type (
+	// Scheme is a streaming approach under evaluation.
+	Scheme = sim.Scheme
+	// Phone selects a Table I power model.
+	Phone = power.Phone
+	// SessionResult is the outcome of one streaming session.
+	SessionResult = sim.Result
+	// Catalog is a prepared per-video server catalogue.
+	Catalog = sim.Catalog
+	// Scale sets the experiment workload size.
+	Scale = experiments.Scale
+	// Table is a printable experiment output.
+	Table = experiments.Table
+	// VideoProfile describes one Table III test video.
+	VideoProfile = video.Profile
+	// HeadTrace is one user's head-movement record.
+	HeadTrace = headtrace.Trace
+	// NetworkTrace is an LTE bandwidth time series.
+	NetworkTrace = lte.Trace
+)
+
+// Streaming schemes (Section V-A).
+const (
+	SchemeCtile   = sim.SchemeCtile
+	SchemeFtile   = sim.SchemeFtile
+	SchemeNontile = sim.SchemeNontile
+	SchemePtile   = sim.SchemePtile
+	SchemeOurs    = sim.SchemeOurs
+)
+
+// Measured phones (Table I).
+const (
+	Nexus5X   = power.Nexus5X
+	Pixel3    = power.Pixel3
+	GalaxyS20 = power.GalaxyS20
+)
+
+// Options configures a System.
+type Options struct {
+	// UsersPerVideo is the number of generated viewers per video.
+	UsersPerVideo int
+	// TrainUsers of them construct Ptiles; the rest are evaluation users.
+	TrainUsers int
+	// TraceSamples is the LTE trace length in seconds.
+	TraceSamples int
+	// Seed drives every stochastic component; equal seeds reproduce
+	// bit-identical systems.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's evaluation setting: 48 viewers per
+// video with 40 used for Ptile construction.
+func DefaultOptions() Options {
+	return Options{
+		UsersPerVideo: 48,
+		TrainUsers:    40,
+		TraceSamples:  400,
+		Seed:          42,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.UsersPerVideo <= 1 {
+		return fmt.Errorf("ptile360: users per video %d too small", o.UsersPerVideo)
+	}
+	if o.TrainUsers <= 0 || o.TrainUsers >= o.UsersPerVideo {
+		return fmt.Errorf("ptile360: train users %d outside (0, %d)", o.TrainUsers, o.UsersPerVideo)
+	}
+	if o.TraceSamples <= 0 {
+		return fmt.Errorf("ptile360: non-positive trace length %d", o.TraceSamples)
+	}
+	return nil
+}
+
+// System is a prepared streaming test-bed: network traces plus lazily built
+// per-video catalogues.
+type System struct {
+	opts   Options
+	trace1 *lte.Trace
+	trace2 *lte.Trace
+}
+
+// NewSystem validates the options and generates the two network conditions
+// (trace 1 = 2 × trace 2, Section V-A).
+func NewSystem(opts Options) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	tr1, tr2, err := lte.StandardTraces(opts.TraceSamples, opts.Seed+99)
+	if err != nil {
+		return nil, err
+	}
+	return &System{opts: opts, trace1: tr1, trace2: tr2}, nil
+}
+
+// Videos lists the Table III test videos.
+func Videos() []VideoProfile { return video.Catalog() }
+
+// Prepared bundles a video's catalogue with its evaluation users.
+type Prepared struct {
+	// Profile is the video.
+	Profile VideoProfile
+	// Catalog is the server-side preparation (content series, Ptiles,
+	// Ftile groups).
+	Catalog *Catalog
+	// EvalUsers are the held-out viewers available to Stream.
+	EvalUsers []*HeadTrace
+}
+
+// PrepareVideo generates the head-movement dataset for the given Table III
+// video, splits it into training and evaluation users, and constructs the
+// Ptile catalogue from the training set (Section IV-A).
+func (s *System) PrepareVideo(videoID int) (*Prepared, error) {
+	p, err := video.ProfileByID(videoID)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = s.opts.UsersPerVideo
+	ds, err := headtrace.Generate(p, gcfg, s.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, eval, err := ds.SplitTrainEval(s.opts.TrainUsers, s.opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	ccfg, err := sim.DefaultCatalogConfig()
+	if err != nil {
+		return nil, err
+	}
+	ccfg.Seed = s.opts.Seed
+	cat, err := sim.BuildCatalog(p, train, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Profile: p, Catalog: cat, EvalUsers: eval}, nil
+}
+
+// Trace returns one of the two standard network conditions (1 or 2).
+func (s *System) Trace(traceID int) (*NetworkTrace, error) {
+	switch traceID {
+	case 1:
+		return s.trace1, nil
+	case 2:
+		return s.trace2, nil
+	default:
+		return nil, fmt.Errorf("ptile360: trace ID %d outside {1, 2}", traceID)
+	}
+}
+
+// Stream runs one full playback session: evaluation user evalIdx of the
+// prepared video streams under the given scheme on the given phone over
+// network condition traceID.
+func (s *System) Stream(prep *Prepared, evalIdx int, scheme Scheme, phone Phone, traceID int) (*SessionResult, error) {
+	if prep == nil {
+		return nil, fmt.Errorf("ptile360: nil prepared video")
+	}
+	if evalIdx < 0 || evalIdx >= len(prep.EvalUsers) {
+		return nil, fmt.Errorf("ptile360: eval user %d outside [0, %d)", evalIdx, len(prep.EvalUsers))
+	}
+	net, err := s.Trace(traceID)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := sim.DefaultConfig(scheme, phone)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(prep.Catalog, prep.EvalUsers[evalIdx], net, cfg)
+}
+
+// StreamConfig exposes the full session configuration for advanced callers.
+func (s *System) StreamConfig(prep *Prepared, user *HeadTrace, traceID int, cfg sim.Config) (*SessionResult, error) {
+	net, err := s.Trace(traceID)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(prep.Catalog, user, net, cfg)
+}
