@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"ptile360/internal/faultinject"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
 	"ptile360/internal/sim"
@@ -28,10 +29,12 @@ func main() {
 
 func run() int {
 	var (
-		addr   = flag.String("addr", ":8360", "listen address")
-		videos = flag.String("videos", "2,8", "comma-separated Table III video IDs to serve")
-		users  = flag.Int("users", 48, "viewers per video (40 train Ptiles)")
-		seed   = flag.Int64("seed", 42, "random seed")
+		addr      = flag.String("addr", ":8360", "listen address")
+		videos    = flag.String("videos", "2,8", "comma-separated Table III video IDs to serve")
+		users     = flag.Int("users", 48, "viewers per video (40 train Ptiles)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		chaos     = flag.String("chaos", "off", "server-side fault profile: off, flaky, lossy, slow, chaos")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's reproducible schedule")
 	)
 	flag.Parse()
 
@@ -80,9 +83,24 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
 		return 1
 	}
+	var handler http.Handler = srv
+	profile, err := faultinject.Named(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		return 2
+	}
+	if profile.Enabled() {
+		mw, err := faultinject.Middleware(profile, *chaosSeed, srv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			return 1
+		}
+		handler = mw
+		fmt.Printf("chaos profile %q (seed %d) active on all responses\n", profile.Name, *chaosSeed)
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("serving %d videos on %s\n", len(catalogs), *addr)

@@ -2,23 +2,25 @@
 // generates a viewer, fetches the manifest, and streams segments with the
 // paper's controller, printing per-segment accounting.
 //
-// Usage:
+// A chaos run injects client-side faults from a named profile and reports
+// the resilience accounting (retries, degradations, abandons, stalls):
 //
 //	stream -url http://127.0.0.1:8360 -video 8 -segments 30 -shaped
+//	stream -url http://127.0.0.1:8360 -video 8 -faults chaos -fault-seed 7
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"strconv"
+	"time"
 
+	"ptile360/internal/faultinject"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
 	"ptile360/internal/lte"
 	"ptile360/internal/power"
+	"ptile360/internal/sim"
 	"ptile360/internal/video"
 )
 
@@ -28,14 +30,18 @@ func main() {
 
 func run() int {
 	var (
-		baseURL  = flag.String("url", "http://127.0.0.1:8360", "ptileserver address")
-		videoID  = flag.Int("video", 8, "Table III video ID")
-		segments = flag.Int("segments", 30, "number of segments to stream (0 = all)")
-		shaped   = flag.Bool("shaped", false, "pace downloads against the LTE trace 2")
-		compress = flag.Float64("compress", 20, "time compression for shaping")
-		useMPC   = flag.Bool("mpc", true, "use the energy-minimizing MPC controller")
-		seed     = flag.Int64("seed", 7, "viewer seed")
-		csvOut   = flag.String("csv", "", "also write per-segment records as CSV to this file")
+		baseURL   = flag.String("url", "http://127.0.0.1:8360", "ptileserver address")
+		videoID   = flag.Int("video", 8, "Table III video ID")
+		segments  = flag.Int("segments", 30, "number of segments to stream (0 = all)")
+		shaped    = flag.Bool("shaped", false, "pace downloads against the LTE trace 2")
+		compress  = flag.Float64("compress", 20, "time compression for shaping")
+		useMPC    = flag.Bool("mpc", true, "use the energy-minimizing MPC controller")
+		seed      = flag.Int64("seed", 7, "viewer seed")
+		csvOut    = flag.String("csv", "", "also write per-segment records as CSV to this file")
+		faults    = flag.String("faults", "off", "fault profile injected at the client transport: off, flaky, lossy, slow, chaos")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's reproducible schedule")
+		timeout   = flag.Duration("timeout", httpstream.DefaultRequestTimeout, "per-request timeout")
+		retries   = flag.Int("retries", 0, "attempts per quality rung (0 = default policy)")
 	)
 	flag.Parse()
 
@@ -59,6 +65,13 @@ func run() int {
 		MaxSegments:     *segments,
 		TimeCompression: *compress,
 		UseMPC:          *useMPC,
+		RequestTimeout:  *timeout,
+		RetrySeed:       *faultSeed,
+	}
+	if *retries > 0 {
+		rp := httpstream.DefaultRetryPolicy()
+		rp.MaxAttempts = *retries
+		cfg.Retry = rp
 	}
 	if *shaped {
 		_, tr2, err := lte.StandardTraces(400, 99)
@@ -68,26 +81,57 @@ func run() int {
 		}
 		cfg.Shape = tr2
 	}
+	var injector *faultinject.Transport
+	profile, err := faultinject.Named(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		return 2
+	}
+	if profile.Enabled() {
+		injector, err = faultinject.NewTransport(profile, *faultSeed, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+			return 1
+		}
+		cfg.Transport = injector
+		fmt.Printf("fault profile %q (seed %d) active on the client transport\n", profile.Name, *faultSeed)
+	}
 	client, err := httpstream.NewClient(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
 		return 1
 	}
+	start := time.Now()
 	report, err := client.Stream(*videoID, viewer)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
 		return 1
 	}
 
-	fmt.Printf("seg\tq\tfps\tkB\tMbps\tptile\tenergy(mJ)\n")
+	fmt.Printf("seg\tq\tfps\tkB\tMbps\tptile\tenergy(mJ)\tretries\tnote\n")
 	for _, rec := range report.Segments {
-		fmt.Printf("%d\tq%d\t%.0f\t%.0f\t%.2f\t%v\t%.0f\n",
+		note := ""
+		switch {
+		case rec.Abandoned:
+			note = "ABANDONED"
+		case rec.DegradeSteps > 0:
+			note = fmt.Sprintf("degraded -%d", rec.DegradeSteps)
+		case rec.StallSec > 0:
+			note = fmt.Sprintf("stall %.2fs", rec.StallSec)
+		}
+		fmt.Printf("%d\tq%d\t%.0f\t%.0f\t%.2f\t%v\t%.0f\t%d\t%s\n",
 			rec.Segment, rec.Quality, rec.FrameRate,
-			float64(rec.Bytes)/1e3, rec.ThroughputBps/1e6, rec.FromPtile, rec.EnergyMJ)
+			float64(rec.Bytes)/1e3, rec.ThroughputBps/1e6, rec.FromPtile, rec.EnergyMJ, rec.Retries, note)
 	}
-	fmt.Printf("\ntotal: %.1f MB, %.1f J, %d/%d segments from Ptiles\n",
+	fmt.Printf("\ntotal: %.1f MB, %.1f J, %d/%d segments from Ptiles (%.1fs wall)\n",
 		float64(report.TotalBytes)/1e6, report.TotalEnergyMJ/1e3,
-		report.PtileSegments, len(report.Segments))
+		report.PtileSegments, len(report.Segments), time.Since(start).Seconds())
+	fmt.Printf("resilience: %d retries, %d degraded, %d abandoned, %d stalls (%.2fs total stall)\n",
+		report.TotalRetries, report.DegradedSegments, report.AbandonedSegments,
+		report.Stalls, report.TotalStallSec)
+	if injector != nil {
+		fmt.Printf("injected faults: %v\n", injector.Stats())
+	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
@@ -95,7 +139,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
 			return 1
 		}
-		if err := writeRecordsCSV(f, report); err != nil {
+		if err := sim.WriteSegmentsCSV(f, report.SegmentTraces()); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
 			return 1
@@ -107,27 +151,4 @@ func run() int {
 		fmt.Printf("wrote %s\n", *csvOut)
 	}
 	return 0
-}
-
-func writeRecordsCSV(w io.Writer, report *httpstream.SessionReport) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"segment", "quality", "fps", "bytes", "throughput_bps", "from_ptile", "energy_mj"}); err != nil {
-		return err
-	}
-	for _, rec := range report.Segments {
-		row := []string{
-			strconv.Itoa(rec.Segment),
-			strconv.Itoa(int(rec.Quality)),
-			strconv.FormatFloat(rec.FrameRate, 'f', 0, 64),
-			strconv.FormatInt(rec.Bytes, 10),
-			strconv.FormatFloat(rec.ThroughputBps, 'f', 0, 64),
-			strconv.FormatBool(rec.FromPtile),
-			strconv.FormatFloat(rec.EnergyMJ, 'f', 1, 64),
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
 }

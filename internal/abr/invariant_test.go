@@ -1,0 +1,173 @@
+package abr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptile360/internal/video"
+)
+
+// randomCatalog synthesizes a randomized option ladder: a random subset of
+// frame rates, random (monotone-ish) sizes and qualities with multiplicative
+// noise — the shape a manifest-derived ladder actually has, without being
+// tied to the encoder model.
+func randomCatalog(rng *rand.Rand) []OptionMeta {
+	allRates := []float64{30, 27, 24, 21}
+	nRates := 1 + rng.Intn(len(allRates))
+	rates := allRates[:nRates]
+	nQ := 1 + rng.Intn(5)
+	var out []OptionMeta
+	for v := video.Quality(1); v <= video.Quality(nQ); v++ {
+		baseSize := (0.2e6 + 2e6*rng.Float64()) * math.Pow(1.3+0.6*rng.Float64(), float64(v-1))
+		baseQ := (10 + 30*rng.Float64()) + 15*float64(v-1)
+		for _, f := range rates {
+			frac := f / 30
+			out = append(out, OptionMeta{
+				Option:           Option{Quality: v, FrameRate: f},
+				SizeBits:         baseSize * (0.3 + 0.7*frac) * (0.8 + 0.4*rng.Float64()),
+				PerceivedQuality: baseQ * (0.85 + 0.15*frac),
+				ProcPowerMW:      100 + 400*rng.Float64() + 10*f,
+			})
+		}
+	}
+	return out
+}
+
+// contains reports whether the chosen option is one of the catalog rungs —
+// the controller must never fabricate a version absent from the manifest.
+func contains(options []OptionMeta, chosen OptionMeta) bool {
+	for _, o := range options {
+		if o == chosen {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEnergyMPCInvariants drives the paper's controller over randomized
+// catalogs, buffers, and bandwidths, asserting the two hard guarantees of
+// Section IV-C on every decision:
+//
+//  1. the chosen (bitrate, frame-rate) rung exists in the manifest ladder;
+//  2. outside emergencies, the choice satisfies the ε-bounded QoE-loss
+//     constraint (8c) against the best downloadable version and downloads
+//     within the buffer (Eq. 7) at the discounted planning rate.
+func TestEnergyMPCInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig(1429.08)
+	m, err := NewEnergyMPC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		options := randomCatalog(rng)
+		h := 1 + rng.Intn(cfg.Horizon+2) // also exercise horizons beyond cfg.Horizon
+		horizon := make([]SegmentMeta, h)
+		for i := range horizon {
+			horizon[i] = SegmentMeta{Options: options}
+		}
+		buffer := 3.5 * rng.Float64()
+		rate := math.Pow(10, 5.5+2.5*rng.Float64()) // ~0.3 .. 100 Mbps
+
+		d, err := m.Decide(buffer, rate, horizon)
+		if err != nil {
+			t.Fatalf("trial %d: Decide(%g, %g): %v", trial, buffer, rate, err)
+		}
+		if !contains(options, d.Chosen) {
+			t.Fatalf("trial %d: chose rung absent from manifest: %+v", trial, d.Chosen)
+		}
+		if d.Emergency {
+			// Emergencies must at least pick the smallest rung — the
+			// documented stall-accepting fallback.
+			for _, o := range options {
+				if o.SizeBits < d.Chosen.SizeBits {
+					t.Fatalf("trial %d: emergency pick %+v is not the smallest rung (%+v smaller)",
+						trial, d.Chosen, o)
+				}
+			}
+			continue
+		}
+		// Reconstruct constraint (8c): feasibility and the QoE floor are
+		// evaluated at the discounted planning rate against the effective
+		// initial buffer min(B, β).
+		planRate := rate * cfg.PlanningSafety
+		b := math.Min(buffer, cfg.BufferCapSec)
+		qMax := math.Inf(-1)
+		for _, o := range options {
+			if o.SizeBits/planRate <= b && o.PerceivedQuality > qMax {
+				qMax = o.PerceivedQuality
+			}
+		}
+		if math.IsInf(qMax, -1) {
+			t.Fatalf("trial %d: non-emergency decision but no rung downloadable", trial)
+		}
+		if d.Chosen.SizeBits/planRate > b+1e-9 {
+			t.Fatalf("trial %d: chosen rung (%.0f bits) violates Eq. 7 at buffer %.2fs, rate %.0f",
+				trial, d.Chosen.SizeBits, b, planRate)
+		}
+		if floor := (1 - cfg.Epsilon) * qMax; d.Chosen.PerceivedQuality < floor-1e-9 {
+			t.Fatalf("trial %d: QoE %.3f below the ≤%g%%-loss floor %.3f (qMax %.3f)",
+				trial, d.Chosen.PerceivedQuality, 100*cfg.Epsilon, floor, qMax)
+		}
+	}
+}
+
+// TestQoEMPCInvariants applies the manifest-membership invariant to the
+// QoE-maximizing variant over the same randomized inputs, plus its
+// emergency contract.
+func TestQoEMPCInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultConfig(1429.08)
+	m, err := NewQoEMPC(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		options := randomCatalog(rng)
+		h := 1 + rng.Intn(cfg.Horizon+2)
+		horizon := make([]SegmentMeta, h)
+		for i := range horizon {
+			horizon[i] = SegmentMeta{Options: options}
+		}
+		buffer := 3.5 * rng.Float64()
+		rate := math.Pow(10, 5.5+2.5*rng.Float64())
+		prevQ := 100 * rng.Float64()
+
+		d, err := m.Decide(buffer, rate, prevQ, horizon)
+		if err != nil {
+			t.Fatalf("trial %d: Decide(%g, %g, %g): %v", trial, buffer, rate, prevQ, err)
+		}
+		if !contains(options, d.Chosen) {
+			t.Fatalf("trial %d: chose rung absent from manifest: %+v", trial, d.Chosen)
+		}
+	}
+}
+
+// TestEnergyMPCInvariantsHeterogeneousHorizon re-runs the invariant with a
+// different catalog per horizon segment: the first-segment decision must
+// still come from the first segment's ladder.
+func TestEnergyMPCInvariantsHeterogeneousHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := DefaultConfig(1429.08)
+	m, err := NewEnergyMPC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		h := 2 + rng.Intn(cfg.Horizon)
+		horizon := make([]SegmentMeta, h)
+		for i := range horizon {
+			horizon[i] = SegmentMeta{Options: randomCatalog(rng)}
+		}
+		buffer := 3.5 * rng.Float64()
+		rate := math.Pow(10, 5.5+2.5*rng.Float64())
+		d, err := m.Decide(buffer, rate, horizon)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !contains(horizon[0].Options, d.Chosen) {
+			t.Fatalf("trial %d: decision %+v not from segment 0's ladder", trial, d.Chosen)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package faultinject provides a deterministic, seeded fault-injection
+// layer for the streaming path. It can sit on either side of the wire — as
+// an http.RoundTripper in front of a client transport, or as handler
+// middleware in front of the tile server — and injects a configurable mix
+// of the failure modes mobile streaming actually sees: latency spikes,
+// throttled bandwidth, 5xx responses, connection resets, truncated bodies,
+// and slow-loris dribble.
+//
+// Every injector draws its per-request fault schedule from an explicitly
+// seeded RNG, so a given (profile, seed) pair reproduces the same fault
+// sequence request-for-request. That makes chaos runs debuggable and lets
+// the test suite assert exact resilience behaviour. With the zero Profile
+// the injector is inert, and the streaming client skips it entirely — the
+// no-fault path is byte-identical to a build without this package.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrReset is the transport-level error returned for an injected connection
+// reset. It unwraps like any transient network error, so clients treat it as
+// retryable.
+var ErrReset = errors.New("faultinject: injected connection reset")
+
+// Profile configures the fault mix. All probabilities are independent
+// per-request Bernoulli draws in [0, 1]; a zero Profile injects nothing.
+type Profile struct {
+	// Name labels the profile in logs and stats dumps.
+	Name string
+
+	// LatencyProb adds a one-shot delay before the request is served, drawn
+	// uniformly from [LatencyMin, LatencyMax].
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+
+	// Error5xxProb short-circuits the request with a 503 response.
+	Error5xxProb float64
+
+	// ResetProb aborts the exchange mid-flight: the client transport returns
+	// ErrReset; the server middleware drops the connection.
+	ResetProb float64
+
+	// TruncateProb cuts the response body after TruncateFrac of the declared
+	// length (falling back to truncateFallbackBytes when the length is
+	// unknown), leaving the Content-Length header intact so clients can
+	// detect the short read.
+	TruncateProb float64
+	// TruncateFrac is the fraction of the body delivered before the cut.
+	// Zero means 0.5.
+	TruncateFrac float64
+
+	// DribbleProb serves the body slow-loris style: DribbleChunk bytes per
+	// read with DribbleDelay between chunks. Zero chunk means 1024 bytes;
+	// zero delay means 5 ms.
+	DribbleProb  float64
+	DribbleChunk int
+	DribbleDelay time.Duration
+
+	// ThrottleProb paces the body at ThrottleBps (bits per second).
+	ThrottleProb float64
+	ThrottleBps  float64
+
+	// TimeScale divides every injected delay, compressing chaos runs the
+	// same way ClientConfig.TimeCompression compresses shaping. Zero means
+	// 1 (real time).
+	TimeScale float64
+}
+
+const truncateFallbackBytes = 4096
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"latency", p.LatencyProb},
+		{"error5xx", p.Error5xxProb},
+		{"reset", p.ResetProb},
+		{"truncate", p.TruncateProb},
+		{"dribble", p.DribbleProb},
+		{"throttle", p.ThrottleProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faultinject: %s probability %g outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if p.LatencyMin < 0 || p.LatencyMax < p.LatencyMin {
+		return fmt.Errorf("faultinject: latency range [%v, %v] invalid", p.LatencyMin, p.LatencyMax)
+	}
+	if p.TruncateFrac < 0 || p.TruncateFrac >= 1 {
+		return fmt.Errorf("faultinject: truncate fraction %g outside [0, 1)", p.TruncateFrac)
+	}
+	if p.DribbleChunk < 0 {
+		return fmt.Errorf("faultinject: negative dribble chunk %d", p.DribbleChunk)
+	}
+	if p.DribbleDelay < 0 {
+		return fmt.Errorf("faultinject: negative dribble delay %v", p.DribbleDelay)
+	}
+	if p.ThrottleProb > 0 && p.ThrottleBps <= 0 {
+		return fmt.Errorf("faultinject: throttling enabled with rate %g bps", p.ThrottleBps)
+	}
+	if p.ThrottleBps < 0 {
+		return fmt.Errorf("faultinject: negative throttle rate %g", p.ThrottleBps)
+	}
+	if p.TimeScale < 0 {
+		return fmt.Errorf("faultinject: negative time scale %g", p.TimeScale)
+	}
+	return nil
+}
+
+// Enabled reports whether the profile injects any fault at all. The
+// streaming client uses this to keep the no-fault path untouched.
+func (p Profile) Enabled() bool {
+	return p.LatencyProb > 0 || p.Error5xxProb > 0 || p.ResetProb > 0 ||
+		p.TruncateProb > 0 || p.DribbleProb > 0 || p.ThrottleProb > 0
+}
+
+// Profiles returns the named built-in profile set, sorted by name.
+func Profiles() []Profile {
+	ps := []Profile{
+		{Name: "off"},
+		{
+			// flaky: the paper's "it mostly works" cellular link — sporadic
+			// server errors and resets with occasional RTT spikes.
+			Name:        "flaky",
+			LatencyProb: 0.10, LatencyMin: 20 * time.Millisecond, LatencyMax: 150 * time.Millisecond,
+			Error5xxProb: 0.10,
+			ResetProb:    0.05,
+		},
+		{
+			// lossy: heavy packet-level damage — frequent resets and cut
+			// bodies on top of the flaky error rate.
+			Name:        "lossy",
+			LatencyProb: 0.15, LatencyMin: 20 * time.Millisecond, LatencyMax: 250 * time.Millisecond,
+			Error5xxProb: 0.12,
+			ResetProb:    0.10,
+			TruncateProb: 0.10, TruncateFrac: 0.5,
+		},
+		{
+			// slow: a congested but reliable link — no hard failures, just
+			// dribbled and throttled bodies with long head-of-line delays.
+			Name:        "slow",
+			LatencyProb: 0.30, LatencyMin: 50 * time.Millisecond, LatencyMax: 500 * time.Millisecond,
+			DribbleProb: 0.25, DribbleChunk: 2048, DribbleDelay: 5 * time.Millisecond,
+			ThrottleProb: 0.40, ThrottleBps: 2e6,
+		},
+		{
+			// chaos: everything at once; the acceptance gate for the
+			// resilient client (≥10 % hard request failures).
+			Name:        "chaos",
+			LatencyProb: 0.15, LatencyMin: 20 * time.Millisecond, LatencyMax: 300 * time.Millisecond,
+			Error5xxProb: 0.10,
+			ResetProb:    0.08,
+			TruncateProb: 0.08, TruncateFrac: 0.4,
+			DribbleProb: 0.08, DribbleChunk: 2048, DribbleDelay: 3 * time.Millisecond,
+			ThrottleProb: 0.10, ThrottleBps: 3e6,
+		},
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// Named returns the built-in profile with the given name.
+func Named(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range Profiles() {
+		names = append(names, p.Name)
+	}
+	return Profile{}, fmt.Errorf("faultinject: unknown profile %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// Stats counts injected faults. All counters are lifetime totals for one
+// injector.
+type Stats struct {
+	Requests    int64
+	Latencies   int64
+	Errors5xx   int64
+	Resets      int64
+	Truncations int64
+	Dribbles    int64
+	Throttles   int64
+}
+
+// Faults returns the number of requests that had at least a hard fault
+// (5xx, reset, or truncation) injected.
+func (s Stats) Faults() int64 { return s.Errors5xx + s.Resets + s.Truncations }
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("requests=%d latency=%d 5xx=%d reset=%d truncate=%d dribble=%d throttle=%d",
+		s.Requests, s.Latencies, s.Errors5xx, s.Resets, s.Truncations, s.Dribbles, s.Throttles)
+}
+
+// decision is the fault schedule drawn for one request.
+type decision struct {
+	latency     time.Duration
+	error5xx    bool
+	reset       bool
+	truncate    bool
+	dribble     bool
+	throttleBps float64
+}
+
+// Injector draws per-request fault decisions from a seeded RNG. It is safe
+// for concurrent use; under concurrency the fault *rate* is preserved while
+// the exact request↦fault assignment depends on arrival order.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	profile Profile
+	stats   Stats
+}
+
+// NewInjector validates the profile and returns a seeded injector.
+func NewInjector(p Profile, seed int64) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), profile: p}, nil
+}
+
+// Profile returns the injector's fault profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// Stats returns a snapshot of the lifetime fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// scale compresses a delay by the profile's TimeScale.
+func (in *Injector) scale(d time.Duration) time.Duration {
+	ts := in.profile.TimeScale
+	if ts == 0 || ts == 1 {
+		return d
+	}
+	return time.Duration(float64(d) / ts)
+}
+
+// next draws the fault schedule for one request and updates the counters.
+func (in *Injector) next() decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p := in.profile
+	var d decision
+	in.stats.Requests++
+	// The draw order is fixed so (profile, seed) fully determines the
+	// schedule for sequential request streams.
+	if p.LatencyProb > 0 && in.rng.Float64() < p.LatencyProb {
+		lo, hi := float64(p.LatencyMin), float64(p.LatencyMax)
+		d.latency = in.scale(time.Duration(lo + (hi-lo)*in.rng.Float64()))
+		in.stats.Latencies++
+	}
+	if p.Error5xxProb > 0 && in.rng.Float64() < p.Error5xxProb {
+		d.error5xx = true
+		in.stats.Errors5xx++
+		return d // the request dies here; no body faults to draw
+	}
+	if p.ResetProb > 0 && in.rng.Float64() < p.ResetProb {
+		d.reset = true
+		in.stats.Resets++
+		return d
+	}
+	if p.TruncateProb > 0 && in.rng.Float64() < p.TruncateProb {
+		d.truncate = true
+		in.stats.Truncations++
+	}
+	if p.DribbleProb > 0 && in.rng.Float64() < p.DribbleProb {
+		d.dribble = true
+		in.stats.Dribbles++
+	}
+	if p.ThrottleProb > 0 && in.rng.Float64() < p.ThrottleProb {
+		d.throttleBps = p.ThrottleBps
+		in.stats.Throttles++
+	}
+	return d
+}
+
+// truncateAt returns how many body bytes survive a truncation fault given
+// the declared length (< 0 when unknown).
+func (p Profile) truncateAt(declared int64) int64 {
+	frac := p.TruncateFrac
+	if frac == 0 {
+		frac = 0.5
+	}
+	if declared <= 0 {
+		return truncateFallbackBytes
+	}
+	n := int64(float64(declared) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n >= declared {
+		n = declared - 1
+	}
+	return n
+}
+
+// dribbleParams returns the effective chunk size and inter-chunk delay.
+func (in *Injector) dribbleParams() (int, time.Duration) {
+	chunk := in.profile.DribbleChunk
+	if chunk == 0 {
+		chunk = 1024
+	}
+	delay := in.profile.DribbleDelay
+	if delay == 0 {
+		delay = 5 * time.Millisecond
+	}
+	return chunk, in.scale(delay)
+}

@@ -1,0 +1,335 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+		ok   bool
+	}{
+		{"zero", Profile{}, true},
+		{"full chaos", mustNamed(t, "chaos"), true},
+		{"bad prob", Profile{Error5xxProb: 1.5}, false},
+		{"negative prob", Profile{ResetProb: -0.1}, false},
+		{"latency range inverted", Profile{LatencyProb: 0.5, LatencyMin: time.Second, LatencyMax: time.Millisecond}, false},
+		{"truncate frac 1", Profile{TruncateProb: 0.5, TruncateFrac: 1}, false},
+		{"negative chunk", Profile{DribbleProb: 0.5, DribbleChunk: -1}, false},
+		{"throttle without rate", Profile{ThrottleProb: 0.5}, false},
+		{"negative scale", Profile{TimeScale: -2}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func mustNamed(t *testing.T, name string) Profile {
+	t.Helper()
+	p, err := Named(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNamedProfiles(t *testing.T) {
+	for _, name := range []string{"off", "flaky", "lossy", "slow", "chaos"} {
+		p := mustNamed(t, name)
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+		if (name == "off") == p.Enabled() {
+			t.Errorf("profile %s: Enabled() = %v", name, p.Enabled())
+		}
+	}
+	if _, err := Named("nope"); err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	p := mustNamed(t, "chaos")
+	a, err := NewInjector(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		da, db := a.next(), b.next()
+		if da != db {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %v vs %v", a.Stats(), b.Stats())
+	}
+}
+
+func TestInjectorFaultRates(t *testing.T) {
+	p := mustNamed(t, "chaos")
+	in, err := NewInjector(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		in.next()
+	}
+	s := in.Stats()
+	if s.Requests != n {
+		t.Fatalf("requests %d, want %d", s.Requests, n)
+	}
+	// The chaos profile's hard-failure rate must land near its nominal
+	// ~17 % (10 % 5xx + 8 % resets after 5xx short-circuit).
+	frac := float64(s.Faults()) / n
+	if frac < 0.10 || frac > 0.30 {
+		t.Fatalf("hard fault rate %.3f outside [0.10, 0.30]: %v", frac, s)
+	}
+}
+
+func backendOK(t *testing.T, body string) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, body)
+	})
+}
+
+func TestTransportOffIsTransparent(t *testing.T) {
+	body := strings.Repeat("x", 10_000)
+	srv := httptest.NewServer(backendOK(t, body))
+	defer srv.Close()
+	tr, err := NewTransport(Profile{}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != body {
+		t.Fatalf("body mutated with injector off: %d bytes vs %d", len(got), len(body))
+	}
+	s := tr.Stats()
+	if s.Requests != 1 || s.Faults() != 0 {
+		t.Fatalf("off profile injected faults: %v", s)
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	tr, err := NewTransport(Profile{ResetProb: 1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	_, err = client.Get("http://127.0.0.1:0/never-dialed")
+	if err == nil || !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got %v", err)
+	}
+}
+
+func TestTransport5xx(t *testing.T) {
+	tr, err := NewTransport(Profile{Error5xxProb: 1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get("http://127.0.0.1:0/never-dialed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestTransportTruncation(t *testing.T) {
+	body := strings.Repeat("y", 20_000)
+	srv := httptest.NewServer(backendOK(t, body))
+	defer srv.Close()
+	tr, err := NewTransport(Profile{TruncateProb: 1, TruncateFrac: 0.25}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want unexpected EOF, got %v after %d bytes", err, len(got))
+	}
+	if len(got) != len(body)/4 {
+		t.Fatalf("delivered %d bytes, want %d", len(got), len(body)/4)
+	}
+}
+
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	tr, err := NewTransport(Profile{LatencyProb: 1, LatencyMin: time.Hour, LatencyMax: time.Hour}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://127.0.0.1:0/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = tr.RoundTrip(req)
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestTransportTimeScaleCompressesLatency(t *testing.T) {
+	srv := httptest.NewServer(backendOK(t, "ok"))
+	defer srv.Close()
+	p := Profile{LatencyProb: 1, LatencyMin: 500 * time.Millisecond, LatencyMax: 500 * time.Millisecond, TimeScale: 100}
+	tr, err := NewTransport(p, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("scaled 5 ms latency took %v", elapsed)
+	}
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	body := strings.Repeat("z", 50_000)
+	inner := backendOK(t, body)
+
+	t.Run("off", func(t *testing.T) {
+		h, err := Middleware(Profile{}, 1, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		if err != nil || len(got) != len(body) {
+			t.Fatalf("off middleware mutated response: %d bytes, err %v", len(got), err)
+		}
+	})
+
+	t.Run("5xx", func(t *testing.T) {
+		h, err := Middleware(Profile{Error5xxProb: 1}, 1, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", resp.StatusCode)
+		}
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		h, err := Middleware(Profile{ResetProb: 1}, 1, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatal("want transport error for dropped connection")
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		h, err := Middleware(Profile{TruncateProb: 1, TruncateFrac: 0.5}, 1, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, readErr := io.ReadAll(resp.Body)
+		if readErr == nil && len(got) == len(body) {
+			t.Fatal("truncation did not shorten the body")
+		}
+		if len(got) >= len(body) {
+			t.Fatalf("delivered %d of %d bytes", len(got), len(body))
+		}
+	})
+
+	t.Run("dribble", func(t *testing.T) {
+		p := Profile{DribbleProb: 1, DribbleChunk: 8 * 1024, DribbleDelay: time.Millisecond}
+		h, err := Middleware(p, 1, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		if err != nil || len(got) != len(body) {
+			t.Fatalf("dribbled body corrupted: %d bytes, err %v", len(got), err)
+		}
+	})
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Requests: 10, Errors5xx: 2, Resets: 1}
+	if s.Faults() != 3 {
+		t.Fatalf("Faults() = %d, want 3", s.Faults())
+	}
+	if !strings.Contains(s.String(), "5xx=2") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

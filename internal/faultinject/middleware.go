@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Handler injects faults on the server side, in front of an inner
+// http.Handler. It produces the same failure modes as Transport but from
+// the origin's perspective: injected 5xx responses, dropped connections,
+// bodies cut or dribbled mid-write.
+type Handler struct {
+	in   *Injector
+	next http.Handler
+}
+
+// Middleware wraps next with server-side fault injection.
+func Middleware(p Profile, seed int64, next http.Handler) (*Handler, error) {
+	in, err := NewInjector(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Handler{in: in, next: next}, nil
+}
+
+// Stats returns the lifetime fault counters.
+func (h *Handler) Stats() Stats { return h.in.Stats() }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d := h.in.next()
+	if d.latency > 0 {
+		if err := sleepCtx(r.Context(), d.latency); err != nil {
+			return
+		}
+	}
+	if d.reset {
+		// ErrAbortHandler makes net/http drop the connection without a
+		// response — the client sees a mid-air reset.
+		panic(http.ErrAbortHandler)
+	}
+	if d.error5xx {
+		http.Error(w, "faultinject: injected server error", http.StatusServiceUnavailable)
+		return
+	}
+	if d.truncate || d.dribble || d.throttleBps > 0 {
+		fw := &faultWriter{
+			ResponseWriter: w,
+			ctx:            r.Context(),
+			profile:        h.in.profile,
+			truncating:     d.truncate,
+			bps:            d.throttleBps,
+			scale:          h.in.profile.TimeScale,
+		}
+		if d.dribble {
+			fw.chunk, fw.delay = h.in.dribbleParams()
+		}
+		h.next.ServeHTTP(fw, r)
+		if fw.aborted {
+			// Cut the connection after the partial body so the client's
+			// read fails rather than short-succeeding.
+			panic(http.ErrAbortHandler)
+		}
+		return
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+// faultWriter applies body faults while the inner handler writes.
+type faultWriter struct {
+	http.ResponseWriter
+	ctx     context.Context
+	profile Profile
+
+	truncating bool
+	cut        int64 // resolved truncation point (0 = not yet known)
+	written    int64
+	aborted    bool
+
+	chunk int
+	delay time.Duration
+	bps   float64
+	scale float64
+}
+
+// WriteHeader resolves the truncation point from the declared length.
+func (w *faultWriter) WriteHeader(code int) {
+	w.resolveCut()
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *faultWriter) resolveCut() {
+	if w.truncating && w.cut == 0 {
+		w.cut = w.profile.truncateAt(declaredLength(w.Header()))
+	}
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	w.resolveCut()
+	if w.aborted {
+		// Swallow the rest of the body; the wrapper panics after the
+		// handler returns.
+		return len(p), nil
+	}
+	total := len(p)
+	if w.truncating && w.written+int64(total) >= w.cut {
+		p = p[:w.cut-w.written]
+		w.aborted = true
+	}
+	for len(p) > 0 {
+		chunk := p
+		if w.chunk > 0 && len(chunk) > w.chunk {
+			chunk = chunk[:w.chunk]
+		} else if w.bps > 0 && len(chunk) > 32*1024 {
+			chunk = chunk[:32*1024]
+		}
+		n, err := w.ResponseWriter.Write(chunk)
+		w.written += int64(n)
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+		if err := w.pace(n); err != nil {
+			return total, err
+		}
+	}
+	// Report full success so handlers keep their own accounting simple;
+	// the dropped tail is the fault.
+	return total, nil
+}
+
+// pace sleeps according to the dribble/throttle settings, flushing first so
+// the partial body actually hits the wire.
+func (w *faultWriter) pace(n int) error {
+	var d time.Duration
+	if w.delay > 0 {
+		d = w.delay
+	}
+	if w.bps > 0 {
+		t := time.Duration(float64(n*8) / w.bps * float64(time.Second))
+		if w.scale > 0 && w.scale != 1 {
+			t = time.Duration(float64(t) / w.scale)
+		}
+		if t > d {
+			d = t
+		}
+	}
+	if d <= 0 {
+		return nil
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	return sleepCtx(w.ctx, d)
+}
+
+// declaredLength parses a Content-Length header value (-1 when absent or
+// malformed).
+func declaredLength(h http.Header) int64 {
+	cl := h.Get("Content-Length")
+	if cl == "" {
+		return -1
+	}
+	var n int64
+	for _, c := range cl {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int64(c-'0')
+		if n > 1<<50 {
+			return -1
+		}
+	}
+	return n
+}

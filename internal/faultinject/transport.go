@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects faults in front of a base
+// transport. Install it in an http.Client (or hand it to
+// httpstream.ClientConfig.Transport) to chaos-test a client without
+// touching the server.
+type Transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// NewTransport builds a fault-injecting transport over base (nil base means
+// http.DefaultTransport).
+func NewTransport(p Profile, seed int64, base http.RoundTripper) (*Transport, error) {
+	in, err := NewInjector(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{in: in, base: base}, nil
+}
+
+// Stats returns the lifetime fault counters.
+func (t *Transport) Stats() Stats { return t.in.Stats() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.next()
+	if d.latency > 0 {
+		if err := sleepCtx(req.Context(), d.latency); err != nil {
+			return nil, err
+		}
+	}
+	if d.reset {
+		return nil, fmt.Errorf("faultinject: %s %s: %w", req.Method, req.URL.Path, ErrReset)
+	}
+	if d.error5xx {
+		return synthesize5xx(req), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.truncate {
+		cut := t.in.profile.truncateAt(resp.ContentLength)
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: cut}
+	}
+	if d.dribble {
+		chunk, delay := t.in.dribbleParams()
+		resp.Body = &pacedBody{rc: resp.Body, ctx: req.Context(), chunk: chunk, delay: delay}
+	}
+	if d.throttleBps > 0 {
+		resp.Body = &throttledBody{rc: resp.Body, ctx: req.Context(), bps: d.throttleBps, scale: t.in.profile.TimeScale}
+	}
+	return resp, nil
+}
+
+// synthesize5xx fabricates a 503 without contacting the server.
+func synthesize5xx(req *http.Request) *http.Response {
+	body := "faultinject: injected server error\n"
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// sleepCtx sleeps for d, aborting early when the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// truncatedBody delivers remaining bytes and then fails with an unexpected
+// EOF, mimicking a connection cut mid-body.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// The upstream body ended before the cut; keep the EOF honest.
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// pacedBody dribbles reads in small chunks with a fixed delay per chunk.
+type pacedBody struct {
+	rc    io.ReadCloser
+	ctx   context.Context
+	chunk int
+	delay time.Duration
+}
+
+func (b *pacedBody) Read(p []byte) (int, error) {
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	n, err := b.rc.Read(p)
+	if n > 0 && err == nil {
+		if serr := sleepCtx(b.ctx, b.delay); serr != nil {
+			return n, serr
+		}
+	}
+	return n, err
+}
+
+func (b *pacedBody) Close() error { return b.rc.Close() }
+
+// throttledBody paces reads to a target bit rate.
+type throttledBody struct {
+	rc    io.ReadCloser
+	ctx   context.Context
+	bps   float64
+	scale float64
+}
+
+func (b *throttledBody) Read(p []byte) (int, error) {
+	// Cap per-read chunks so the pacing stays smooth.
+	if len(p) > 32*1024 {
+		p = p[:32*1024]
+	}
+	n, err := b.rc.Read(p)
+	if n > 0 && err == nil {
+		d := time.Duration(float64(n*8) / b.bps * float64(time.Second))
+		if b.scale > 0 && b.scale != 1 {
+			d = time.Duration(float64(d) / b.scale)
+		}
+		if serr := sleepCtx(b.ctx, d); serr != nil {
+			return n, serr
+		}
+	}
+	return n, err
+}
+
+func (b *throttledBody) Close() error { return b.rc.Close() }

@@ -1,12 +1,15 @@
 package httpstream
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"ptile360/internal/abr"
@@ -38,6 +41,27 @@ type ClientConfig struct {
 	// UseMPC selects the energy-minimizing controller; false streams with
 	// the rate-based baseline.
 	UseMPC bool
+
+	// RequestTimeout bounds each HTTP request (one manifest fetch or one
+	// segment download attempt) via context. Zero means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Retry governs failed-request handling. The zero value means
+	// DefaultRetryPolicy().
+	Retry RetryPolicy
+	// RetrySeed seeds the backoff jitter so resilience runs reproduce
+	// exactly. Zero means seed 1.
+	RetrySeed int64
+	// Transport optionally replaces the HTTP transport — e.g. a
+	// faultinject.Transport for chaos testing. Nil uses the default
+	// transport; the healthy path is then byte-identical to a client
+	// without the resilience layer, because retries and degradation only
+	// engage on failure.
+	Transport http.RoundTripper
+	// NoDegrade disables the degradation ladder: after the retry budget of
+	// the chosen rung is exhausted the session fails instead of stepping
+	// down to cheaper rungs and, ultimately, abandoning the segment.
+	NoDegrade bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -45,14 +69,29 @@ func (c ClientConfig) Validate() error {
 	if c.BaseURL == "" {
 		return fmt.Errorf("httpstream: empty base URL")
 	}
-	if _, err := url.Parse(c.BaseURL); err != nil {
+	u, err := url.Parse(c.BaseURL)
+	if err != nil {
 		return fmt.Errorf("httpstream: bad base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("httpstream: base URL %q: scheme %q is not http(s)", c.BaseURL, u.Scheme)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("httpstream: base URL %q has no host", c.BaseURL)
 	}
 	if c.TimeCompression < 0 {
 		return fmt.Errorf("httpstream: negative time compression %g", c.TimeCompression)
 	}
 	if c.MaxSegments < 0 {
 		return fmt.Errorf("httpstream: negative segment cap %d", c.MaxSegments)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("httpstream: negative request timeout %v", c.RequestTimeout)
+	}
+	if c.Retry != (RetryPolicy{}) {
+		if err := c.Retry.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -73,6 +112,24 @@ type SegmentRecord struct {
 	FromPtile bool
 	// EnergyMJ is the Eq. 1 energy estimate for the segment.
 	EnergyMJ float64
+	// PerceivedQuality is the Q(v, f) of the served version.
+	PerceivedQuality float64
+	// BufferSec is the buffer level when the download started.
+	BufferSec float64
+	// Emergency reports a stall-accepting controller fallback decision.
+	Emergency bool
+	// Retries counts failed download attempts before the segment was
+	// served (or given up on).
+	Retries int
+	// DegradeSteps counts ladder rungs dropped below the controller's
+	// choice before an attempt succeeded.
+	DegradeSteps int
+	// Abandoned reports that every rung failed and playback skipped the
+	// segment.
+	Abandoned bool
+	// StallSec is the rebuffering time charged to this segment, including
+	// the deadline miss of an abandoned segment.
+	StallSec float64
 }
 
 // SessionReport summarizes a client streaming run.
@@ -85,18 +142,39 @@ type SessionReport struct {
 	TotalEnergyMJ float64
 	// PtileSegments counts Ptile-served segments.
 	PtileSegments int
+	// TotalRetries counts failed download attempts across the session.
+	TotalRetries int
+	// DegradedSegments counts segments served below the controller's
+	// chosen rung.
+	DegradedSegments int
+	// AbandonedSegments counts segments skipped after the ladder was
+	// exhausted.
+	AbandonedSegments int
+	// Stalls counts segments that charged rebuffering time.
+	Stalls int
+	// TotalStallSec is the summed rebuffering time.
+	TotalStallSec float64
 }
 
 // Client streams a video from a Server, driving the paper's controller over
-// real HTTP.
+// real HTTP. It survives flaky transports: per-request timeouts, bounded
+// retries with exponential backoff and jitter, and a degradation ladder
+// that steps down to cheaper rungs — abandoning a segment only when every
+// rung has failed — so an unreliable network degrades the session instead
+// of killing it.
 type Client struct {
-	cfg  ClientConfig
-	http *http.Client
-	pm   power.Model
-	mpc  *abr.EnergyMPC
-	rate *abr.RateBased
-	enc  video.EncoderConfig
-	grid geom.Grid
+	cfg     ClientConfig
+	http    *http.Client
+	pm      power.Model
+	mpc     *abr.EnergyMPC
+	rate    *abr.RateBased
+	enc     video.EncoderConfig
+	grid    geom.Grid
+	timeout time.Duration
+	retry   RetryPolicy
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand // backoff jitter draws
 }
 
 // NewClient validates the configuration and builds a client.
@@ -120,44 +198,138 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	retry := cfg.Retry
+	if retry == (RetryPolicy{}) {
+		retry = DefaultRetryPolicy()
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = 1
+	}
+	hc := &http.Client{Timeout: 2 * time.Minute}
+	if cfg.Transport != nil {
+		hc.Transport = cfg.Transport
+	}
 	return &Client{
-		cfg:  cfg,
-		http: &http.Client{Timeout: 2 * time.Minute},
-		pm:   pm,
-		mpc:  mpc,
-		rate: rb,
-		enc:  video.DefaultEncoderConfig(),
-		grid: grid,
+		cfg:     cfg,
+		http:    hc,
+		pm:      pm,
+		mpc:     mpc,
+		rate:    rb,
+		enc:     video.DefaultEncoderConfig(),
+		grid:    grid,
+		timeout: timeout,
+		retry:   retry,
+		rng:     rand.New(rand.NewSource(seed)),
 	}, nil
+}
+
+// jitter draws a uniform jitter sample under the client lock.
+func (c *Client) jitter() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// backoffWait sleeps the policy's backoff before the retry-th retry,
+// aborting promptly when the session context dies.
+func (c *Client) backoffWait(ctx context.Context, retry int) error {
+	return sleepCtx(ctx, c.retry.Backoff(retry, c.jitter()))
+}
+
+// cancelBody ties a request-scoped cancel to the response body's Close so
+// per-request contexts do not leak.
+type cancelBody struct {
+	rc     io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Read(p []byte) (int, error) { return b.rc.Read(p) }
+func (b *cancelBody) Close() error {
+	err := b.rc.Close()
+	b.cancel()
+	return err
+}
+
+// get issues one GET bounded by the per-request timeout.
+func (c *Client) get(ctx context.Context, rawURL string) (*http.Response, error) {
+	reqCtx, cancel := ctx, context.CancelFunc(func() {})
+	if c.timeout > 0 {
+		reqCtx, cancel = context.WithTimeout(ctx, c.timeout)
+	}
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{rc: resp.Body, cancel: cancel}
+	return resp, nil
 }
 
 // FetchManifest downloads and decodes the manifest for the given video.
 func (c *Client) FetchManifest(videoID int) (*Manifest, error) {
-	resp, err := c.http.Get(fmt.Sprintf("%s/manifest?video=%d", c.cfg.BaseURL, videoID))
+	return c.FetchManifestContext(context.Background(), videoID)
+}
+
+// FetchManifestContext is FetchManifest bounded by a session context, with
+// the client's retry policy applied to transient failures.
+func (c *Client) FetchManifestContext(ctx context.Context, videoID int) (*Manifest, error) {
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoffWait(ctx, attempt); err != nil {
+				return nil, fmt.Errorf("httpstream: fetch manifest: %w", err)
+			}
+		}
+		m, err := c.fetchManifestOnce(ctx, videoID)
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+		attempts++
+		if !retryable(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("httpstream: fetch manifest (%d attempts): %w", attempts, lastErr)
+}
+
+func (c *Client) fetchManifestOnce(ctx context.Context, videoID int) (*Manifest, error) {
+	resp, err := c.get(ctx, fmt.Sprintf("%s/manifest?video=%d", c.cfg.BaseURL, videoID))
 	if err != nil {
-		return nil, fmt.Errorf("httpstream: fetch manifest: %w", err)
+		return nil, fmt.Errorf("fetch manifest: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("httpstream: manifest status %s", resp.Status)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("manifest: %w", &statusError{code: resp.StatusCode, status: resp.Status})
 	}
-	var m Manifest
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return nil, fmt.Errorf("httpstream: decode manifest: %w", err)
-	}
-	if len(m.Segments) == 0 {
-		return nil, fmt.Errorf("httpstream: empty manifest")
-	}
-	return &m, nil
+	return DecodeManifest(resp.Body)
 }
 
 // Stream plays the whole video for the given viewer, returning the
 // per-segment accounting.
 func (c *Client) Stream(videoID int, viewer *headtrace.Trace) (*SessionReport, error) {
+	return c.StreamContext(context.Background(), videoID, viewer)
+}
+
+// StreamContext plays the video under a session context: cancelling it
+// aborts the session promptly, including mid-backoff and mid-download.
+func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtrace.Trace) (*SessionReport, error) {
 	if viewer == nil || len(viewer.Samples) == 0 {
 		return nil, fmt.Errorf("httpstream: empty viewer trace")
 	}
-	man, err := c.FetchManifest(videoID)
+	man, err := c.FetchManifestContext(ctx, videoID)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +348,9 @@ func (c *Client) Stream(videoID int, viewer *headtrace.Trace) (*SessionReport, e
 	virtual := 0.0 // virtual wall-clock (seconds) for trace shaping
 
 	for seg := 0; seg < n; seg++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("httpstream: session cancelled at segment %d: %w", seg, err)
+		}
 		// Viewport prediction from played history.
 		played := float64(seg)*man.SegmentSec - buffer
 		if played < 0 {
@@ -229,18 +404,53 @@ func (c *Client) Stream(videoID int, viewer *headtrace.Trace) (*SessionReport, e
 		if err != nil {
 			return nil, err
 		}
-		chosen := decision.Chosen
 
-		// Download over HTTP, pacing reads against the shaping trace.
-		nBytes, elapsed, err := c.download(videoID, seg, chosen, ptIdx, center, &virtual)
+		// Download over HTTP with retries and the degradation ladder,
+		// pacing reads against the shaping trace.
+		out, err := c.downloadResilient(ctx, videoID, seg, degradeLadder(options, decision.Chosen), ptIdx, center, &virtual)
 		if err != nil {
 			return nil, err
 		}
-		throughput := float64(nBytes*8) / elapsed
+		bufferBefore := buffer
+
+		if out.abandoned {
+			// Every rung failed: playback skips the segment. The deadline
+			// miss freezes the display for the segment duration on top of
+			// whatever buffer the failed attempts burned.
+			stall := out.wasted - bufferBefore
+			if stall < 0 {
+				stall = 0
+			}
+			stall += man.SegmentSec
+			if buffer -= out.wasted; buffer < 0 {
+				buffer = 0
+			}
+			rec := SegmentRecord{
+				Segment:   seg,
+				Abandoned: true,
+				Retries:   out.retries,
+				BufferSec: bufferBefore,
+				StallSec:  stall,
+			}
+			report.Segments = append(report.Segments, rec)
+			report.TotalRetries += out.retries
+			report.AbandonedSegments++
+			report.Stalls++
+			report.TotalStallSec += stall
+			continue
+		}
+
+		chosen := out.used
+		throughput := float64(out.bytes*8) / out.elapsed
 		if err := bw.Observe(throughput); err != nil {
 			return nil, err
 		}
-		if buffer -= elapsed; buffer < 0 {
+		spent := out.elapsed + out.wasted
+		stall := spent - bufferBefore
+		if stall < 0 {
+			stall = 0
+		}
+		if buffer -= spent; buffer < 0 {
 			buffer = 0
 		}
 		buffer += man.SegmentSec
@@ -248,24 +458,38 @@ func (c *Client) Stream(videoID int, viewer *headtrace.Trace) (*SessionReport, e
 			buffer = 3 + man.SegmentSec
 		}
 
-		e, err := c.pm.Segment(power.PtileScheme, float64(nBytes*8), throughput, chosen.FrameRate, man.SegmentSec)
+		e, err := c.pm.Segment(power.PtileScheme, float64(out.bytes*8), throughput, chosen.FrameRate, man.SegmentSec)
 		if err != nil {
 			return nil, err
 		}
 		rec := SegmentRecord{
-			Segment:       seg,
-			Quality:       chosen.Quality,
-			FrameRate:     chosen.FrameRate,
-			Bytes:         nBytes,
-			ThroughputBps: throughput,
-			FromPtile:     ptIdx >= 0,
-			EnergyMJ:      e.Total(),
+			Segment:          seg,
+			Quality:          chosen.Quality,
+			FrameRate:        chosen.FrameRate,
+			Bytes:            out.bytes,
+			ThroughputBps:    throughput,
+			FromPtile:        ptIdx >= 0,
+			EnergyMJ:         e.Total(),
+			PerceivedQuality: chosen.PerceivedQuality,
+			BufferSec:        bufferBefore,
+			Emergency:        decision.Emergency,
+			Retries:          out.retries,
+			DegradeSteps:     out.degradeSteps,
+			StallSec:         stall,
 		}
 		report.Segments = append(report.Segments, rec)
-		report.TotalBytes += nBytes
+		report.TotalBytes += out.bytes
 		report.TotalEnergyMJ += rec.EnergyMJ
 		if rec.FromPtile {
 			report.PtileSegments++
+		}
+		report.TotalRetries += out.retries
+		if out.degradeSteps > 0 {
+			report.DegradedSegments++
+		}
+		if stall > 0 {
+			report.Stalls++
+			report.TotalStallSec += stall
 		}
 	}
 	return report, nil
@@ -339,9 +563,82 @@ func (c *Client) options(man *Manifest, seg int, havePtile bool, ptRect geom.Rec
 	return out, nil
 }
 
-// download GETs one segment and paces reads against the shaping trace,
-// returning the byte count and the (virtual) elapsed seconds.
-func (c *Client) download(videoID, seg int, chosen abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (int64, float64, error) {
+// degradeLadder orders the fallback rungs for a segment: the controller's
+// choice first, then every cheaper (smaller) version by descending size,
+// ending at the smallest. Repeated failure walks down this ladder.
+func degradeLadder(options []abr.OptionMeta, chosen abr.OptionMeta) []abr.OptionMeta {
+	rungs := make([]abr.OptionMeta, 0, len(options))
+	for _, o := range options {
+		if o.Option == chosen.Option || o.SizeBits < chosen.SizeBits {
+			rungs = append(rungs, o)
+		}
+	}
+	sort.SliceStable(rungs, func(i, j int) bool {
+		if rungs[i].Option == chosen.Option {
+			return true
+		}
+		if rungs[j].Option == chosen.Option {
+			return false
+		}
+		return rungs[i].SizeBits > rungs[j].SizeBits
+	})
+	return rungs
+}
+
+// downloadOutcome is the result of the retry/degradation loop for one
+// segment.
+type downloadOutcome struct {
+	bytes        int64
+	elapsed      float64 // successful attempt's (virtual) download time
+	wasted       float64 // time burned on failed attempts
+	used         abr.OptionMeta
+	retries      int
+	degradeSteps int
+	abandoned    bool
+}
+
+// downloadResilient walks the degradation ladder: each rung gets the retry
+// budget, and when every rung is exhausted the segment is abandoned rather
+// than failing the session. Only context cancellation and permanent (4xx)
+// errors propagate.
+func (c *Client) downloadResilient(ctx context.Context, videoID, seg int, ladder []abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (downloadOutcome, error) {
+	var out downloadOutcome
+	var lastErr error
+	for rung, opt := range ladder {
+		for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+			if attempt > 0 {
+				if err := c.backoffWait(ctx, attempt); err != nil {
+					return out, fmt.Errorf("httpstream: segment %d: %w", seg, err)
+				}
+			}
+			nBytes, elapsed, err := c.downloadOnce(ctx, videoID, seg, opt, ptIdx, center, virtual)
+			if err == nil {
+				out.bytes, out.elapsed, out.used, out.degradeSteps = nBytes, elapsed, opt, rung
+				return out, nil
+			}
+			out.retries++
+			out.wasted += elapsed
+			lastErr = err
+			if ctx.Err() != nil {
+				return out, fmt.Errorf("httpstream: segment %d: %w", seg, ctx.Err())
+			}
+			if !retryable(err) {
+				return out, err
+			}
+		}
+		if c.cfg.NoDegrade {
+			return out, fmt.Errorf("httpstream: segment %d failed after %d attempts: %w", seg, out.retries, lastErr)
+		}
+	}
+	out.abandoned = true
+	return out, nil
+}
+
+// downloadOnce GETs one segment version and paces reads against the shaping
+// trace, returning the byte count and the (virtual) elapsed seconds. On
+// failure the partial byte count and elapsed time are still returned so the
+// caller can account the waste.
+func (c *Client) downloadOnce(ctx context.Context, videoID, seg int, chosen abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (int64, float64, error) {
 	u := fmt.Sprintf("%s/segment?video=%d&seg=%d&q=%d&f=%s",
 		c.cfg.BaseURL, videoID, seg, int(chosen.Quality),
 		strconv.FormatFloat(chosen.FrameRate, 'f', -1, 64))
@@ -350,17 +647,23 @@ func (c *Client) download(videoID, seg int, chosen abr.OptionMeta, ptIdx int, ce
 	} else {
 		u += fmt.Sprintf("&cx=%g&cy=%g", center.X, center.Y)
 	}
-	resp, err := c.http.Get(u)
+	resp, err := c.get(ctx, u)
 	if err != nil {
 		return 0, 0, fmt.Errorf("httpstream: segment %d: %w", seg, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("httpstream: segment %d: status %s", seg, resp.Status)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, 0, fmt.Errorf("httpstream: segment %d: %w", seg, &statusError{code: resp.StatusCode, status: resp.Status})
+	}
+	hdr, err := ParseSegmentHeader(resp.Header)
+	if err != nil {
+		return 0, 0, fmt.Errorf("httpstream: segment %d: %w", seg, err)
 	}
 
 	start := time.Now()
 	var nBytes int64
+	var readErr error
 	buf := make([]byte, 64*1024)
 	for {
 		n, err := resp.Body.Read(buf)
@@ -377,11 +680,19 @@ func (c *Client) download(videoID, seg int, chosen abr.OptionMeta, ptIdx int, ce
 			}
 			time.Sleep(time.Duration(dt / compression * float64(time.Second)))
 		}
+		if nBytes > maxSegmentBytes {
+			readErr = fmt.Errorf("body exceeds cap %d", int64(maxSegmentBytes))
+			break
+		}
 		if err == io.EOF {
+			if hdr.ContentLength >= 0 && nBytes != hdr.ContentLength {
+				readErr = fmt.Errorf("truncated body: %d of %d bytes: %w", nBytes, hdr.ContentLength, io.ErrUnexpectedEOF)
+			}
 			break
 		}
 		if err != nil {
-			return 0, 0, fmt.Errorf("httpstream: segment %d read: %w", seg, err)
+			readErr = err
+			break
 		}
 	}
 	elapsed := time.Since(start).Seconds()
@@ -391,6 +702,9 @@ func (c *Client) download(videoID, seg int, chosen abr.OptionMeta, ptIdx int, ce
 	}
 	if elapsed <= 0 {
 		elapsed = 1e-6
+	}
+	if readErr != nil {
+		return nBytes, elapsed, fmt.Errorf("httpstream: segment %d read: %w", seg, readErr)
 	}
 	return nBytes, elapsed, nil
 }

@@ -22,41 +22,52 @@ type harness struct {
 	eval   []*headtrace.Trace
 }
 
-var harnessCache *harness
+// The harness is expensive (catalog build) and shared across the whole
+// package, including parallel and fuzz workers — build it exactly once
+// behind a sync.Once so the cache is race-clean.
+var (
+	harnessOnce  sync.Once
+	harnessCache *harness
+	harnessErr   error
+)
 
 func newHarness(t *testing.T) *harness {
 	t.Helper()
-	if harnessCache != nil {
-		return harnessCache
+	harnessOnce.Do(func() { harnessCache, harnessErr = buildHarness() })
+	if harnessErr != nil {
+		t.Fatal(harnessErr)
 	}
+	return harnessCache
+}
+
+func buildHarness() (*harness, error) {
 	p, err := video.ProfileByID(2)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	gcfg := headtrace.DefaultGeneratorConfig()
 	gcfg.NumUsers = 14
 	ds, err := headtrace.Generate(p, gcfg, 11)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	train, eval, err := ds.SplitTrainEval(10, 3)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	ccfg, err := sim.DefaultCatalogConfig()
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	cat, err := sim.BuildCatalog(p, train, ccfg)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	srv, err := NewServer(map[int]*sim.Catalog{2: cat}, video.DefaultEncoderConfig(), []float64{30, 27, 24, 21})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
-	harnessCache = &harness{server: httptest.NewServer(srv), cat: cat, eval: eval}
-	return harnessCache
+	return &harness{server: httptest.NewServer(srv), cat: cat, eval: eval}, nil
 }
 
 func TestNewServerValidation(t *testing.T) {

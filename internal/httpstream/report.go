@@ -1,0 +1,34 @@
+package httpstream
+
+import (
+	"ptile360/internal/sim"
+)
+
+// SegmentTraces converts the HTTP session's per-segment accounting into the
+// simulator's record schema, so networked runs share the CSV tooling and
+// QoE/energy post-processing with trace-driven experiments — including the
+// resilience columns (retries, degradations, abandons) that keep chaos-run
+// accounting honest.
+func (r *SessionReport) SegmentTraces() []sim.SegmentTrace {
+	traces := make([]sim.SegmentTrace, 0, len(r.Segments))
+	for _, rec := range r.Segments {
+		traces = append(traces, sim.SegmentTrace{
+			Segment:       rec.Segment,
+			Quality:       rec.Quality,
+			FrameRate:     rec.FrameRate,
+			SizeBits:      float64(rec.Bytes * 8),
+			ThroughputBps: rec.ThroughputBps,
+			BufferSec:     rec.BufferSec,
+			Q0:            rec.PerceivedQuality,
+			Q:             rec.PerceivedQuality,
+			StallSec:      rec.StallSec,
+			EnergyMJ:      rec.EnergyMJ,
+			FromPtile:     rec.FromPtile,
+			Emergency:     rec.Emergency,
+			Retries:       rec.Retries,
+			Degraded:      rec.DegradeSteps > 0,
+			Abandoned:     rec.Abandoned,
+		})
+	}
+	return traces
+}

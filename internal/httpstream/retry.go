@@ -1,0 +1,119 @@
+package httpstream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DefaultRequestTimeout bounds a single HTTP request (one manifest fetch or
+// one segment download attempt) when ClientConfig.RequestTimeout is zero.
+const DefaultRequestTimeout = 30 * time.Second
+
+// RetryPolicy governs how the client handles failed requests: bounded
+// attempts per quality rung with exponential backoff and uniform jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the number of tries per rung (the first attempt plus
+	// MaxAttempts−1 retries). Must be ≥ 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (before jitter).
+	MaxDelay time.Duration
+	// Jitter is the uniform jitter fraction in [0, 1]: the actual wait is
+	// delay · (1 + Jitter·u) with u ~ U[0, 1).
+	Jitter float64
+}
+
+// DefaultRetryPolicy returns the client's standard failure handling:
+// 3 attempts per rung, 50 ms base backoff doubling up to 2 s, 50 % jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.5,
+	}
+}
+
+// Validate reports whether the policy is usable.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("httpstream: retry attempts %d < 1", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 {
+		return fmt.Errorf("httpstream: negative base delay %v", p.BaseDelay)
+	}
+	if p.MaxDelay < p.BaseDelay {
+		return fmt.Errorf("httpstream: max delay %v below base delay %v", p.MaxDelay, p.BaseDelay)
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		return fmt.Errorf("httpstream: jitter %g outside [0, 1]", p.Jitter)
+	}
+	return nil
+}
+
+// Backoff returns the wait before the retry-th retry (retry ≥ 1), given a
+// jitter draw u in [0, 1). The result is bounded by MaxDelay·(1+Jitter).
+func (p RetryPolicy) Backoff(retry int, u float64) time.Duration {
+	if retry < 1 || p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = 1
+	}
+	return d + time.Duration(p.Jitter*u*float64(d))
+}
+
+// statusError carries a non-200 HTTP status through the retry machinery so
+// 4xx (caller bugs) fail fast while 5xx (server trouble) retry.
+type statusError struct {
+	code   int
+	status string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %s", e.status) }
+
+// retryable classifies an attempt failure: client-side 4xx responses are
+// permanent; everything else (5xx, transport errors, truncation, per-attempt
+// deadlines) is worth retrying. Session-level cancellation is checked
+// separately by the retry loops.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// sleepCtx waits for d, aborting early when the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

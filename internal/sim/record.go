@@ -37,6 +37,15 @@ type SegmentTrace struct {
 	FromPtile bool
 	// Emergency reports a stall-accepting fallback decision.
 	Emergency bool
+	// Retries counts failed download attempts charged to this segment
+	// (zero in fault-free trace-driven runs).
+	Retries int
+	// Degraded reports the segment was served below the controller's
+	// chosen rung by the resilience ladder.
+	Degraded bool
+	// Abandoned reports playback skipped the segment after the resilience
+	// ladder was exhausted.
+	Abandoned bool
 }
 
 // WriteSegmentsCSV serializes per-segment traces as CSV for external
@@ -47,6 +56,7 @@ func WriteSegmentsCSV(w io.Writer, traces []SegmentTrace) error {
 	header := []string{
 		"segment", "quality", "fps", "size_bits", "throughput_bps",
 		"buffer_sec", "q0", "q", "stall_sec", "energy_mj", "from_ptile", "emergency",
+		"retries", "degraded", "abandoned",
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("sim: write header: %w", err)
@@ -65,6 +75,9 @@ func WriteSegmentsCSV(w io.Writer, traces []SegmentTrace) error {
 			strconv.FormatFloat(tr.EnergyMJ, 'f', 1, 64),
 			strconv.FormatBool(tr.FromPtile),
 			strconv.FormatBool(tr.Emergency),
+			strconv.Itoa(tr.Retries),
+			strconv.FormatBool(tr.Degraded),
+			strconv.FormatBool(tr.Abandoned),
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("sim: write segment %d: %w", tr.Segment, err)

@@ -78,8 +78,8 @@ func TestWriteSegmentsCSV(t *testing.T) {
 		t.Fatalf("header = %q", lines[0])
 	}
 	for _, line := range lines[1:] {
-		if got := strings.Count(line, ","); got != 11 {
-			t.Fatalf("row %q has %d commas, want 11", line, got)
+		if got := strings.Count(line, ","); got != 14 {
+			t.Fatalf("row %q has %d commas, want 14", line, got)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"ptile360/internal/headtrace"
@@ -19,41 +20,52 @@ type testFixture struct {
 	trace *lte.Trace
 }
 
-var fixtureCache *testFixture
+// The fixture is shared package-wide (notably by the stress tests); build
+// it once behind a sync.Once so the cache stays race-clean under -race and
+// t.Parallel.
+var (
+	fixtureOnce  sync.Once
+	fixtureCache *testFixture
+	fixtureErr   error
+)
 
 func fixture(t *testing.T) *testFixture {
 	t.Helper()
-	if fixtureCache != nil {
-		return fixtureCache
+	fixtureOnce.Do(func() { fixtureCache, fixtureErr = buildFixture() })
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
 	}
+	return fixtureCache
+}
+
+func buildFixture() (*testFixture, error) {
 	p, err := video.ProfileByID(2)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	gcfg := headtrace.DefaultGeneratorConfig()
 	gcfg.NumUsers = 16
 	ds, err := headtrace.Generate(p, gcfg, 42)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	train, eval, err := ds.SplitTrainEval(12, 7)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	ccfg, err := DefaultCatalogConfig()
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	cat, err := BuildCatalog(p, train, ccfg)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	_, tr2, err := lte.StandardTraces(300, 99)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
-	fixtureCache = &testFixture{cat: cat, eval: eval, trace: tr2}
-	return fixtureCache
+	return &testFixture{cat: cat, eval: eval, trace: tr2}, nil
 }
 
 func TestBuildCatalogShape(t *testing.T) {
