@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"text/tabwriter"
 
@@ -25,11 +28,15 @@ func main() {
 
 func run() int {
 	var (
-		expName   = flag.String("exp", "all", "experiment to run (e.g. table1, fig9, all)")
-		scaleName = flag.String("scale", "full", "workload scale: full or quick")
-		seed      = flag.Int64("seed", 42, "random seed")
-		list      = flag.Bool("list", false, "list available experiments and exit")
-		csvDir    = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		expName    = flag.String("exp", "all", "experiment to run (e.g. table1, fig9, all)")
+		scaleName  = flag.String("scale", "full", "workload scale: full or quick")
+		seed       = flag.Int64("seed", 42, "random seed")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		csvDir     = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		workers    = flag.Int("workers", 0, "worker-pool cap for the experiment engine (0 = GOMAXPROCS); outputs are identical for any value")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +47,53 @@ func run() int {
 		}
 		fmt.Println("  all")
 		return 0
+	}
+
+	ptile360.SetMaxWorkers(*workers)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: trace: %v\n", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: trace: %v\n", err)
+			return 1
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	var scale ptile360.Scale

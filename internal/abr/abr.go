@@ -122,11 +122,18 @@ type Decision struct {
 	Emergency bool
 }
 
-// EnergyMPC is the paper's controller. It is stateless across calls: the
-// caller supplies the current buffer, the bandwidth estimate, and the
-// horizon metadata each time (step (e) of the Section IV-C loop).
+// EnergyMPC is the paper's controller. It is semantically stateless across
+// calls — the caller supplies the current buffer, the bandwidth estimate,
+// and the horizon metadata each time (step (e) of the Section IV-C loop) —
+// but it reuses internal DP scratch buffers between decisions, so one
+// instance must not be shared by concurrent sessions (each sim.Run
+// constructs its own).
 type EnergyMPC struct {
 	cfg Config
+	// stages and feasBuf are DP scratch reused across Decide calls so the
+	// per-segment hot loop allocates nothing in steady state.
+	stages  [][]dpNode
+	feasBuf []int
 }
 
 // NewEnergyMPC validates the configuration and returns a controller.
@@ -197,10 +204,16 @@ func (m *EnergyMPC) Decide(bufferSec, rateBps float64, horizon []SegmentMeta) (D
 
 	const inf = math.MaxFloat64
 	// stages[i][s] is the best way to be in buffer state s after downloading
-	// horizon segment i.
-	stages := make([][]dpNode, h)
+	// horizon segment i. The tables are recycled across Decide calls.
+	for len(m.stages) < h {
+		m.stages = append(m.stages, nil)
+	}
+	stages := m.stages[:h]
 	for i := range stages {
-		stages[i] = make([]dpNode, nStates)
+		if len(stages[i]) != nStates {
+			stages[i] = make([]dpNode, nStates)
+			m.stages[i] = stages[i]
+		}
 		for s := range stages[i] {
 			stages[i][s] = dpNode{cost: inf, choice: -1, prevState: -1}
 		}
@@ -208,22 +221,23 @@ func (m *EnergyMPC) Decide(bufferSec, rateBps float64, horizon []SegmentMeta) (D
 
 	initState := quant(bufferSec)
 	for i := 0; i < h; i++ {
-		type source struct {
-			state int
-			cost  float64
-		}
-		var sources []source
+		// Source states in ascending order — the same traversal the
+		// sources-slice formulation produced.
+		lo, hi := 0, nStates
 		if i == 0 {
-			sources = []source{{state: initState, cost: 0}}
-		} else {
-			for s := 0; s < nStates; s++ {
-				if stages[i-1][s].cost < inf {
-					sources = append(sources, source{state: s, cost: stages[i-1][s].cost})
-				}
-			}
+			lo, hi = initState, initState+1
 		}
-		for _, src := range sources {
-			b := unquant(src.state)
+		for srcState := lo; srcState < hi; srcState++ {
+			var srcCost float64
+			if i == 0 {
+				srcCost = 0
+			} else {
+				if !(stages[i-1][srcState].cost < inf) {
+					continue
+				}
+				srcCost = stages[i-1][srcState].cost
+			}
+			b := unquant(srcState)
 			if i == 0 {
 				// The initial buffer is continuous, not a grid point.
 				b = math.Min(bufferSec, m.cfg.BufferCapSec)
@@ -233,11 +247,11 @@ func (m *EnergyMPC) Decide(bufferSec, rateBps float64, horizon []SegmentMeta) (D
 				o := horizon[i].Options[oi]
 				dl := o.SizeBits / planRate
 				nb := math.Max(b-dl, 0) + m.cfg.SegmentSec
-				cost := src.cost + m.energy(o, rateBps)
+				cost := srcCost + m.energy(o, rateBps)
 				ns := quant(nb)
 				node := &stages[i][ns]
 				if cost < node.cost {
-					*node = dpNode{cost: cost, choice: oi, prevState: src.state, emergency: emergency}
+					*node = dpNode{cost: cost, choice: oi, prevState: srcState, emergency: emergency}
 				}
 			}
 		}
@@ -272,8 +286,12 @@ func (m *EnergyMPC) Decide(bufferSec, rateBps float64, horizon []SegmentMeta) (D
 // feasibleOptions returns the option indices that (a) download without
 // draining the buffer (Eq. 7) and (b) satisfy the ε QoE-loss constraint
 // (8c) against the best downloadable version (v_m, f_m). When nothing
-// downloads in time, it returns the smallest option as an emergency.
+// downloads in time, it returns the smallest option as an emergency. The
+// returned slice aliases the controller's scratch buffer and is valid only
+// until the next call.
 func (m *EnergyMPC) feasibleOptions(options []OptionMeta, bufferSec, rateBps float64) (idx []int, emergency bool) {
+	idx = m.feasBuf[:0]
+	defer func() { m.feasBuf = idx }()
 	qMax := math.Inf(-1)
 	for _, o := range options {
 		if o.SizeBits/rateBps <= bufferSec && o.PerceivedQuality > qMax {
@@ -289,7 +307,7 @@ func (m *EnergyMPC) feasibleOptions(options []OptionMeta, bufferSec, rateBps flo
 				smallest, size = i, o.SizeBits
 			}
 		}
-		return []int{smallest}, true
+		return append(idx, smallest), true
 	}
 	floor := (1 - m.cfg.Epsilon) * qMax
 	for i, o := range options {

@@ -11,11 +11,15 @@ import (
 // instead of minimizing energy. It ignores energy entirely, which makes it
 // the natural comparison point for quantifying what the paper's objective
 // swap costs and saves.
+// Like EnergyMPC it reuses DP scratch between decisions, so an instance
+// must not be shared by concurrent sessions.
 type QoEMPC struct {
 	cfg Config
 	// SwitchWeight penalizes |Q_i − Q_{i−1}| between consecutive segments
 	// (the Eq. 2 ω_v).
 	switchWeight float64
+	// stages is DP scratch reused across Decide calls.
+	stages [][]qoeNode
 }
 
 // NewQoEMPC validates the configuration and returns a QoE-maximizing
@@ -82,29 +86,40 @@ func (m *QoEMPC) Decide(bufferSec, rateBps, prevQuality float64, horizon []Segme
 	}
 	unquant := func(s int) float64 { return float64(s) * m.cfg.GranularitySec }
 
-	stages := make([][]qoeNode, h)
+	// The Bellman tables are recycled across Decide calls.
+	for len(m.stages) < h {
+		m.stages = append(m.stages, nil)
+	}
+	stages := m.stages[:h]
 	for i := range stages {
-		stages[i] = make([]qoeNode, nStates)
+		if len(stages[i]) != nStates {
+			stages[i] = make([]qoeNode, nStates)
+			m.stages[i] = stages[i]
+		}
+		for s := range stages[i] {
+			stages[i][s] = qoeNode{}
+		}
 	}
 
 	initState := quant(bufferSec)
 	for i := 0; i < h; i++ {
-		type source struct {
-			state int
-			node  qoeNode
-		}
-		var sources []source
+		// Source states in ascending order — the same traversal the
+		// sources-slice formulation produced.
+		lo, hi := 0, nStates
 		if i == 0 {
-			sources = []source{{state: initState, node: qoeNode{value: 0, prevQ: prevQuality, valid: true}}}
-		} else {
-			for s := 0; s < nStates; s++ {
-				if stages[i-1][s].valid {
-					sources = append(sources, source{state: s, node: stages[i-1][s]})
-				}
-			}
+			lo, hi = initState, initState+1
 		}
-		for _, src := range sources {
-			b := unquant(src.state)
+		for srcState := lo; srcState < hi; srcState++ {
+			var srcNode qoeNode
+			if i == 0 {
+				srcNode = qoeNode{value: 0, prevQ: prevQuality, valid: true}
+			} else {
+				if !stages[i-1][srcState].valid {
+					continue
+				}
+				srcNode = stages[i-1][srcState]
+			}
+			b := unquant(srcState)
 			if i == 0 {
 				b = math.Min(bufferSec, m.cfg.BufferCapSec)
 			}
@@ -120,9 +135,9 @@ func (m *QoEMPC) Decide(bufferSec, rateBps, prevQuality float64, horizon []Segme
 				nb := math.Max(b-dl, 0) + m.cfg.SegmentSec
 				// Per-segment QoE: quality − switching penalty − stall
 				// charge (quality-scaled, like Eq. 2's I_r).
-				value := src.node.value +
+				value := srcNode.value +
 					o.PerceivedQuality -
-					m.switchWeight*math.Abs(o.PerceivedQuality-src.node.prevQ) -
+					m.switchWeight*math.Abs(o.PerceivedQuality-srcNode.prevQ) -
 					stall/math.Max(b, m.cfg.GranularitySec)*o.PerceivedQuality
 				ns := quant(nb)
 				node := &stages[i][ns]
@@ -135,7 +150,7 @@ func (m *QoEMPC) Decide(bufferSec, rateBps, prevQuality float64, horizon []Segme
 					*node = qoeNode{
 						value:     value,
 						choice:    oi,
-						prevState: src.state,
+						prevState: srcState,
 						prevQ:     o.PerceivedQuality,
 						valid:     true,
 						emergency: emergency && i == 0,

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
+	"ptile360/internal/parallel"
 	"ptile360/internal/power"
 	"ptile360/internal/sim"
 )
@@ -46,9 +46,12 @@ type Comparison struct {
 }
 
 // RunComparison streams every (scheme, video, trace, user) combination at
-// the given scale on the given phone. Sessions run in parallel across
-// workers; results are deterministic regardless of scheduling because each
-// session is a pure function of its inputs.
+// the given scale on the given phone. Per-video setups are memoized and
+// built concurrently (setupcache.go); the individual sessions then run on a
+// bounded worker pool with one job per (cell, user). Results are
+// deterministic regardless of worker count and scheduling: each session is a
+// pure function of its inputs, and per-cell aggregation always sums users in
+// evaluation order.
 func RunComparison(phone power.Phone, scale Scale) (*Comparison, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
@@ -57,48 +60,80 @@ func RunComparison(phone power.Phone, scale Scale) (*Comparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	traces := map[int]*lte.Trace{1: trace1, 2: trace2}
+	traces := [2]*lte.Trace{trace1, trace2}
+	workers := maxWorkers()
 
-	type job struct {
+	// Build (or fetch from cache) every video setup up front; distinct
+	// videos build concurrently, and concurrent figures requesting the same
+	// video share one build through the cache's singleflight.
+	setups := make([]*videoSetup, len(scale.Videos))
+	if err := parallel.ForEach(len(scale.Videos), workers, func(i int) error {
+		s, err := setupVideo(scale.Videos[i], scale)
+		if err != nil {
+			return err
+		}
+		setups[i] = s
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// One session job per (cell, user), flattened so a single bounded pool
+	// saturates the machine even when cells have few users each.
+	type cellJob struct {
 		cell  Cell
 		setup *videoSetup
 		net   *lte.Trace
+		cfg   sim.Config
+		// userStart indexes this cell's first session in the flat results.
+		userStart int
 	}
-	var jobs []job
-	for _, id := range scale.Videos {
-		setup, err := setupVideo(id, scale)
-		if err != nil {
-			return nil, err
-		}
-		for traceID, net := range traces {
+	type sessionJob struct {
+		cellIdx int
+		user    *headtrace.Trace
+	}
+	var cells []cellJob
+	var sessions []sessionJob
+	for vi, id := range scale.Videos {
+		setup := setups[vi]
+		for traceID := 1; traceID <= 2; traceID++ {
 			for _, scheme := range sim.Schemes() {
-				jobs = append(jobs, job{
-					cell:  Cell{Scheme: scheme, VideoID: id, TraceID: traceID},
-					setup: setup,
-					net:   net,
+				cfg, err := sim.DefaultConfig(scheme, phone)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cellJob{
+					cell:      Cell{Scheme: scheme, VideoID: id, TraceID: traceID},
+					setup:     setup,
+					net:       traces[traceID-1],
+					cfg:       cfg,
+					userStart: len(sessions),
 				})
+				for _, user := range setup.eval {
+					sessions = append(sessions, sessionJob{cellIdx: len(cells) - 1, user: user})
+				}
 			}
 		}
 	}
 
-	results := make([]CellResult, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = runCell(phone, jobs[i].cell, jobs[i].setup, jobs[i].net)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	sessionResults := make([]*sim.Result, len(sessions))
+	if err := parallel.ForEach(len(sessions), workers, func(i int) error {
+		job := sessions[i]
+		c := cells[job.cellIdx]
+		r, err := sim.Run(c.setup.catalog, job.user, c.net, c.cfg)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("experiments: %v video %d trace %d user %d: %w",
+				c.cell.Scheme, c.cell.VideoID, c.cell.TraceID, job.user.UserID, err)
 		}
+		sessionResults[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	results := make([]CellResult, len(cells))
+	for ci, c := range cells {
+		results[ci] = aggregateCell(c.cell, sessionResults[c.userStart:c.userStart+len(c.setup.eval)])
 	}
 
 	sort.Slice(results, func(i, j int) bool {
@@ -114,18 +149,12 @@ func RunComparison(phone power.Phone, scale Scale) (*Comparison, error) {
 	return &Comparison{Phone: phone, Cells: results}, nil
 }
 
-func runCell(phone power.Phone, cell Cell, setup *videoSetup, net *lte.Trace) (CellResult, error) {
-	cfg, err := sim.DefaultConfig(cell.Scheme, phone)
-	if err != nil {
-		return CellResult{}, err
-	}
+// aggregateCell folds the per-user session results of one cell into its
+// means, summing in user order so the floating-point result is independent
+// of how the sessions were scheduled.
+func aggregateCell(cell Cell, userResults []*sim.Result) CellResult {
 	out := CellResult{Cell: cell}
-	for _, user := range setup.eval {
-		r, err := sim.Run(setup.catalog, user, net, cfg)
-		if err != nil {
-			return CellResult{}, fmt.Errorf("experiments: %v video %d trace %d user %d: %w",
-				cell.Scheme, cell.VideoID, cell.TraceID, user.UserID, err)
-		}
+	for _, r := range userResults {
 		segs := float64(r.Segments)
 		out.EnergyPerSegment += r.Energy.Total() / segs
 		out.Energy.Tx += r.Energy.Tx / segs
@@ -152,7 +181,7 @@ func runCell(phone power.Phone, cell Cell, setup *videoSetup, net *lte.Trace) (C
 	out.Stalls /= n
 	out.MeanQuality /= n
 	out.MeanFrameRate /= n
-	return out, nil
+	return out
 }
 
 // cellFor returns the cell result for the given key, or nil.

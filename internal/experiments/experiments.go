@@ -8,7 +8,6 @@ import (
 	"fmt"
 
 	"ptile360/internal/headtrace"
-	"ptile360/internal/lte"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
 )
@@ -90,7 +89,9 @@ type Table struct {
 }
 
 // videoSetup bundles the per-video artifacts the trace-driven experiments
-// share: traces, the train/eval split, and the server catalogue.
+// share: traces, the train/eval split, and the server catalogue. Setups are
+// memoized and shared across figures (see setupcache.go), so all fields are
+// read-only after construction.
 type videoSetup struct {
 	profile video.Profile
 	train   []*headtrace.Trace
@@ -98,9 +99,10 @@ type videoSetup struct {
 	catalog *sim.Catalog
 }
 
-// setupVideo generates and splits the head-movement dataset for one video
-// and builds its catalogue.
-func setupVideo(id int, scale Scale) (*videoSetup, error) {
+// buildVideoSetup generates and splits the head-movement dataset for one
+// video and builds its catalogue. Callers go through the memoizing
+// setupVideo (setupcache.go) instead of calling this directly.
+func buildVideoSetup(id int, scale Scale) (*videoSetup, error) {
 	p, err := video.ProfileByID(id)
 	if err != nil {
 		return nil, err
@@ -123,14 +125,10 @@ func setupVideo(id int, scale Scale) (*videoSetup, error) {
 		return nil, err
 	}
 	ccfg.Seed = scale.Seed
+	ccfg.Workers = maxWorkers()
 	cat, err := sim.BuildCatalog(p, train, ccfg)
 	if err != nil {
 		return nil, err
 	}
 	return &videoSetup{profile: p, train: train, eval: eval, catalog: cat}, nil
-}
-
-// standardTraces returns the two evaluation network conditions.
-func standardTraces(scale Scale) (trace1, trace2 *lte.Trace, err error) {
-	return lte.StandardTraces(scale.TraceSamples, scale.Seed+99)
 }

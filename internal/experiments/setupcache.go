@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"sync"
+
+	"ptile360/internal/lte"
+)
+
+// This file is the experiment engine's shared setup cache: a deterministic,
+// concurrency-safe memoization layer over the expensive per-video artifacts
+// (head-trace generation, the train/eval split, and catalogue construction)
+// and the LTE evaluation traces. Every figure harness goes through it, so a
+// full `cmd/repro -exp all` sweep — or the whole benchmark suite — computes
+// each distinct (video, scale, seed) setup exactly once, no matter how many
+// figures or concurrent goroutines ask for it.
+//
+// Correctness rests on two properties:
+//
+//  1. The builders are pure functions of the key: setupVideo depends only on
+//     (video ID, UsersPerVideo, TrainUsers, EvalUsers, Seed) and
+//     standardTraces only on (TraceSamples, Seed), all captured in the keys
+//     below. A cache hit therefore returns bit-identical artifacts.
+//  2. The cached values are immutable after construction: sessions only read
+//     the catalogue, traces, and splits (sim.Catalog's lazy plan tables carry
+//     their own lock).
+//
+// Each key executes once even under concurrency (singleflight): the map entry
+// is created under the cache lock and built under the entry's sync.Once, so
+// concurrent figures requesting the same video share one build instead of
+// racing on duplicates.
+
+// setupKey captures every input buildVideoSetup reads. TraceSamples is
+// deliberately absent: the video setup does not depend on the LTE trace
+// length.
+type setupKey struct {
+	videoID       int
+	usersPerVideo int
+	trainUsers    int
+	evalUsers     int
+	seed          int64
+}
+
+type setupEntry struct {
+	once  sync.Once
+	setup *videoSetup
+	err   error
+}
+
+type traceKey struct {
+	samples int
+	seed    int64
+}
+
+type traceEntry struct {
+	once   sync.Once
+	t1, t2 *lte.Trace
+	err    error
+}
+
+// maxCacheEntries bounds each cache map. Eviction simply clears the map:
+// rebuilding is always correct (the builders are pure), and a sweep over
+// many seeds (robustness) must not grow memory without bound.
+const maxCacheEntries = 64
+
+// CacheStats counts setup-cache traffic, for observability and the
+// cache-hit accounting tests.
+type CacheStats struct {
+	// SetupHits and SetupMisses count videoSetup lookups. A miss triggers
+	// one build; concurrent requests for an in-flight key count as hits.
+	SetupHits, SetupMisses int
+	// TraceHits and TraceMisses count LTE-trace lookups.
+	TraceHits, TraceMisses int
+}
+
+var cache = struct {
+	mu      sync.Mutex
+	setups  map[setupKey]*setupEntry
+	traces  map[traceKey]*traceEntry
+	stats   CacheStats
+	workers int
+}{
+	setups: make(map[setupKey]*setupEntry),
+	traces: make(map[traceKey]*traceEntry),
+}
+
+// setupVideo returns the memoized per-video artifacts for (id, scale),
+// building them at most once per distinct key across all figures and
+// goroutines. The returned setup is shared — callers must treat it as
+// read-only.
+func setupVideo(id int, scale Scale) (*videoSetup, error) {
+	key := setupKey{
+		videoID:       id,
+		usersPerVideo: scale.UsersPerVideo,
+		trainUsers:    scale.TrainUsers,
+		evalUsers:     scale.EvalUsers,
+		seed:          scale.Seed,
+	}
+	cache.mu.Lock()
+	e, ok := cache.setups[key]
+	if ok {
+		cache.stats.SetupHits++
+	} else {
+		cache.stats.SetupMisses++
+		if len(cache.setups) >= maxCacheEntries {
+			cache.setups = make(map[setupKey]*setupEntry)
+		}
+		e = &setupEntry{}
+		cache.setups[key] = e
+	}
+	cache.mu.Unlock()
+
+	e.once.Do(func() {
+		e.setup, e.err = buildVideoSetup(id, scale)
+	})
+	return e.setup, e.err
+}
+
+// standardTraces returns the memoized two evaluation network conditions for
+// the scale's (TraceSamples, Seed). The traces are shared and read-only.
+func standardTraces(scale Scale) (trace1, trace2 *lte.Trace, err error) {
+	key := traceKey{samples: scale.TraceSamples, seed: scale.Seed}
+	cache.mu.Lock()
+	e, ok := cache.traces[key]
+	if ok {
+		cache.stats.TraceHits++
+	} else {
+		cache.stats.TraceMisses++
+		if len(cache.traces) >= maxCacheEntries {
+			cache.traces = make(map[traceKey]*traceEntry)
+		}
+		e = &traceEntry{}
+		cache.traces[key] = e
+	}
+	cache.mu.Unlock()
+
+	e.once.Do(func() {
+		e.t1, e.t2, e.err = lte.StandardTraces(scale.TraceSamples, scale.Seed+99)
+	})
+	return e.t1, e.t2, e.err
+}
+
+// ResetCaches drops every memoized setup and trace and zeroes the
+// statistics. Intended for tests and long-lived processes that want to
+// release the memory between sweeps; correctness never requires it.
+func ResetCaches() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.setups = make(map[setupKey]*setupEntry)
+	cache.traces = make(map[traceKey]*traceEntry)
+	cache.stats = CacheStats{}
+}
+
+// Stats returns a snapshot of the setup-cache counters.
+func Stats() CacheStats {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return cache.stats
+}
+
+// SetMaxWorkers caps the experiment engine's worker pools (session sweeps
+// and per-video setup builds). n <= 0 restores the default (GOMAXPROCS).
+// Returns the previous setting. Results are deterministic regardless of the
+// worker count; the knob exists for benchmarking, CI, and the determinism
+// tests.
+func SetMaxWorkers(n int) (prev int) {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	prev = cache.workers
+	if n < 0 {
+		n = 0
+	}
+	cache.workers = n
+	return prev
+}
+
+// maxWorkers reports the current worker-pool cap (0 = GOMAXPROCS).
+func maxWorkers() int {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return cache.workers
+}

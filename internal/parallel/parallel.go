@@ -1,0 +1,73 @@
+// Package parallel provides the bounded, deterministic fan-out primitive the
+// evaluation engine uses: a fixed worker pool over an indexed job list. It
+// exists so every parallel loop in the repo (catalog construction, the
+// experiment sweeps) shares one pattern with two guarantees:
+//
+//  1. Bounded goroutines: at most `workers` goroutines run regardless of the
+//     job count — a 100k-job list never spawns 100k goroutines.
+//  2. Determinism: jobs are identified by index, so callers writing results
+//     to result[i] get output independent of scheduling, and the returned
+//     error is always the lowest-index failure.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n itself when positive, otherwise
+// GOMAXPROCS (the default "use the machine").
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of at most `workers`
+// goroutines (0 means GOMAXPROCS). It always completes every job, then
+// returns the error of the lowest failing index, or nil. With one worker (or
+// one job) it runs inline on the calling goroutine.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

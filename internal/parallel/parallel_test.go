@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 17 || i == 63 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 17 failed" {
+			t.Fatalf("workers=%d: got %v, want job 17's error", workers, err)
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachBoundedGoroutines is the regression test for the old
+// spawn-all-then-gate pattern in RunComparison: even a very large synthetic
+// job list must not create more than `workers` pool goroutines.
+func TestForEachBoundedGoroutines(t *testing.T) {
+	const (
+		n       = 200_000
+		workers = 4
+	)
+	base := runtime.NumGoroutine()
+	var peak atomic.Int64
+	if err := ForEach(n, workers, func(i int) error {
+		if i%1024 == 0 {
+			g := int64(runtime.NumGoroutine())
+			for {
+				p := peak.Load()
+				if g <= p || peak.CompareAndSwap(p, g) {
+					break
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Allow slack for test-runner goroutines, but nothing near O(n).
+	if limit := int64(base + workers + 16); peak.Load() > limit {
+		t.Fatalf("peak goroutines %d exceeds bound %d (base %d + %d workers)",
+			peak.Load(), limit, base, workers)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}

@@ -8,10 +8,12 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"ptile360/internal/cluster"
 	"ptile360/internal/geom"
 	"ptile360/internal/headtrace"
+	"ptile360/internal/parallel"
 	"ptile360/internal/ptile"
 	"ptile360/internal/video"
 )
@@ -42,6 +44,12 @@ type Catalog struct {
 	// Coverage holds the per-segment training-user coverage fraction
 	// (Fig. 7b).
 	Coverage []float64
+
+	// planMu guards plans, the lazily built per-configuration encoded-size
+	// tables shared by every session streaming this catalogue (see
+	// precompute.go). Zero-valued on a fresh catalogue.
+	planMu sync.Mutex
+	plans  map[planKey]*planEntry
 }
 
 // CatalogConfig tunes catalogue construction.
@@ -56,6 +64,10 @@ type CatalogConfig struct {
 	FtileCount int
 	// Seed drives the deterministic content series and k-means seeding.
 	Seed int64
+	// Workers bounds the per-segment construction pool (0 = GOMAXPROCS,
+	// 1 = serial). The catalogue is bit-identical for any setting: every
+	// segment is an independent, seeded computation written to its own slot.
+	Workers int
 }
 
 // DefaultCatalogConfig returns the paper's evaluation setting.
@@ -107,27 +119,33 @@ func BuildCatalog(p video.Profile, train []*headtrace.Trace, cfg CatalogConfig) 
 		Ftiles:     make([][]FtileGroup, nSeg),
 		Coverage:   make([]float64, nSeg),
 	}
-	for seg := 0; seg < nSeg; seg++ {
+	// Segments are independent (per-segment k-means seeding, read-only
+	// traces), so they build on a bounded worker pool, each writing only its
+	// own slots — the result is bit-identical to the serial loop.
+	if err := parallel.ForEach(nSeg, cfg.Workers, func(seg int) error {
 		centers := make([]geom.Point, 0, len(train))
 		for _, tr := range train {
 			pt, err := tr.ViewingCenter(seg, cfg.SegmentSec)
 			if err != nil {
-				return nil, fmt.Errorf("sim: user %d segment %d: %w", tr.UserID, seg, err)
+				return fmt.Errorf("sim: user %d segment %d: %w", tr.UserID, seg, err)
 			}
 			centers = append(centers, pt)
 		}
 		res, err := ptile.BuildSegment(centers, cfg.Ptile)
 		if err != nil {
-			return nil, fmt.Errorf("sim: Ptile construction segment %d: %w", seg, err)
+			return fmt.Errorf("sim: Ptile construction segment %d: %w", seg, err)
 		}
 		cat.Ptiles[seg] = res.Ptiles
 		cat.Coverage[seg] = res.CoverageFraction()
 
 		groups, err := buildFtileGroups(centers, cfg.Ptile.Grid, cfg.FtileCount, cfg.Seed+int64(seg))
 		if err != nil {
-			return nil, fmt.Errorf("sim: Ftile grouping segment %d: %w", seg, err)
+			return fmt.Errorf("sim: Ftile grouping segment %d: %w", seg, err)
 		}
 		cat.Ftiles[seg] = groups
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return cat, nil
 }

@@ -29,22 +29,38 @@ type segmentPlan struct {
 }
 
 // segmentPlan builds the request options for segment k given the predicted
-// viewing center and the estimated switching speed.
-func (s *session) segmentPlan(k int, predCenter geom.Point, speedEst float64) (*segmentPlan, error) {
+// viewing center and the estimated switching speed. slot selects the
+// session's recycled options buffer (0 for the requested segment, 1..H−1
+// for MPC horizon look-ahead), so steady-state planning allocates no new
+// option storage.
+func (s *session) segmentPlan(k, slot int, predCenter geom.Point, speedEst float64) (*segmentPlan, error) {
 	sc := s.cat.Content[k]
 	switch s.cfg.Scheme {
 	case SchemeCtile:
-		return s.ctilePlan(k, predCenter, speedEst, sc)
+		return s.ctilePlan(k, slot, predCenter, speedEst, sc)
 	case SchemeFtile:
-		return s.ftilePlan(k, predCenter, speedEst, sc)
+		return s.ftilePlan(k, slot, predCenter, speedEst, sc)
 	case SchemeNontile:
-		return s.nontilePlan(k, speedEst, sc)
+		return s.nontilePlan(k, slot, speedEst, sc)
 	case SchemePtile, SchemeOurs:
-		return s.ptilePlan(k, predCenter, speedEst, sc, false)
+		return s.ptilePlan(k, slot, predCenter, speedEst, sc, false)
 	default:
 		return nil, fmt.Errorf("sim: unknown scheme %v", s.cfg.Scheme)
 	}
 }
+
+// optionBuf returns the recycled zero-length options slice for scratch slot
+// i; storeOptionBuf gives the (possibly grown) slice back. One slot is live
+// per horizon position, so after the first few decisions option storage is
+// allocation-free.
+func (s *session) optionBuf(slot int) []abr.OptionMeta {
+	for slot >= len(s.optBufs) {
+		s.optBufs = append(s.optBufs, nil)
+	}
+	return s.optBufs[slot][:0]
+}
+
+func (s *session) storeOptionBuf(slot int, buf []abr.OptionMeta) { s.optBufs[slot] = buf }
 
 // quality evaluates the perceived quality Q(v, f) for this segment. The
 // switching speed is scaled by AlphaScale, implementing α = κ·S_fov/TI
@@ -68,12 +84,18 @@ func (s *session) procPower(scheme power.Scheme, f float64) (float64, error) {
 
 // ctilePlan: nine FoV grid tiles at quality v, the rest at the lowest
 // quality, one option per v at the source frame rate.
-func (s *session) ctilePlan(k int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
+func (s *session) ctilePlan(k, slot int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
 	hq := s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
 	tileFrac := 1.0 / float64(s.cfg.Grid.NumTiles())
 	nBG := s.cfg.Grid.NumTiles() - len(hq)
 
-	bgBits, err := s.cfg.Encoder.RegionBits(tileFrac, video.MinQuality, s.fm, video.KindGrid, s.cfg.SegmentSec, sc)
+	gridBits := func(v video.Quality) (float64, error) {
+		if s.tab != nil {
+			return s.tab.gridTileBits[k][int(v)-1], nil
+		}
+		return s.cfg.Encoder.RegionBits(tileFrac, v, s.fm, video.KindGrid, s.cfg.SegmentSec, sc)
+	}
+	bgBits, err := gridBits(video.MinQuality)
 	if err != nil {
 		return nil, err
 	}
@@ -81,9 +103,9 @@ func (s *session) ctilePlan(k int, predCenter geom.Point, speedEst float64, sc v
 	if err != nil {
 		return nil, err
 	}
-	plan := &segmentPlan{hqTiles: hq}
+	plan := &segmentPlan{hqTiles: hq, options: s.optionBuf(slot)}
 	for v := video.MinQuality; v <= video.MaxQuality; v++ {
-		tileBits, err := s.cfg.Encoder.RegionBits(tileFrac, v, s.fm, video.KindGrid, s.cfg.SegmentSec, sc)
+		tileBits, err := gridBits(v)
 		if err != nil {
 			return nil, err
 		}
@@ -98,12 +120,13 @@ func (s *session) ctilePlan(k int, predCenter geom.Point, speedEst float64, sc v
 			ProcPowerMW:      proc,
 		})
 	}
+	s.storeOptionBuf(slot, plan.options)
 	return plan, nil
 }
 
 // ftilePlan: the variable-size groups intersecting the predicted FoV at
 // quality v, the rest at the lowest quality.
-func (s *session) ftilePlan(k int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
+func (s *session) ftilePlan(k, slot int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
 	groups := s.cat.Ftiles[k]
 	fov := s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
 	inFoV := make(map[geom.TileID]bool, len(fov))
@@ -123,7 +146,13 @@ func (s *session) ftilePlan(k int, predCenter geom.Point, speedEst float64, sc v
 	if err != nil {
 		return nil, err
 	}
-	plan := &segmentPlan{hqGroups: hq}
+	groupBits := func(gi int, g FtileGroup, q video.Quality) (float64, error) {
+		if s.tab != nil {
+			return s.tab.ftileBits[k][gi][int(q)-1], nil
+		}
+		return s.cfg.Encoder.RegionBits(g.AreaFrac, q, s.fm, video.KindFtile, s.cfg.SegmentSec, sc)
+	}
+	plan := &segmentPlan{hqGroups: hq, options: s.optionBuf(slot)}
 	for v := video.MinQuality; v <= video.MaxQuality; v++ {
 		var total float64
 		for gi, g := range groups {
@@ -131,7 +160,7 @@ func (s *session) ftilePlan(k int, predCenter geom.Point, speedEst float64, sc v
 			if hq[gi] {
 				q = v
 			}
-			bits, err := s.cfg.Encoder.RegionBits(g.AreaFrac, q, s.fm, video.KindFtile, s.cfg.SegmentSec, sc)
+			bits, err := groupBits(gi, g, q)
 			if err != nil {
 				return nil, err
 			}
@@ -148,20 +177,26 @@ func (s *session) ftilePlan(k int, predCenter geom.Point, speedEst float64, sc v
 			ProcPowerMW:      proc,
 		})
 	}
+	s.storeOptionBuf(slot, plan.options)
 	return plan, nil
 }
 
 // nontilePlan: the whole panorama at quality v.
-func (s *session) nontilePlan(k int, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
+func (s *session) nontilePlan(k, slot int, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
 	proc, err := s.procPower(power.Nontile, s.fm)
 	if err != nil {
 		return nil, err
 	}
-	plan := &segmentPlan{}
+	plan := &segmentPlan{options: s.optionBuf(slot)}
 	for v := video.MinQuality; v <= video.MaxQuality; v++ {
-		bits, err := s.cfg.Encoder.RegionBits(1, v, s.fm, video.KindPanorama, s.cfg.SegmentSec, sc)
-		if err != nil {
-			return nil, err
+		var bits float64
+		if s.tab != nil {
+			bits = s.tab.panoramaBits[k][int(v)-1]
+		} else {
+			bits, err = s.cfg.Encoder.RegionBits(1, v, s.fm, video.KindPanorama, s.cfg.SegmentSec, sc)
+			if err != nil {
+				return nil, err
+			}
 		}
 		q, err := s.quality(sc, v, s.fm, speedEst)
 		if err != nil {
@@ -174,6 +209,7 @@ func (s *session) nontilePlan(k int, speedEst float64, sc video.SegmentContent) 
 			ProcPowerMW:      proc,
 		})
 	}
+	s.storeOptionBuf(slot, plan.options)
 	return plan, nil
 }
 
@@ -181,15 +217,15 @@ func (s *session) nontilePlan(k int, speedEst float64, sc video.SegmentContent) 
 // blocks; falls back to conventional tiles when no Ptile covers the
 // predicted viewport. preferLargest selects the most popular Ptile instead
 // of the viewport-covering one (used for horizon approximation).
-func (s *session) ptilePlan(k int, predCenter geom.Point, speedEst float64, sc video.SegmentContent, preferLargest bool) (*segmentPlan, error) {
-	pt := s.coveringPtile(k, predCenter)
+func (s *session) ptilePlan(k, slot int, predCenter geom.Point, speedEst float64, sc video.SegmentContent, preferLargest bool) (*segmentPlan, error) {
+	pt, pi := s.coveringPtile(k, predCenter)
 	if pt == nil && preferLargest && len(s.cat.Ptiles[k]) > 0 {
-		pt = &s.cat.Ptiles[k][0]
+		pt, pi = &s.cat.Ptiles[k][0], 0
 	}
 	if pt == nil {
 		// Section IV-B: no covering Ptile → conventional tiles at the best
 		// possible quality, decoded with the conventional pipeline.
-		plan, err := s.ctilePlan(k, predCenter, speedEst, sc)
+		plan, err := s.ctilePlan(k, slot, predCenter, speedEst, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -197,26 +233,41 @@ func (s *session) ptilePlan(k int, predCenter geom.Point, speedEst float64, sc v
 		return plan, nil
 	}
 
-	// Background blocks at lowest quality and full frame rate.
-	var bgBits float64
-	for _, block := range ptile.BackgroundBlocks(*pt, s.cfg.Grid) {
-		bits, err := s.cfg.Encoder.TileBits(video.TileSpec{
-			Rect: block, Quality: video.MinQuality, Kind: video.KindBlock,
-		}, s.cfg.SegmentSec, sc)
-		if err != nil {
-			return nil, err
-		}
-		bgBits += bits
+	var tab *ptileTable
+	if s.tab != nil {
+		tab = &s.tab.ptiles[k][pi]
 	}
 
-	plan := &segmentPlan{chosenPtile: pt}
-	for v := video.MinQuality; v <= video.MaxQuality; v++ {
-		for _, f := range s.cfg.FrameRates {
+	// Background blocks at lowest quality and full frame rate.
+	var bgBits float64
+	if tab != nil {
+		bgBits = tab.bgBits
+	} else {
+		for _, block := range ptile.BackgroundBlocks(*pt, s.cfg.Grid) {
 			bits, err := s.cfg.Encoder.TileBits(video.TileSpec{
-				Rect: pt.Rect, Quality: v, FrameRate: f, Kind: video.KindPtile,
+				Rect: block, Quality: video.MinQuality, Kind: video.KindBlock,
 			}, s.cfg.SegmentSec, sc)
 			if err != nil {
 				return nil, err
+			}
+			bgBits += bits
+		}
+	}
+
+	plan := &segmentPlan{chosenPtile: pt, options: s.optionBuf(slot)}
+	for v := video.MinQuality; v <= video.MaxQuality; v++ {
+		for fi, f := range s.cfg.FrameRates {
+			var bits float64
+			if tab != nil {
+				bits = tab.bits[int(v)-1][fi]
+			} else {
+				var err error
+				bits, err = s.cfg.Encoder.TileBits(video.TileSpec{
+					Rect: pt.Rect, Quality: v, FrameRate: f, Kind: video.KindPtile,
+				}, s.cfg.SegmentSec, sc)
+				if err != nil {
+					return nil, err
+				}
 			}
 			q, err := s.quality(sc, v, f, speedEst)
 			if err != nil {
@@ -234,48 +285,55 @@ func (s *session) ptilePlan(k int, predCenter geom.Point, speedEst float64, sc v
 			})
 		}
 	}
+	s.storeOptionBuf(slot, plan.options)
 	return plan, nil
 }
 
 // coveringPtile returns the catalogue Ptile of segment k serving a viewer
-// predicted at center: the smallest Ptile fully covering the FoV block, or —
-// when prediction noise pushes the block edge outside every Ptile — the
-// largest Ptile still containing the center itself (the viewer then gets
-// partial high-quality coverage rather than a full conventional fallback).
-func (s *session) coveringPtile(k int, center geom.Point) *ptile.Ptile {
+// predicted at center, plus its index into cat.Ptiles[k] (for the
+// precomputed size tables): the smallest Ptile fully covering the FoV
+// block, or — when prediction noise pushes the block edge outside every
+// Ptile — the largest Ptile still containing the center itself (the viewer
+// then gets partial high-quality coverage rather than a full conventional
+// fallback).
+func (s *session) coveringPtile(k int, center geom.Point) (*ptile.Ptile, int) {
 	var best *ptile.Ptile
+	bestIdx := -1
 	bestArea := math.Inf(1)
 	for i := range s.cat.Ptiles[k] {
 		pt := &s.cat.Ptiles[k][i]
 		if pt.Covers(s.cfg.Grid, center, s.cfg.FoVDeg) && pt.Rect.Area() < bestArea {
-			best, bestArea = pt, pt.Rect.Area()
+			best, bestIdx, bestArea = pt, i, pt.Rect.Area()
 		}
 	}
 	if best != nil {
-		return best
+		return best, bestIdx
 	}
 	bestArea = 0
 	for i := range s.cat.Ptiles[k] {
 		pt := &s.cat.Ptiles[k][i]
 		if pt.Rect.Contains(center) && pt.Rect.Area() > bestArea {
-			best, bestArea = pt, pt.Rect.Area()
+			best, bestIdx, bestArea = pt, i, pt.Rect.Area()
 		}
 	}
-	return best
+	return best, bestIdx
 }
 
 // horizonPlans assembles the MPC horizon: segment k's actual plan followed
 // by approximate plans for k+1..k+H−1 using the current viewport prediction
-// (far-future predictions are unreliable, so popular Ptiles stand in).
+// (far-future predictions are unreliable, so popular Ptiles stand in). The
+// look-ahead plans use option slots 1..H−1 and the horizon slice is
+// recycled across decisions.
 func (s *session) horizonPlans(k int, predCenter geom.Point, speedEst float64, first *segmentPlan) ([]abr.SegmentMeta, error) {
-	out := []abr.SegmentMeta{{Options: first.options}}
+	out := append(s.horizonBuf[:0], abr.SegmentMeta{Options: first.options})
 	for i := k + 1; i < k+s.cfg.Horizon && i < len(s.cat.Content); i++ {
-		plan, err := s.ptilePlan(i, predCenter, speedEst, s.cat.Content[i], true)
+		plan, err := s.ptilePlan(i, 1+(i-k-1), predCenter, speedEst, s.cat.Content[i], true)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, abr.SegmentMeta{Options: plan.options})
 	}
+	s.horizonBuf = out
 	return out, nil
 }
 

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"ptile360/internal/ptile"
+	"ptile360/internal/video"
+)
+
+// This file holds the catalogue's precomputed encoded-size tables: the
+// planner's hot loop (segmentPlan and the MPC horizon) used to re-derive the
+// same EncoderConfig.TileBits/RegionBits values — including a math.Pow per
+// call — for every user, every scheme, and H times per segment through
+// horizonPlans. Sizes depend only on (catalogue, encoder config, grid,
+// segment duration, frame-rate ladder), so they are computed once per
+// catalogue per configuration fingerprint and shared by every session.
+//
+// Determinism: the tables memoize the exact outputs of the same pure
+// function calls the direct path makes, and every consumer sums them in the
+// same order, so planning with tables is bit-identical to planning without
+// (TestSessionPlanTablesBitIdentical enforces this).
+
+// numQualities is the size of the quality ladder (video.MinQuality..MaxQuality).
+const numQualities = int(video.MaxQuality-video.MinQuality) + 1
+
+// disablePlanTables forces sessions onto the direct per-call computation
+// path — the serial reference the determinism tests compare the tables
+// against. Toggled via export_test.go only.
+var disablePlanTables bool
+
+// planKey fingerprints every session-config field the size tables depend
+// on. Frame rates are rendered to a string because slices are not
+// comparable.
+type planKey struct {
+	enc        video.EncoderConfig
+	grid       struct{ rows, cols int }
+	segmentSec float64
+	rates      string
+}
+
+func planKeyFor(cfg *Config) planKey {
+	k := planKey{
+		enc:        cfg.Encoder,
+		segmentSec: cfg.SegmentSec,
+		rates:      fmt.Sprint(cfg.FrameRates),
+	}
+	k.grid.rows, k.grid.cols = cfg.Grid.Rows, cfg.Grid.Cols
+	return k
+}
+
+// ptileTable holds one catalogue Ptile's precomputed sizes.
+type ptileTable struct {
+	// bgBits is the total background-block size at the minimum quality and
+	// source frame rate, summed in BackgroundBlocks order.
+	bgBits float64
+	// bits[v-1][fi] is the Ptile rect's encoded size at quality v and
+	// frame rate planTables.rates[fi].
+	bits [numQualities][]float64
+}
+
+// planTables carries the per-segment size tables for one (catalogue,
+// planKey) pair.
+type planTables struct {
+	// rates is the frame-rate ladder the ptile tables are indexed by.
+	rates []float64
+	// gridTileBits[k][v-1] is one conventional grid tile's size at quality v
+	// and the source frame rate.
+	gridTileBits [][numQualities]float64
+	// panoramaBits[k][v-1] is the whole panorama's single-encode size.
+	panoramaBits [][numQualities]float64
+	// ftileBits[k][g][v-1] is Ftile group g's size at quality v.
+	ftileBits [][][numQualities]float64
+	// ptiles[k][i] are the per-Ptile tables.
+	ptiles [][]ptileTable
+}
+
+// planEntry is one singleflight cache slot: built under its own Once so
+// concurrent sessions requesting the same key share one build.
+type planEntry struct {
+	once sync.Once
+	tab  *planTables
+	err  error
+}
+
+// tablesFor returns the catalogue's size tables for the given session
+// configuration, building them at most once per distinct fingerprint.
+func (c *Catalog) tablesFor(cfg *Config) (*planTables, error) {
+	key := planKeyFor(cfg)
+	c.planMu.Lock()
+	if c.plans == nil {
+		c.plans = make(map[planKey]*planEntry)
+	}
+	e, ok := c.plans[key]
+	if !ok {
+		e = &planEntry{}
+		c.plans[key] = e
+	}
+	c.planMu.Unlock()
+
+	e.once.Do(func() {
+		e.tab, e.err = c.buildPlanTables(cfg)
+	})
+	return e.tab, e.err
+}
+
+// buildPlanTables computes every size the planners can request, in the same
+// call order as the direct path.
+func (c *Catalog) buildPlanTables(cfg *Config) (*planTables, error) {
+	nSeg := len(c.Content)
+	enc := cfg.Encoder
+	fm := enc.FrameRate
+	tileFrac := 1.0 / float64(cfg.Grid.NumTiles())
+	t := &planTables{
+		rates:        append([]float64(nil), cfg.FrameRates...),
+		gridTileBits: make([][numQualities]float64, nSeg),
+		panoramaBits: make([][numQualities]float64, nSeg),
+		ftileBits:    make([][][numQualities]float64, nSeg),
+		ptiles:       make([][]ptileTable, nSeg),
+	}
+	for k := 0; k < nSeg; k++ {
+		sc := c.Content[k]
+		for v := video.MinQuality; v <= video.MaxQuality; v++ {
+			gb, err := enc.RegionBits(tileFrac, v, fm, video.KindGrid, cfg.SegmentSec, sc)
+			if err != nil {
+				return nil, err
+			}
+			t.gridTileBits[k][int(v)-1] = gb
+			pb, err := enc.RegionBits(1, v, fm, video.KindPanorama, cfg.SegmentSec, sc)
+			if err != nil {
+				return nil, err
+			}
+			t.panoramaBits[k][int(v)-1] = pb
+		}
+
+		groups := c.Ftiles[k]
+		t.ftileBits[k] = make([][numQualities]float64, len(groups))
+		for gi, g := range groups {
+			for v := video.MinQuality; v <= video.MaxQuality; v++ {
+				fb, err := enc.RegionBits(g.AreaFrac, v, fm, video.KindFtile, cfg.SegmentSec, sc)
+				if err != nil {
+					return nil, err
+				}
+				t.ftileBits[k][gi][int(v)-1] = fb
+			}
+		}
+
+		t.ptiles[k] = make([]ptileTable, len(c.Ptiles[k]))
+		for pi := range c.Ptiles[k] {
+			pt := &c.Ptiles[k][pi]
+			entry := &t.ptiles[k][pi]
+			for _, block := range ptile.BackgroundBlocks(*pt, cfg.Grid) {
+				bits, err := enc.TileBits(video.TileSpec{
+					Rect: block, Quality: video.MinQuality, Kind: video.KindBlock,
+				}, cfg.SegmentSec, sc)
+				if err != nil {
+					return nil, err
+				}
+				entry.bgBits += bits
+			}
+			for v := video.MinQuality; v <= video.MaxQuality; v++ {
+				entry.bits[int(v)-1] = make([]float64, len(t.rates))
+				for fi, f := range t.rates {
+					bits, err := enc.TileBits(video.TileSpec{
+						Rect: pt.Rect, Quality: v, FrameRate: f, Kind: video.KindPtile,
+					}, cfg.SegmentSec, sc)
+					if err != nil {
+						return nil, err
+					}
+					entry.bits[int(v)-1][fi] = bits
+				}
+			}
+		}
+	}
+	return t, nil
+}

@@ -265,6 +265,9 @@ type session struct {
 	qoeMPC     *abr.QoEMPC
 	rate       *abr.RateBased
 	bw         predict.Estimator
+	tab        *planTables
+	optBufs    [][]abr.OptionMeta
+	horizonBuf []abr.SegmentMeta
 	xs, ys     []float64
 	fm         float64
 	tWall      float64
@@ -324,10 +327,21 @@ func Run(cat *Catalog, user *headtrace.Trace, net *lte.Trace, cfg Config) (*Resu
 	}
 	xs, ys := user.XYSeries()
 
+	// Fetch the catalogue's shared precomputed size tables; when disabled
+	// (determinism tests) the planners fall back to computing every size
+	// directly, which is the bit-identical serial reference path.
+	var tab *planTables
+	if !disablePlanTables {
+		tab, err = cat.tablesFor(&cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	s := &session{
 		cfg: cfg, cat: cat, user: user, net: net,
 		pm: pm, mpc: mpc, qoeMPC: qoeMPC, rate: rateCtl, bw: bw,
-		xs: xs, ys: ys, fm: cfg.Encoder.FrameRate,
+		tab: tab, xs: xs, ys: ys, fm: cfg.Encoder.FrameRate,
 	}
 	return s.run()
 }
@@ -363,7 +377,7 @@ func (s *session) run() (*Result, error) {
 		predCenter := s.predictViewport(k)
 		speedEst := s.recentSwitchingSpeed(k)
 
-		seg, err := s.segmentPlan(k, predCenter, speedEst)
+		seg, err := s.segmentPlan(k, 0, predCenter, speedEst)
 		if err != nil {
 			return nil, err
 		}

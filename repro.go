@@ -16,6 +16,12 @@ func FullScale() Scale { return experiments.FullScale() }
 // QuickScale returns a reduced workload for smoke runs.
 func QuickScale() Scale { return experiments.QuickScale() }
 
+// SetMaxWorkers caps the experiment engine's worker pools (catalogue
+// builds, setup builds, and session sweeps). n <= 0 restores the default
+// (GOMAXPROCS). Returns the previous cap. Experiment outputs are
+// deterministic regardless of the setting.
+func SetMaxWorkers(n int) int { return experiments.SetMaxWorkers(n) }
+
 // ExperimentNames lists the table/figure identifiers accepted by
 // RunExperiment, in presentation order.
 func ExperimentNames() []string {

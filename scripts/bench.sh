@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench.sh — run the Table/Fig benchmarks and append a machine-readable
+# record to BENCH_<date>.json in the repo root.
+#
+# Usage:
+#   scripts/bench.sh [label] [bench-regex] [benchtime]
+#
+#   label       free-form tag stored with the run (default: "dev")
+#   bench-regex go test -bench regex (default: the Table/Fig benches)
+#   benchtime   go test -benchtime (default: 1x — a smoke pass; use e.g.
+#               3x or 2s for lower-variance numbers)
+#
+# The output file is JSON lines: one JSON object per invocation, so a
+# before/after pair is two lines in the same file. Each object carries the
+# label, commit, GOMAXPROCS, and the parsed benchmark results
+# ({name, iters, metrics:{"ns/op": ..., ...}}).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-dev}"
+REGEX="${2:-^(BenchmarkTable|BenchmarkFig)}"
+BENCHTIME="${3:-1x}"
+
+DATE="$(date -u +%Y-%m-%d)"
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+OUT="BENCH_${DATE}.json"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+MAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "bench.sh: running -bench='$REGEX' -benchtime=$BENCHTIME ..." >&2
+go test -run '^$' -bench "$REGEX" -benchtime "$BENCHTIME" -benchmem . | tee "$RAW" >&2
+
+awk -v label="$LABEL" -v stamp="$STAMP" -v commit="$COMMIT" -v procs="$MAXPROCS" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (metrics != "") metrics = metrics ","
+        metrics = metrics "\"" $(i + 1) "\":" $i
+    }
+    if (n > 0) results = results ","
+    results = results "{\"name\":\"" name "\",\"iters\":" iters ",\"metrics\":{" metrics "}}"
+    n++
+}
+END {
+    printf "{\"label\":\"%s\",\"time\":\"%s\",\"commit\":\"%s\",\"gomaxprocs\":%s,\"results\":[%s]}\n",
+        label, stamp, commit, procs, results
+}' "$RAW" >>"$OUT"
+
+echo "bench.sh: appended $(grep -c '^Benchmark' "$RAW") results to $OUT (label=$LABEL)" >&2
