@@ -17,6 +17,7 @@ import (
 	"ptile360/internal/lte"
 	"ptile360/internal/power"
 	"ptile360/internal/predict"
+	"ptile360/internal/projection"
 	"ptile360/internal/sim"
 	"ptile360/internal/stats"
 	"ptile360/internal/video"
@@ -473,4 +474,98 @@ func BenchmarkAblationStrictViewportQoE(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCoveredTilesSampling measures the pixel-trace ground truth for
+// viewport coverage: projection.CoveredTiles over a rendered view, deduped
+// through the bitset fast path (geom.TileSet) on the standard 4x8 grid.
+func BenchmarkCoveredTilesSampling(b *testing.B) {
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := projection.View{
+		Center: geom.Orientation{Yaw: 50, Pitch: 10},
+		FoVDeg: 100,
+		Width:  480,
+		Height: 480,
+	}
+	var tiles int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Center.Yaw = float64(i % 360)
+		out, err := v.CoveredTiles(grid, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tiles += len(out)
+	}
+	b.ReportMetric(float64(tiles)/float64(b.N), "tiles/op")
+}
+
+// BenchmarkCoveredTilesLUT measures the quantized FoV-coverage lookup the
+// session hot loop uses instead of re-deriving FoV tiles per call: one
+// geom.FoVLUT mask fetch plus a popcount per viewport position.
+func BenchmarkCoveredTilesLUT(b *testing.B) {
+	grid, err := geom.NewGrid(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lut := geom.FoVLUTFor(grid, 100, 100)
+	if lut == nil {
+		b.Fatal("grid does not support the FoV LUT")
+	}
+	var tiles int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Point{X: float64(i % 360), Y: float64(20 + i%140)}
+		s := lut.SetAt(p)
+		tiles += s.Count()
+	}
+	b.ReportMetric(float64(tiles)/float64(b.N), "tiles/op")
+}
+
+// BenchmarkTraceGenBatch measures synthetic head-trace generation for one
+// video: the batched per-user fan-out with a single shared sample backing.
+func BenchmarkTraceGenBatch(b *testing.B) {
+	p, err := video.ProfileByID(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := headtrace.Generate(p, gcfg, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Traces) != gcfg.NumUsers {
+			b.Fatalf("got %d traces", len(ds.Traces))
+		}
+	}
+}
+
+// BenchmarkTraceGenSwitchingSpeeds measures the Eq. 5 switching-speed pass
+// over a generated dataset through the allocation-free append API.
+func BenchmarkTraceGenSwitchingSpeeds(b *testing.B) {
+	p, err := video.ProfileByID(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = 16
+	ds, err := headtrace.Generate(p, gcfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var speeds []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		speeds = speeds[:0]
+		for _, tr := range ds.Traces {
+			speeds = tr.AppendSwitchingSpeeds(speeds)
+		}
+	}
+	b.ReportMetric(float64(len(speeds)), "samples")
 }

@@ -67,6 +67,67 @@ func Diameter(points []geom.Point, members []int) float64 {
 	return d
 }
 
+// pairDists computes the full n×n wrap-aware distance matrix (row-major),
+// evaluating geom.Dist once per unordered pair. Dist is exactly symmetric —
+// the wrapped Δx negates bit-for-bit and Hypot is sign-blind — so mirroring
+// the upper triangle reproduces the naive both-orders evaluation.
+func pairDists(points []geom.Point) []float64 {
+	n := len(points)
+	dist := make([]float64, n*n)
+	for u := 0; u < n; u++ {
+		row := dist[u*n:]
+		for v := u + 1; v < n; v++ {
+			d := geom.Dist(points[u], points[v])
+			row[v] = d
+			dist[v*n+u] = d
+		}
+	}
+	return dist
+}
+
+// neighborLists builds the δ-neighbour adjacency (line 1 of Algorithm 1)
+// from a precomputed distance matrix, sharing one backing array across all
+// lists. Neighbours come out in ascending index order, matching the naive
+// double loop.
+func neighborLists(dist []float64, n int, delta float64) [][]int {
+	total := 0
+	for u := 0; u < n; u++ {
+		row := dist[u*n : (u+1)*n]
+		for v := 0; v < n; v++ {
+			if v != u && row[v] <= delta {
+				total++
+			}
+		}
+	}
+	backing := make([]int, 0, total)
+	neighbors := make([][]int, n)
+	for u := 0; u < n; u++ {
+		row := dist[u*n : (u+1)*n]
+		start := len(backing)
+		for v := 0; v < n; v++ {
+			if v != u && row[v] <= delta {
+				backing = append(backing, v)
+			}
+		}
+		neighbors[u] = backing[start:len(backing):len(backing)]
+	}
+	return neighbors
+}
+
+// diameterFrom is Diameter reading the precomputed matrix.
+func diameterFrom(dist []float64, n int, members []int) float64 {
+	var d float64
+	for i := 0; i < len(members); i++ {
+		row := dist[members[i]*n:]
+		for j := i + 1; j < len(members); j++ {
+			if dd := row[members[j]]; dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
 // ViewingCenters runs Algorithm 1 over the given points and returns the
 // cluster list Π. Every input point appears in exactly one cluster.
 func ViewingCenters(points []geom.Point, p Params) ([]Cluster, error) {
@@ -77,31 +138,28 @@ func ViewingCenters(points []geom.Point, p Params) ([]Cluster, error) {
 		return nil, nil
 	}
 
-	// Line 1: δ-neighbour sets.
-	neighbors := make([][]int, len(points))
-	for u := range points {
-		for n := range points {
-			if n != u && geom.Dist(points[u], points[n]) <= p.Delta {
-				neighbors[u] = append(neighbors[u], n)
-			}
-		}
-	}
+	// Line 1: δ-neighbour sets, from a distance matrix computed once per
+	// pair. The matrix also serves the σ diameter checks below.
+	n := len(points)
+	dist := pairDists(points)
+	neighbors := neighborLists(dist, n, p.Delta)
 
-	unclustered := make(map[int]bool, len(points))
-	for i := range points {
+	unclustered := make([]bool, n)
+	for i := range unclustered {
 		unclustered[i] = true
 	}
+	remaining := n
 
 	var out []Cluster
-	for len(unclustered) > 0 {
-		members := clusterFunc(points, neighbors, unclustered)
+	for remaining > 0 {
+		members := clusterFunc(neighbors, unclustered, &remaining)
 		// Lines 4–9: split oversized clusters with k-means (k = 2). A split
 		// half can still exceed σ, so recurse until all parts fit.
 		pending := [][]int{members}
 		for len(pending) > 0 {
 			m := pending[len(pending)-1]
 			pending = pending[:len(pending)-1]
-			if len(m) > 1 && Diameter(points, m) > p.Sigma {
+			if len(m) > 1 && diameterFrom(dist, n, m) > p.Sigma {
 				a, b := kmeans2(points, m)
 				if len(a) == 0 || len(b) == 0 {
 					// Degenerate split (coincident points): accept as is.
@@ -125,13 +183,18 @@ func ViewingCenters(points []geom.Point, p Params) ([]Cluster, error) {
 }
 
 // clusterFunc is the ClusterFunc of Algorithm 1: BFS growth from the
-// unclustered node with the most unclustered δ-neighbours.
-func clusterFunc(points []geom.Point, neighbors [][]int, unclustered map[int]bool) []int {
+// unclustered node with the most unclustered δ-neighbours. The seed rule —
+// maximum count, ties to the smallest index — is iteration-order
+// independent, so the slice scan selects the same seed the map scan did.
+func clusterFunc(neighbors [][]int, unclustered []bool, remaining *int) []int {
 	// Line 14: seed with the node of maximum |N_u| among unclustered nodes,
 	// counting only unclustered neighbours (clustered ones are removed from
 	// U by line 24).
 	best, bestCount := -1, -1
-	for u := range unclustered {
+	for u, open := range unclustered {
+		if !open {
+			continue
+		}
 		count := 0
 		for _, n := range neighbors[u] {
 			if unclustered[n] {
@@ -144,14 +207,16 @@ func clusterFunc(points []geom.Point, neighbors [][]int, unclustered map[int]boo
 	}
 
 	members := []int{best}
-	delete(unclustered, best)
+	unclustered[best] = false
+	*remaining--
 	queue := []int{best}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
 		for _, n := range neighbors[u] {
 			if unclustered[n] {
-				delete(unclustered, n)
+				unclustered[n] = false
+				*remaining--
 				members = append(members, n)
 				queue = append(queue, n)
 			}
@@ -248,21 +313,16 @@ func DensityGrow(points []geom.Point, delta float64) ([]Cluster, error) {
 		return nil, fmt.Errorf("cluster: non-positive delta %g", delta)
 	}
 	// Bypass Validate's sigma check: infinite sigma is the point here.
-	neighbors := make([][]int, len(points))
-	for u := range points {
-		for n := range points {
-			if n != u && geom.Dist(points[u], points[n]) <= p.Delta {
-				neighbors[u] = append(neighbors[u], n)
-			}
-		}
-	}
-	unclustered := make(map[int]bool, len(points))
-	for i := range points {
+	n := len(points)
+	neighbors := neighborLists(pairDists(points), n, p.Delta)
+	unclustered := make([]bool, n)
+	for i := range unclustered {
 		unclustered[i] = true
 	}
+	remaining := n
 	var out []Cluster
-	for len(unclustered) > 0 {
-		out = append(out, Cluster{Members: clusterFunc(points, neighbors, unclustered)})
+	for remaining > 0 {
+		out = append(out, Cluster{Members: clusterFunc(neighbors, unclustered, &remaining)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Members) != len(out[j].Members) {

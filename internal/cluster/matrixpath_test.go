@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ptile360/internal/geom"
+)
+
+// referenceClusterFunc replicates the pre-matrix clusterFunc: map-based
+// unclustered set, O(n²) Dist-per-query adjacency supplied by the caller.
+func referenceClusterFunc(neighbors [][]int, unclustered map[int]bool) []int {
+	best, bestCount := -1, -1
+	for u := range unclustered {
+		count := 0
+		for _, n := range neighbors[u] {
+			if unclustered[n] {
+				count++
+			}
+		}
+		if count > bestCount || (count == bestCount && u < best) {
+			best, bestCount = u, count
+		}
+	}
+	members := []int{best}
+	delete(unclustered, best)
+	queue := []int{best}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, n := range neighbors[u] {
+			if unclustered[n] {
+				delete(unclustered, n)
+				members = append(members, n)
+				queue = append(queue, n)
+			}
+		}
+	}
+	sort.Ints(members)
+	return members
+}
+
+// referenceViewingCenters replicates the pre-matrix ViewingCenters, calling
+// geom.Dist once per ordered pair and using map-based bookkeeping.
+func referenceViewingCenters(points []geom.Point, p Params) []Cluster {
+	if len(points) == 0 {
+		return nil
+	}
+	neighbors := make([][]int, len(points))
+	for u := range points {
+		for n := range points {
+			if n != u && geom.Dist(points[u], points[n]) <= p.Delta {
+				neighbors[u] = append(neighbors[u], n)
+			}
+		}
+	}
+	unclustered := make(map[int]bool, len(points))
+	for i := range points {
+		unclustered[i] = true
+	}
+	var out []Cluster
+	for len(unclustered) > 0 {
+		members := referenceClusterFunc(neighbors, unclustered)
+		pending := [][]int{members}
+		for len(pending) > 0 {
+			m := pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			if len(m) > 1 && Diameter(points, m) > p.Sigma {
+				a, b := kmeans2(points, m)
+				if len(a) == 0 || len(b) == 0 {
+					out = append(out, Cluster{Members: m})
+					continue
+				}
+				pending = append(pending, a, b)
+				continue
+			}
+			out = append(out, Cluster{Members: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}
+
+func randomPanoramaPoints(seed uint64, n int) []geom.Point {
+	state := seed
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		switch i % 4 {
+		case 0: // blob near the seam
+			pts[i] = geom.Point{X: geom.NormalizeYaw(355 + next()*10), Y: 80 + next()*20}
+		case 1: // blob mid-panorama
+			pts[i] = geom.Point{X: 100 + next()*15, Y: 60 + next()*15}
+		case 2: // near-pole band
+			pts[i] = geom.Point{X: next() * 360, Y: next() * 8}
+		default: // uniform noise
+			pts[i] = geom.Point{X: next() * 360, Y: next() * 180}
+		}
+	}
+	return pts
+}
+
+// TestViewingCentersMatrixVsReference pins the distance-matrix/slice
+// implementation byte-for-byte against the map-based reference across
+// randomized inputs, including σ-splitting and seam-straddling clusters.
+func TestViewingCentersMatrixVsReference(t *testing.T) {
+	p := DefaultParams()
+	for trial := 0; trial < 25; trial++ {
+		pts := randomPanoramaPoints(uint64(trial)*77+1, 8+trial*3)
+		got, err := ViewingCenters(pts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceViewingCenters(pts, p)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: matrix path %+v, reference %+v", trial, got, want)
+		}
+	}
+	// Tight sigma forces deep recursive splitting.
+	tight := Params{Delta: 30, Sigma: 30}
+	pts := randomPanoramaPoints(999, 60)
+	got, err := ViewingCenters(pts, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceViewingCenters(pts, tight); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tight sigma: matrix path %+v, reference %+v", got, want)
+	}
+}
+
+// TestDensityGrowMatrixVsReference does the same for the unbounded baseline.
+func TestDensityGrowMatrixVsReference(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		pts := randomPanoramaPoints(uint64(trial)*13+5, 10+trial*5)
+		got, err := DensityGrow(pts, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceViewingCenters(pts, Params{Delta: 12, Sigma: math.Inf(1)})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: DensityGrow %+v, reference %+v", trial, got, want)
+		}
+	}
+}
+
+// TestPairDistsSymmetricExact checks the mirrored matrix entry equals the
+// direct both-orders evaluation bit-for-bit, the property the single-
+// evaluation optimization rests on.
+func TestPairDistsSymmetricExact(t *testing.T) {
+	pts := randomPanoramaPoints(31337, 80)
+	n := len(pts)
+	dist := pairDists(pts)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := geom.Dist(pts[u], pts[v])
+			if got := dist[u*n+v]; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dist[%d][%d] = %v (bits %x), Dist = %v (bits %x)",
+					u, v, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}

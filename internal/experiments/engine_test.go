@@ -137,6 +137,43 @@ func TestSetupCacheSingleExecution(t *testing.T) {
 	})
 }
 
+// TestDatasetCacheSharedAcrossHarnesses proves Fig. 5 and the per-video
+// setup builds share one head-trace generation per (video, users, seed),
+// and that the LUT counters surface through Stats.
+func TestDatasetCacheSharedAcrossHarnesses(t *testing.T) {
+	scale := QuickScale()
+	withWorkers(t, 0, func() {
+		if _, err := Fig5(scale); err != nil {
+			t.Fatal(err)
+		}
+		s := Stats()
+		if s.DatasetMisses != len(scale.Videos) {
+			t.Fatalf("Fig5: %d dataset builds, want %d", s.DatasetMisses, len(scale.Videos))
+		}
+		// The setup builds re-request the same datasets: zero further
+		// generations.
+		if _, err := RunComparison(power.Nexus5X, scale); err != nil {
+			t.Fatal(err)
+		}
+		s = Stats()
+		if s.DatasetMisses != len(scale.Videos) {
+			t.Fatalf("after comparison: %d dataset builds, want %d (hits %d)",
+				s.DatasetMisses, len(scale.Videos), s.DatasetHits)
+		}
+		if s.DatasetHits < len(scale.Videos) {
+			t.Fatalf("setup builds produced %d dataset hits, want >= %d", s.DatasetHits, len(scale.Videos))
+		}
+		// The comparison's sessions warm the FoV-coverage LUT; repeated
+		// sessions share the per-(grid, FoV) build.
+		if s.FoVLUTMisses == 0 {
+			t.Fatal("comparison built no FoV LUT")
+		}
+		if s.FoVLUTHits == 0 {
+			t.Fatal("repeated sessions produced no FoV-LUT hits")
+		}
+	})
+}
+
 // TestResetCachesZeroes checks the reset used between benchmark runs.
 func TestResetCachesZeroes(t *testing.T) {
 	scale := QuickScale()

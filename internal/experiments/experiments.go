@@ -107,9 +107,7 @@ func buildVideoSetup(id int, scale Scale) (*videoSetup, error) {
 	if err != nil {
 		return nil, err
 	}
-	gcfg := headtrace.DefaultGeneratorConfig()
-	gcfg.NumUsers = scale.UsersPerVideo
-	ds, err := headtrace.Generate(p, gcfg, scale.Seed)
+	ds, err := datasetFor(p, scale.UsersPerVideo, scale.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -127,20 +127,18 @@ func Fig5(scale Scale) (*Fig5Result, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
 	}
-	gcfg := headtrace.DefaultGeneratorConfig()
-	gcfg.NumUsers = scale.UsersPerVideo
 	var speeds []float64
 	for _, id := range scale.Videos {
 		p, err := video.ProfileByID(id)
 		if err != nil {
 			return nil, err
 		}
-		ds, err := headtrace.Generate(p, gcfg, scale.Seed)
+		ds, err := datasetFor(p, scale.UsersPerVideo, scale.Seed)
 		if err != nil {
 			return nil, err
 		}
 		for _, tr := range ds.Traces {
-			speeds = append(speeds, tr.SwitchingSpeeds()...)
+			speeds = tr.AppendSwitchingSpeeds(speeds)
 		}
 	}
 	med, err := stats.Median(speeds)

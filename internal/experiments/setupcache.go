@@ -3,7 +3,10 @@ package experiments
 import (
 	"sync"
 
+	"ptile360/internal/geom"
+	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
+	"ptile360/internal/video"
 )
 
 // This file is the experiment engine's shared setup cache: a deterministic,
@@ -46,6 +49,22 @@ type setupEntry struct {
 	err   error
 }
 
+// datasetKey captures every input datasetFor reads. The train/eval split is
+// deliberately absent: Fig. 5 consumes the raw dataset before any split, so
+// keying on (video, users, seed) lets it share the generation with the
+// setup builds.
+type datasetKey struct {
+	videoID  int
+	numUsers int
+	seed     int64
+}
+
+type datasetEntry struct {
+	once sync.Once
+	ds   *headtrace.Dataset
+	err  error
+}
+
 type traceKey struct {
 	samples int
 	seed    int64
@@ -68,19 +87,27 @@ type CacheStats struct {
 	// SetupHits and SetupMisses count videoSetup lookups. A miss triggers
 	// one build; concurrent requests for an in-flight key count as hits.
 	SetupHits, SetupMisses int
+	// DatasetHits and DatasetMisses count head-trace dataset lookups.
+	DatasetHits, DatasetMisses int
 	// TraceHits and TraceMisses count LTE-trace lookups.
 	TraceHits, TraceMisses int
+	// FoVLUTHits and FoVLUTMisses mirror the geom package's FoV-coverage
+	// LUT counters (geom.FoVLUTCacheStats), merged here so one snapshot
+	// covers every cache the experiment engine leans on.
+	FoVLUTHits, FoVLUTMisses int
 }
 
 var cache = struct {
-	mu      sync.Mutex
-	setups  map[setupKey]*setupEntry
-	traces  map[traceKey]*traceEntry
-	stats   CacheStats
-	workers int
+	mu       sync.Mutex
+	setups   map[setupKey]*setupEntry
+	datasets map[datasetKey]*datasetEntry
+	traces   map[traceKey]*traceEntry
+	stats    CacheStats
+	workers  int
 }{
-	setups: make(map[setupKey]*setupEntry),
-	traces: make(map[traceKey]*traceEntry),
+	setups:   make(map[setupKey]*setupEntry),
+	datasets: make(map[datasetKey]*datasetEntry),
+	traces:   make(map[traceKey]*traceEntry),
 }
 
 // setupVideo returns the memoized per-video artifacts for (id, scale),
@@ -115,6 +142,35 @@ func setupVideo(id int, scale Scale) (*videoSetup, error) {
 	return e.setup, e.err
 }
 
+// datasetFor returns the memoized head-movement dataset for (video, user
+// count, seed), generating it at most once per distinct key. Fig. 5 and the
+// per-video setup builds share the same generation through it. The dataset
+// is shared — callers must treat its traces as read-only.
+func datasetFor(p video.Profile, numUsers int, seed int64) (*headtrace.Dataset, error) {
+	key := datasetKey{videoID: p.ID, numUsers: numUsers, seed: seed}
+	cache.mu.Lock()
+	e, ok := cache.datasets[key]
+	if ok {
+		cache.stats.DatasetHits++
+	} else {
+		cache.stats.DatasetMisses++
+		if len(cache.datasets) >= maxCacheEntries {
+			cache.datasets = make(map[datasetKey]*datasetEntry)
+		}
+		e = &datasetEntry{}
+		cache.datasets[key] = e
+	}
+	cache.mu.Unlock()
+
+	e.once.Do(func() {
+		gcfg := headtrace.DefaultGeneratorConfig()
+		gcfg.NumUsers = numUsers
+		gcfg.Workers = maxWorkers()
+		e.ds, e.err = headtrace.Generate(p, gcfg, seed)
+	})
+	return e.ds, e.err
+}
+
 // standardTraces returns the memoized two evaluation network conditions for
 // the scale's (TraceSamples, Seed). The traces are shared and read-only.
 func standardTraces(scale Scale) (trace1, trace2 *lte.Trace, err error) {
@@ -144,17 +200,22 @@ func standardTraces(scale Scale) (trace1, trace2 *lte.Trace, err error) {
 // release the memory between sweeps; correctness never requires it.
 func ResetCaches() {
 	cache.mu.Lock()
-	defer cache.mu.Unlock()
 	cache.setups = make(map[setupKey]*setupEntry)
+	cache.datasets = make(map[datasetKey]*datasetEntry)
 	cache.traces = make(map[traceKey]*traceEntry)
 	cache.stats = CacheStats{}
+	cache.mu.Unlock()
+	geom.ResetFoVLUTCache()
 }
 
-// Stats returns a snapshot of the setup-cache counters.
+// Stats returns a snapshot of the setup-cache counters, with the geom
+// package's FoV-LUT counters folded in.
 func Stats() CacheStats {
 	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	return cache.stats
+	s := cache.stats
+	cache.mu.Unlock()
+	s.FoVLUTHits, s.FoVLUTMisses, _ = geom.FoVLUTCacheStats()
+	return s
 }
 
 // SetMaxWorkers caps the experiment engine's worker pools (session sweeps

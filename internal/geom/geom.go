@@ -29,6 +29,21 @@ type Orientation struct {
 
 // NormalizeYaw maps any angle to [0, 360).
 func NormalizeYaw(deg float64) float64 {
+	// Fast paths for the ranges the generators and session loops live in,
+	// bit-identical to the fmod path: for |deg| < 360 the remainder is deg
+	// itself, and for deg ∈ [360, 720) the subtraction deg−360 is exact
+	// (Sterbenz). deg = −360 must fall through so the −0 the fmod path
+	// produces is preserved.
+	if deg >= 0 {
+		if deg < 360 {
+			return deg
+		}
+		if deg < 720 {
+			return deg - 360
+		}
+	} else if deg > -360 {
+		return deg + 360
+	}
 	m := math.Mod(deg, 360)
 	if m < 0 {
 		m += 360
@@ -64,7 +79,14 @@ func (o Orientation) Vector() [3]float64 {
 // orientations. This is the arccos term of the paper's Eq. 5, with the
 // orientation vectors already normalized to unit magnitude.
 func AngleBetween(a, b Orientation) float64 {
-	va, vb := a.Vector(), b.Vector()
+	return AngleBetweenVectors(a.Vector(), b.Vector())
+}
+
+// AngleBetweenVectors is AngleBetween on precomputed unit direction vectors
+// (Orientation.Vector forms). Bulk consumers — the switching-speed scans
+// over 50 Hz traces — cache the previous sample's vector and call this to
+// halve the trigonometry per pair.
+func AngleBetweenVectors(va, vb [3]float64) float64 {
 	dot := va[0]*vb[0] + va[1]*vb[1] + va[2]*vb[2]
 	if dot > 1 {
 		dot = 1
@@ -106,7 +128,13 @@ func OrientationOf(p Point) Orientation {
 // WrapDeltaX returns the signed shortest horizontal offset from x1 to x2 on
 // the wrapping panorama, in (−180, 180].
 func WrapDeltaX(x1, x2 float64) float64 {
-	d := math.Mod(x2-x1, 360)
+	// math.Mod(d, 360) is the identity for |d| < 360 (and for NaN), so the
+	// fmod is only needed outside that range — which the generator and
+	// session paths, whose coordinates stay in [0, 360), never hit.
+	d := x2 - x1
+	if d <= -360 || d >= 360 {
+		d = math.Mod(d, 360)
+	}
 	if d > 180 {
 		d -= 360
 	}

@@ -101,7 +101,14 @@ func (g Grid) CoveringTiles(r Rect) []TileID {
 // For the paper's 100°×100° FoV on a 4×8 grid this is the 3×3 = nine-tile
 // FoV block of Section II.
 func (g Grid) FoVTiles(center Point, hFoV, vFoV float64) []TileID {
-	c := g.TileAt(center)
+	return g.fovTilesFromTile(g.TileAt(center), hFoV, vFoV)
+}
+
+// fovTilesFromTile is the FoVTiles core: the block depends on the viewing
+// center only through the tile containing it, which is exactly the
+// quantization the FoV LUT is keyed on (one entry per center tile, no
+// floating-point approximation).
+func (g Grid) fovTilesFromTile(c TileID, hFoV, vFoV float64) []TileID {
 	nCols := int(math.Ceil(hFoV / g.TileW()))
 	if nCols > g.Cols {
 		nCols = g.Cols
@@ -149,7 +156,7 @@ func (g Grid) BoundingRect(tiles []TileID) (Rect, error) {
 		return Rect{}, fmt.Errorf("geom: no tiles to bound")
 	}
 	rowLo, rowHi := tiles[0].Row, tiles[0].Row
-	present := make(map[int]bool, len(tiles))
+	present := make([]bool, g.Cols)
 	for _, t := range tiles {
 		if t.Row < rowLo {
 			rowLo = t.Row
@@ -159,10 +166,41 @@ func (g Grid) BoundingRect(tiles []TileID) (Rect, error) {
 		}
 		present[t.Col] = true
 	}
-	// Find the contiguous column arc (mod Cols) covering all present columns
-	// with the shortest width: try each present column as the start.
+	return g.boundRect(rowLo, rowHi, present)
+}
+
+// BoundingRectOfSet is BoundingRect over a TileSet. The result depends only
+// on the row span and the set of occupied columns, so it is byte-identical
+// to BoundingRect over any tile slice with the same membership.
+func (g Grid) BoundingRectOfSet(s TileSet) (Rect, error) {
+	if s.IsEmpty() {
+		return Rect{}, fmt.Errorf("geom: no tiles to bound")
+	}
+	rowLo, rowHi := g.Rows, -1
+	present := make([]bool, g.Cols)
+	s.ForEach(func(i int) {
+		row, col := i/g.Cols, i%g.Cols
+		if row < rowLo {
+			rowLo = row
+		}
+		if row > rowHi {
+			rowHi = row
+		}
+		present[col] = true
+	})
+	return g.boundRect(rowLo, rowHi, present)
+}
+
+// boundRect finds the contiguous column arc (mod Cols) covering all present
+// columns with the shortest width, trying each present column as the start.
+// Candidate starts are scanned in ascending column order with a strict
+// improvement test, so ties resolve to the lowest start deterministically.
+func (g Grid) boundRect(rowLo, rowHi int, present []bool) (Rect, error) {
 	bestStart, bestSpan := -1, g.Cols+1
-	for start := range present {
+	for start := 0; start < g.Cols; start++ {
+		if !present[start] {
+			continue
+		}
 		span := 0
 		for k := 0; k < g.Cols; k++ {
 			if present[(start+k)%g.Cols] {

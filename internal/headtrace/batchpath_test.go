@@ -1,0 +1,157 @@
+package headtrace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+	"ptile360/internal/video"
+)
+
+// TestWrapTo360BitIdentical pins wrapTo360 against the double-fmod form it
+// replaced, bit-for-bit, over randoms and the rounding edge cases (values a
+// half-ulp below 0 and 360, ±0, NaN, infinities, huge magnitudes).
+func TestWrapTo360BitIdentical(t *testing.T) {
+	ref := func(tx float64) float64 {
+		return math.Mod(math.Mod(tx, 360)+360, 360)
+	}
+	check := func(tx float64) {
+		t.Helper()
+		got, want := wrapTo360(tx), ref(tx)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("wrapTo360(%v) = %v (bits %x), reference %v (bits %x)",
+				tx, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	edges := []float64{
+		0, math.Copysign(0, -1), 360, -360, 720, -720, 1080, -1080,
+		180, -180, 359.999999, -359.999999,
+		math.Nextafter(360, 0), math.Nextafter(360, 720),
+		math.Nextafter(0, -1), math.Nextafter(0, 1),
+		-math.Nextafter(360, 0), 360 - 1e-300, -1e-300, 1e-300,
+		1e17, -1e17, 1e300, -1e300,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+	}
+	for _, tx := range edges {
+		check(tx)
+	}
+	state := uint64(7)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := 0; i < 200000; i++ {
+		check((next() - 0.5) * 2000)
+	}
+	for i := 0; i < 50000; i++ {
+		// Near-multiples of 360 stress the rounding-to-boundary branches.
+		k := math.Floor((next() - 0.5) * 20)
+		check(k*360 + (next()-0.5)*1e-9)
+	}
+}
+
+// TestAppendSwitchingSpeedsMatchesPairwise pins the vector-cached scan
+// against the original per-pair AngleBetween form.
+func TestAppendSwitchingSpeedsMatchesPairwise(t *testing.T) {
+	ds, err := Generate(video.Catalog()[0], DefaultGeneratorConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ds.Traces[0]
+	var want []float64
+	for i := 1; i < len(tr.Samples); i++ {
+		dt := tr.Samples[i].T - tr.Samples[i-1].T
+		if dt > 0 {
+			want = append(want, geom.AngleBetween(tr.Samples[i-1].O, tr.Samples[i].O)/dt)
+		}
+	}
+	got := tr.SwitchingSpeeds()
+	if len(got) != len(want) {
+		t.Fatalf("got %d speeds, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("speed %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Appending into a reused buffer must match a fresh computation.
+	buf := make([]float64, 0, 4)
+	buf = append(buf, 1, 2, 3)
+	out := tr.AppendSwitchingSpeeds(buf)
+	if !reflect.DeepEqual(out[:3], []float64{1, 2, 3}) || !reflect.DeepEqual(out[3:], got) {
+		t.Fatal("AppendSwitchingSpeeds corrupted prefix or appended wrong speeds")
+	}
+}
+
+// TestSegmentPeakSpeedMemoized pins the memoized SegmentPeakSpeed against a
+// direct recompute for every segment and several segment durations, and
+// checks the error cases still surface after caching.
+func TestSegmentPeakSpeedMemoized(t *testing.T) {
+	ds, err := Generate(video.Catalog()[1], DefaultGeneratorConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ds.Traces[3]
+	for _, segSec := range []float64{1, 2, 0.5} {
+		for segIdx := 0; ; segIdx++ {
+			speeds, derr := tr.segmentSpeeds(segIdx, segSec)
+			got, gerr := tr.SegmentPeakSpeed(segIdx, segSec)
+			if derr != nil {
+				if gerr == nil || gerr.Error() != derr.Error() {
+					t.Fatalf("seg %d: memoized err %v, direct err %v", segIdx, gerr, derr)
+				}
+				break
+			}
+			if gerr != nil {
+				t.Fatalf("seg %d: unexpected error %v", segIdx, gerr)
+			}
+			want := 0.0
+			if len(speeds) > 0 {
+				if want, err = stats.Quantile(speeds, 0.98); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("segSec %g seg %d: memoized %v, direct %v", segSec, segIdx, got, want)
+			}
+		}
+	}
+	if _, err := tr.SegmentPeakSpeed(-1, 1); err == nil {
+		t.Fatal("negative segment index accepted")
+	}
+	if _, err := tr.SegmentPeakSpeed(0, 0); err == nil {
+		t.Fatal("zero segment duration accepted")
+	}
+}
+
+// TestGenerateWorkerCountInvariant pins that the parallel fan-out does not
+// change the generated dataset: 1 worker and 4 workers must agree exactly.
+func TestGenerateWorkerCountInvariant(t *testing.T) {
+	for _, p := range []video.Profile{video.Catalog()[0], video.Catalog()[5]} {
+		serial := DefaultGeneratorConfig()
+		serial.NumUsers = 12
+		serial.Workers = 1
+		wide := serial
+		wide.Workers = 4
+		a, err := Generate(p, serial, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(p, wide, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Traces) != len(b.Traces) {
+			t.Fatalf("video %d: %d vs %d traces", p.ID, len(a.Traces), len(b.Traces))
+		}
+		for u := range a.Traces {
+			if a.Traces[u].UserID != b.Traces[u].UserID ||
+				a.Traces[u].VideoID != b.Traces[u].VideoID ||
+				!reflect.DeepEqual(a.Traces[u].Samples, b.Traces[u].Samples) {
+				t.Fatalf("video %d user %d: traces differ across worker counts", p.ID, u)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ptile360/internal/geom"
+	"ptile360/internal/parallel"
 	"ptile360/internal/stats"
 	"ptile360/internal/video"
 )
@@ -36,6 +37,10 @@ type GeneratorConfig struct {
 	// TrajSpeedScale scales the attention-trajectory drift speed; the
 	// trajectory speed is additionally proportional to the video's TI.
 	TrajSpeedScale float64
+	// Workers bounds the goroutines simulating users in parallel (0 means
+	// GOMAXPROCS). Each user's RNG is forked serially before the fan-out, so
+	// the generated traces are identical for every worker count.
+	Workers int
 }
 
 // DefaultGeneratorConfig returns the calibrated generator settings.
@@ -166,19 +171,35 @@ func Generate(p video.Profile, cfg GeneratorConfig, seed int64) (*Dataset, error
 		saccadeRate *= 1.8
 	}
 
-	ds := &Dataset{Video: p, Traces: make([]*Trace, 0, cfg.NumUsers)}
-	for u := 0; u < cfg.NumUsers; u++ {
-		userRNG := rng.Fork()
-		wanderer := userRNG.Float64() < wandererFrac
-		tr := genUser(u, p, trajs, wanderer, saccadeRate, cfg, dt, steps, userRNG)
-		ds.Traces = append(ds.Traces, tr)
+	// Fork every user's RNG (and draw its wanderer coin) serially so the
+	// random streams are independent of scheduling, then simulate users on
+	// the worker pool. One shared backing array holds every user's samples:
+	// steps*NumUsers contiguous Samples instead of NumUsers separate
+	// allocations, and each user writes only its own slice.
+	type userSpec struct {
+		rng      *stats.RNG
+		wanderer bool
 	}
-	return ds, nil
+	specs := make([]userSpec, cfg.NumUsers)
+	for u := range specs {
+		userRNG := rng.Fork()
+		specs[u] = userSpec{rng: userRNG, wanderer: userRNG.Float64() < wandererFrac}
+	}
+	all := make([]Sample, steps*cfg.NumUsers)
+	traces := make([]*Trace, cfg.NumUsers)
+	parallel.ForEach(cfg.NumUsers, cfg.Workers, func(u int) error {
+		buf := all[u*steps : (u+1)*steps : (u+1)*steps]
+		traces[u] = genUser(u, p, trajs, specs[u].wanderer, saccadeRate, cfg, dt, steps, specs[u].rng, buf)
+		return nil
+	})
+	return &Dataset{Video: p, Traces: traces}, nil
 }
 
-// genUser simulates one viewer with the chase dynamic.
+// genUser simulates one viewer with the chase dynamic, writing the steps
+// samples into the caller-provided buffer.
 func genUser(userID int, p video.Profile, trajs []trajectory, wanderer bool,
-	saccadeRate float64, cfg GeneratorConfig, dt float64, steps int, rng *stats.RNG) *Trace {
+	saccadeRate float64, cfg GeneratorConfig, dt float64, steps int, rng *stats.RNG,
+	samples []Sample) *Trace {
 	// Personal offset from the shared trajectory: users look at the same
 	// action from slightly different angles.
 	offX := rng.Normal(0, cfg.OffsetStd)
@@ -192,7 +213,6 @@ func genUser(userID int, p video.Profile, trajs []trajectory, wanderer bool,
 	x := targetX(trajs, traj, 0, offX, roamX, wanderer)
 	y := targetY(trajs, traj, 0, offY, roamY, wanderer)
 
-	samples := make([]Sample, steps)
 	for i := 0; i < steps; i++ {
 		// Attention re-targeting (saccade trigger).
 		if rng.Float64() < saccadeRate*dt {
@@ -214,7 +234,7 @@ func genUser(userID int, p video.Profile, trajs []trajectory, wanderer bool,
 		// First-order chase with rate limiting: small errors → fixation
 		// micro-drift, moving targets → smooth pursuit, fresh targets →
 		// saccadic fast chase at MaxHeadSpeed.
-		ex := geom.WrapDeltaX(x, math.Mod(math.Mod(tx, 360)+360, 360))
+		ex := geom.WrapDeltaX(x, wrapTo360(tx))
 		ey := ty - y
 		vx := cfg.ChaseGain * ex
 		vy := cfg.ChaseGain * ey
@@ -238,6 +258,23 @@ func genUser(userID int, p video.Profile, trajs []trajectory, wanderer bool,
 		}
 	}
 	return &Trace{UserID: userID, VideoID: p.ID, Samples: samples}
+}
+
+// wrapTo360 maps an unwrapped coordinate into [0, 360), bit-identical to the
+// double-fmod form math.Mod(math.Mod(tx, 360)+360, 360) it replaces in the
+// chase loop, at one fmod instead of two. With m = Mod(tx, 360)+360 ∈
+// (0, 720], the outer fmod is m−360 for m ∈ [360, 720) (exact by Sterbenz),
+// +0 when the addition rounds m to exactly 720, and m otherwise; NaN falls
+// through every comparison unchanged.
+func wrapTo360(tx float64) float64 {
+	m := math.Mod(tx, 360) + 360
+	if m >= 720 {
+		return m - 720
+	}
+	if m >= 360 {
+		return m - 360
+	}
+	return m
 }
 
 func targetX(trajs []trajectory, j, i int, off, roamX float64, wanderer bool) float64 {

@@ -19,6 +19,7 @@ package headtrace
 
 import (
 	"fmt"
+	"sync"
 
 	"ptile360/internal/geom"
 	"ptile360/internal/stats"
@@ -44,6 +45,23 @@ type Trace struct {
 	VideoID int
 	// Samples are the 50 Hz sensor readings, in time order.
 	Samples []Sample
+
+	// peakMu guards peakCache, the per-segSec memo of SegmentPeakSpeed:
+	// session loops query the same segment peaks once per scheme per
+	// horizon slot, so the 98th-percentile scan is paid once per trace.
+	// The memo is transparent — Samples are immutable after generation —
+	// and lazily built, so traces must be shared by pointer (they already
+	// are throughout).
+	peakMu    sync.Mutex
+	peakCache []segPeaks
+}
+
+// segPeaks is the memoized SegmentPeakSpeed sequence for one segment
+// duration: peaks[i] is the segment-i peak; indices ≥ len(peaks) are beyond
+// the trace end.
+type segPeaks struct {
+	segSec float64
+	peaks  []float64
 }
 
 // Duration returns the trace length in seconds (0 for empty traces).
@@ -95,24 +113,40 @@ func (tr *Trace) SwitchingSpeeds() []float64 {
 	if len(tr.Samples) < 2 {
 		return nil
 	}
-	out := make([]float64, 0, len(tr.Samples)-1)
-	for i := 1; i < len(tr.Samples); i++ {
-		dt := tr.Samples[i].T - tr.Samples[i-1].T
-		if dt <= 0 {
-			continue
-		}
-		sp, err := geom.SwitchingSpeed(tr.Samples[i-1].O, tr.Samples[i].O, dt)
-		if err != nil {
-			continue
-		}
-		out = append(out, sp)
+	return tr.AppendSwitchingSpeeds(make([]float64, 0, len(tr.Samples)-1))
+}
+
+// AppendSwitchingSpeeds appends the trace's switching speeds to dst and
+// returns it, letting bulk consumers (the Fig. 5 aggregation) reuse one
+// buffer across traces. Each sample's direction vector is computed once and
+// carried to the next pair, halving the trigonometry of the pairwise form
+// while producing bit-identical speeds.
+func (tr *Trace) AppendSwitchingSpeeds(dst []float64) []float64 {
+	if len(tr.Samples) < 2 {
+		return dst
 	}
-	return out
+	va := tr.Samples[0].O.Vector()
+	for i := 1; i < len(tr.Samples); i++ {
+		vb := tr.Samples[i].O.Vector()
+		dt := tr.Samples[i].T - tr.Samples[i-1].T
+		if dt > 0 {
+			dst = append(dst, geom.AngleBetweenVectors(va, vb)/dt)
+		}
+		va = vb
+	}
+	return dst
 }
 
 // segmentSpeeds collects the per-sample switching speeds inside segment
 // segIdx.
 func (tr *Trace) segmentSpeeds(segIdx int, segSec float64) ([]float64, error) {
+	return tr.segmentSpeedsInto(nil, segIdx, segSec)
+}
+
+// segmentSpeedsInto is segmentSpeeds appending into a reusable buffer
+// (reset to length 0 first), with the same vector caching as
+// AppendSwitchingSpeeds.
+func (tr *Trace) segmentSpeedsInto(dst []float64, segIdx int, segSec float64) ([]float64, error) {
 	if segIdx < 0 || segSec <= 0 {
 		return nil, fmt.Errorf("headtrace: bad segment query (%d, %g)", segIdx, segSec)
 	}
@@ -126,17 +160,18 @@ func (tr *Trace) segmentSpeeds(segIdx int, segSec float64) ([]float64, error) {
 	if hi > len(tr.Samples)-1 {
 		hi = len(tr.Samples) - 1
 	}
-	speeds := make([]float64, 0, hi-lo)
+	if cap(dst) == 0 {
+		dst = make([]float64, 0, hi-lo)
+	}
+	speeds := dst[:0]
+	va := tr.Samples[lo].O.Vector()
 	for i := lo + 1; i <= hi; i++ {
+		vb := tr.Samples[i].O.Vector()
 		dt := tr.Samples[i].T - tr.Samples[i-1].T
-		if dt <= 0 {
-			continue
+		if dt > 0 {
+			speeds = append(speeds, geom.AngleBetweenVectors(va, vb)/dt)
 		}
-		sp, err := geom.SwitchingSpeed(tr.Samples[i-1].O, tr.Samples[i].O, dt)
-		if err != nil {
-			continue
-		}
-		speeds = append(speeds, sp)
+		va = vb
 	}
 	return speeds, nil
 }
@@ -162,18 +197,50 @@ func (tr *Trace) SegmentSwitchingSpeed(segIdx int, segSec float64) (float64, err
 // frame drops even if its average speed is modest. The 98th percentile
 // rejects single-sample sensor-noise spikes.
 func (tr *Trace) SegmentPeakSpeed(segIdx int, segSec float64) (float64, error) {
-	speeds, err := tr.segmentSpeeds(segIdx, segSec)
-	if err != nil {
-		return 0, err
+	if segIdx < 0 || segSec <= 0 {
+		return 0, fmt.Errorf("headtrace: bad segment query (%d, %g)", segIdx, segSec)
 	}
-	if len(speeds) == 0 {
-		return 0, nil
+	tr.peakMu.Lock()
+	var peaks []float64
+	for i := range tr.peakCache {
+		if tr.peakCache[i].segSec == segSec {
+			peaks = tr.peakCache[i].peaks
+			break
+		}
 	}
-	peak, err := stats.Quantile(speeds, 0.98)
-	if err != nil {
-		return 0, err
+	if peaks == nil {
+		peaks = tr.buildSegmentPeaks(segSec)
+		tr.peakCache = append(tr.peakCache, segPeaks{segSec: segSec, peaks: peaks})
 	}
-	return peak, nil
+	tr.peakMu.Unlock()
+	if segIdx >= len(peaks) {
+		return 0, fmt.Errorf("headtrace: segment %d beyond trace end", segIdx)
+	}
+	return peaks[segIdx], nil
+}
+
+// buildSegmentPeaks computes the peak speed of every segment in one pass,
+// reusing a single speeds buffer. Each entry reproduces the uncached
+// computation exactly: segment speeds via segmentSpeedsInto, then the 0.98
+// quantile (0 for an empty segment). The valid prefix is contiguous because
+// the segment start index grows monotonically with segIdx.
+func (tr *Trace) buildSegmentPeaks(segSec float64) []float64 {
+	var peaks []float64
+	var buf []float64
+	for segIdx := 0; ; segIdx++ {
+		speeds, err := tr.segmentSpeedsInto(buf, segIdx, segSec)
+		if err != nil {
+			return peaks
+		}
+		buf = speeds
+		if len(speeds) == 0 {
+			peaks = append(peaks, 0)
+			continue
+		}
+		// Quantile cannot fail on a non-empty slice with q = 0.98.
+		peak, _ := stats.Quantile(speeds, 0.98)
+		peaks = append(peaks, peak)
+	}
 }
 
 // XYSeries returns the viewing-center coordinate streams (x and y panorama
@@ -258,7 +325,7 @@ func (d *Dataset) Statistics(segSec float64, stride int) (Stats, error) {
 	out := Stats{Users: len(d.Traces)}
 	for _, tr := range d.Traces {
 		out.Samples += len(tr.Samples)
-		speeds = append(speeds, tr.SwitchingSpeeds()...)
+		speeds = tr.AppendSwitchingSpeeds(speeds)
 	}
 	summary, err := stats.Summarize(speeds)
 	if err != nil {

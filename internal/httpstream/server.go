@@ -209,16 +209,29 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad or missing viewport center", http.StatusBadRequest)
 			return
 		}
-		fov := grid.FoVTiles(geom.Point{X: cx, Y: cy}, 100, 100)
-		inFoV := make(map[geom.TileID]bool, len(fov))
-		for _, id := range fov {
-			inFoV[id] = true
+		center := geom.Point{X: cx, Y: cy}
+		// The shared FoV LUT answers membership with a bitset; the map is
+		// only needed if the grid cannot carry tile masks.
+		var fovSet geom.TileSet
+		var inFoV map[geom.TileID]bool
+		if lut := geom.FoVLUTFor(grid, 100, 100); lut != nil {
+			fovSet = lut.SetAt(center)
+		} else {
+			fov := grid.FoVTiles(center, 100, 100)
+			inFoV = make(map[geom.TileID]bool, len(fov))
+			for _, id := range fov {
+				inFoV[id] = true
+			}
 		}
 		for row := 0; row < grid.Rows; row++ {
 			for col := 0; col < grid.Cols; col++ {
 				id := geom.TileID{Row: row, Col: col}
 				tq := video.MinQuality
-				if inFoV[id] {
+				if inFoV != nil {
+					if inFoV[id] {
+						tq = quality
+					}
+				} else if fovSet.Contains(grid.Index(id)) {
 					tq = quality
 				}
 				b, err := s.enc.TileBits(video.TileSpec{Rect: grid.TileRect(id), Quality: tq}, cat.SegmentSec, sc)

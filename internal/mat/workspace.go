@@ -1,0 +1,138 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// RidgeWorkspace holds the scratch buffers for repeated
+// RidgeLeastSquaresPenalized solves of one design shape, so per-solve
+// allocation drops to zero on the hot MPC/predictor path. Every intermediate
+// is computed with the same loops in the same order as the allocating path,
+// so the solutions are bit-identical.
+//
+// A workspace is not safe for concurrent use, and the slice returned by
+// Solve aliases the workspace: callers must consume (or copy) it before the
+// next Solve call.
+type RidgeWorkspace struct {
+	rows, cols int
+	at         *Matrix // cols×rows transpose
+	ata        *Matrix // cols×cols normal matrix
+	aty        []float64
+	l          *Matrix // Cholesky factor
+	y          []float64
+	x          []float64
+}
+
+// NewRidgeWorkspace returns a workspace for rows×cols designs.
+func NewRidgeWorkspace(rows, cols int) *RidgeWorkspace {
+	return &RidgeWorkspace{
+		rows: rows,
+		cols: cols,
+		at:   New(cols, rows),
+		ata:  New(cols, cols),
+		aty:  make([]float64, cols),
+		l:    New(cols, cols),
+		y:    make([]float64, cols),
+		x:    make([]float64, cols),
+	}
+}
+
+// Solve computes RidgeLeastSquaresPenalized(a, y, penalties) into the
+// workspace buffers. a must be rows×cols as declared at construction. The
+// returned slice is owned by the workspace and overwritten by the next call.
+func (w *RidgeWorkspace) Solve(a *Matrix, y, penalties []float64) ([]float64, error) {
+	if a.rows != w.rows || a.cols != w.cols {
+		return nil, fmt.Errorf("%w: design %dx%d in %dx%d workspace", ErrShape, a.rows, a.cols, w.rows, w.cols)
+	}
+	if a.rows != len(y) {
+		return nil, fmt.Errorf("%w: design %dx%d vs %d observations", ErrShape, a.rows, a.cols, len(y))
+	}
+	if len(penalties) != a.cols {
+		return nil, fmt.Errorf("%w: %d penalties for %d coefficients", ErrShape, len(penalties), a.cols)
+	}
+	for j, p := range penalties {
+		if p < 0 {
+			return nil, fmt.Errorf("mat: negative ridge penalty %g for coefficient %d", p, j)
+		}
+	}
+	// Aᵀ — same element placement as T().
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			w.at.Set(j, i, a.At(i, j))
+		}
+	}
+	// AᵀA — the Mul loop (i, k with skip-zero, j) verbatim, accumulating into
+	// a zeroed buffer so the additions happen in the identical order.
+	for i := range w.ata.data {
+		w.ata.data[i] = 0
+	}
+	for i := 0; i < w.at.rows; i++ {
+		for k := 0; k < w.at.cols; k++ {
+			v := w.at.At(i, k)
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < a.cols; j++ {
+				w.ata.data[i*w.ata.cols+j] += v * a.At(k, j)
+			}
+		}
+	}
+	for i := 0; i < w.ata.rows; i++ {
+		w.ata.Set(i, i, w.ata.At(i, i)+penalties[i])
+	}
+	// Aᵀy — the MulVec loop verbatim.
+	for i := 0; i < w.at.rows; i++ {
+		var s float64
+		row := w.at.data[i*w.at.cols : (i+1)*w.at.cols]
+		for j, v := range row {
+			s += v * y[j]
+		}
+		w.aty[i] = s
+	}
+	if err := w.choleskyInto(); err != nil {
+		// Same degenerate-path fallback as the allocating solver.
+		return Solve(w.ata, w.aty)
+	}
+	return w.x, nil
+}
+
+// choleskyInto is Cholesky(w.ata, w.aty) into the workspace factor and
+// solution buffers, loop-for-loop identical to the allocating version.
+func (w *RidgeWorkspace) choleskyInto() error {
+	n := w.ata.rows
+	for i := range w.l.data {
+		w.l.data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := w.ata.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= w.l.At(i, k) * w.l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return fmt.Errorf("%w: non-positive diagonal %g at %d", ErrSingular, s, i)
+				}
+				w.l.Set(i, i, math.Sqrt(s))
+			} else {
+				w.l.Set(i, j, s/w.l.At(j, j))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := w.aty[i]
+		for k := 0; k < i; k++ {
+			s -= w.l.At(i, k) * w.y[k]
+		}
+		w.y[i] = s / w.l.At(i, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := w.y[i]
+		for k := i + 1; k < n; k++ {
+			s -= w.l.At(k, i) * w.x[k]
+		}
+		w.x[i] = s / w.l.At(i, i)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRidgeWorkspaceBitIdentical pins the workspace solver bit-for-bit
+// against RidgeLeastSquaresPenalized across random designs, penalties, and
+// repeated reuse of one workspace.
+func TestRidgeWorkspaceBitIdentical(t *testing.T) {
+	state := uint64(77)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for _, dims := range [][2]int{{50, 2}, {12, 3}, {5, 5}} {
+		rows, cols := dims[0], dims[1]
+		w := NewRidgeWorkspace(rows, cols)
+		for trial := 0; trial < 20; trial++ {
+			a := New(rows, cols)
+			for i := 0; i < rows; i++ {
+				a.Set(i, 0, 1)
+				for j := 1; j < cols; j++ {
+					a.Set(i, j, (next()-0.5)*10)
+				}
+			}
+			y := make([]float64, rows)
+			for i := range y {
+				y[i] = (next() - 0.5) * 100
+			}
+			penalties := make([]float64, cols)
+			for j := 1; j < cols; j++ {
+				penalties[j] = next() * 2
+			}
+			want, err := RidgeLeastSquaresPenalized(a, y, penalties)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := w.Solve(a, y, penalties)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("dims %v: %d coefficients, want %d", dims, len(got), len(want))
+			}
+			for j := range got {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("dims %v trial %d coef %d: workspace %v, reference %v",
+						dims, trial, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRidgeWorkspaceDegenerateFallback checks the rank-deficient design takes
+// the same pivoted-solver fallback as the allocating path.
+func TestRidgeWorkspaceDegenerateFallback(t *testing.T) {
+	// Two identical columns with zero penalty: AᵀA is singular.
+	rows := 10
+	a := New(rows, 2)
+	for i := 0; i < rows; i++ {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, 1)
+	}
+	y := make([]float64, rows)
+	for i := range y {
+		y[i] = float64(i)
+	}
+	penalties := []float64{0, 0}
+	want, wantErr := RidgeLeastSquaresPenalized(a, y, penalties)
+	got, gotErr := NewRidgeWorkspace(rows, 2).Solve(a, y, penalties)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("error mismatch: workspace %v, reference %v", gotErr, wantErr)
+	}
+	if wantErr == nil {
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("coef %d: workspace %v, reference %v", j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRidgeWorkspaceShapeErrors checks the workspace rejects mismatched
+// inputs rather than corrupting its buffers.
+func TestRidgeWorkspaceShapeErrors(t *testing.T) {
+	w := NewRidgeWorkspace(4, 2)
+	a := New(3, 2)
+	if _, err := w.Solve(a, make([]float64, 3), []float64{0, 1}); err == nil {
+		t.Fatal("wrong-shape design accepted")
+	}
+	a4 := New(4, 2)
+	if _, err := w.Solve(a4, make([]float64, 3), []float64{0, 1}); err == nil {
+		t.Fatal("short observation vector accepted")
+	}
+	if _, err := w.Solve(a4, make([]float64, 4), []float64{0}); err == nil {
+		t.Fatal("short penalty vector accepted")
+	}
+	if _, err := w.Solve(a4, make([]float64, 4), []float64{0, -1}); err == nil {
+		t.Fatal("negative penalty accepted")
+	}
+}

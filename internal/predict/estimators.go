@@ -113,18 +113,21 @@ func NewMovingAverage(window int) (*MovingAverage, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("predict: non-positive window %d", window)
 	}
-	return &MovingAverage{window: window}, nil
+	return &MovingAverage{window: window, samples: make([]float64, 0, window)}, nil
 }
 
-// Observe implements Estimator.
+// Observe implements Estimator. Like Bandwidth, the full window shifts in
+// place so steady-state observation allocates nothing.
 func (e *MovingAverage) Observe(rateBps float64) error {
 	if rateBps <= 0 {
 		return fmt.Errorf("predict: non-positive throughput %g", rateBps)
 	}
-	e.samples = append(e.samples, rateBps)
-	if len(e.samples) > e.window {
-		e.samples = e.samples[len(e.samples)-e.window:]
+	if len(e.samples) < e.window {
+		e.samples = append(e.samples, rateBps)
+		return nil
 	}
+	copy(e.samples, e.samples[1:])
+	e.samples[e.window-1] = rateBps
 	return nil
 }
 

@@ -160,18 +160,22 @@ func NewBandwidth(window int) (*Bandwidth, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("predict: non-positive bandwidth window %d", window)
 	}
-	return &Bandwidth{window: window}, nil
+	return &Bandwidth{window: window, samples: make([]float64, 0, window)}, nil
 }
 
-// Observe records a completed download's throughput in bits/s.
+// Observe records a completed download's throughput in bits/s. The window is
+// a fixed-capacity buffer shifted in place (oldest-first order preserved for
+// the harmonic-mean sum), so steady-state observation allocates nothing.
 func (b *Bandwidth) Observe(rateBps float64) error {
 	if rateBps <= 0 {
 		return fmt.Errorf("predict: non-positive throughput %g", rateBps)
 	}
-	b.samples = append(b.samples, rateBps)
-	if len(b.samples) > b.window {
-		b.samples = b.samples[len(b.samples)-b.window:]
+	if len(b.samples) < b.window {
+		b.samples = append(b.samples, rateBps)
+		return nil
 	}
+	copy(b.samples, b.samples[1:])
+	b.samples[b.window-1] = rateBps
 	return nil
 }
 

@@ -1,0 +1,85 @@
+package predict
+
+import (
+	"fmt"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/mat"
+)
+
+// ViewportPredictor is the reusable form of Viewport for session loops: the
+// design matrix depends only on the window length, so it is built once and
+// cached, and both per-coordinate ridge solves run through one preallocated
+// mat.RidgeWorkspace. Predictions are bit-identical to Viewport with the
+// same configuration. Not safe for concurrent use.
+type ViewportPredictor struct {
+	cfg       ViewportConfig
+	winN      int
+	n         int // rows of the cached design; 0 until first use
+	design    *mat.Matrix
+	ws        *mat.RidgeWorkspace
+	penalties []float64
+}
+
+// NewViewportPredictor validates cfg once and returns a predictor.
+func NewViewportPredictor(cfg ViewportConfig) (*ViewportPredictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(cfg.HistorySec * cfg.SampleRate)
+	if n < 2 {
+		return nil, fmt.Errorf("predict: history window of %d samples too short", n)
+	}
+	lambda := cfg.Lambda
+	if cfg.Kind == ViewportOLS {
+		lambda = 0
+	}
+	return &ViewportPredictor{cfg: cfg, winN: n, penalties: []float64{0, lambda}}, nil
+}
+
+// Predict is Viewport over the predictor's configuration: xs is the
+// unwrapped x stream, ys the y stream, and the result is the extrapolated
+// viewing center horizonSec past the last sample.
+func (p *ViewportPredictor) Predict(xs, ys []float64, horizonSec float64) (geom.Point, error) {
+	if len(xs) != len(ys) {
+		return geom.Point{}, fmt.Errorf("predict: x/y length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return geom.Point{}, fmt.Errorf("predict: need at least 2 samples, got %d", len(xs))
+	}
+	if horizonSec < 0 {
+		return geom.Point{}, fmt.Errorf("predict: negative horizon %g", horizonSec)
+	}
+	if p.cfg.Kind == ViewportStatic {
+		return geom.Point{X: geom.NormalizeYaw(xs[len(xs)-1]), Y: clampY(ys[len(ys)-1])}, nil
+	}
+	n := p.winN
+	if len(xs) < n {
+		n = len(xs)
+	}
+	hx := xs[len(xs)-n:]
+	hy := ys[len(ys)-n:]
+	if n != p.n {
+		dt := 1 / p.cfg.SampleRate
+		p.design = mat.New(n, 2)
+		for i := 0; i < n; i++ {
+			p.design.Set(i, 0, 1)
+			p.design.Set(i, 1, float64(i-(n-1))*dt)
+		}
+		p.ws = mat.NewRidgeWorkspace(n, 2)
+		p.n = n
+	}
+	cx, err := p.ws.Solve(p.design, hx, p.penalties)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("predict: x fit: %w", err)
+	}
+	// The workspace reuses its solution buffer: consume the x coefficients
+	// before the y solve overwrites them.
+	px := cx[0] + cx[1]*horizonSec
+	cy, err := p.ws.Solve(p.design, hy, p.penalties)
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("predict: y fit: %w", err)
+	}
+	py := cy[0] + cy[1]*horizonSec
+	return geom.Point{X: geom.NormalizeYaw(px), Y: clampY(py)}, nil
+}

@@ -49,10 +49,37 @@ func (v View) PanoramaCoord(px, py int) (geom.Point, error) {
 	if px < 0 || px >= v.Width || py < 0 || py >= v.Height {
 		return geom.Point{}, fmt.Errorf("projection: pixel (%d, %d) outside %dx%d", px, py, v.Width, v.Height)
 	}
-	// Normalized image-plane coordinates in [−tan(FoV/2), +tan(FoV/2)].
+	m := v.mapper()
+	return m.coord(px, py), nil
+}
+
+// viewMapper holds the per-view constants of the gnomonic mapping so bulk
+// tracers (SampleMap, CoveredTiles) pay the trigonometry once per view
+// instead of once per pixel. The per-pixel arithmetic is unchanged, so every
+// coordinate is bit-identical to the one-shot PanoramaCoord path.
+type viewMapper struct {
+	v              View
+	half           float64
+	cp, sp, cy, sy float64
+}
+
+func (v View) mapper() viewMapper {
+	// Normalized image-plane half-extent: tan(FoV/2).
 	half := math.Tan(v.FoVDeg / 2 / geom.DegPerRad)
-	u := (2*(float64(px)+0.5)/float64(v.Width) - 1) * half
-	w := (1 - 2*(float64(py)+0.5)/float64(v.Height)) * half
+	pitch := v.Center.Pitch / geom.DegPerRad
+	yaw := v.Center.Yaw / geom.DegPerRad
+	return viewMapper{
+		v:    v,
+		half: half,
+		cp:   math.Cos(pitch), sp: math.Sin(pitch),
+		cy: math.Cos(yaw), sy: math.Sin(yaw),
+	}
+}
+
+func (m *viewMapper) coord(px, py int) geom.Point {
+	// Normalized image-plane coordinates in [−tan(FoV/2), +tan(FoV/2)].
+	u := (2*(float64(px)+0.5)/float64(m.v.Width) - 1) * m.half
+	w := (1 - 2*(float64(py)+0.5)/float64(m.v.Height)) * m.half
 
 	// Ray in view space: x forward, y left-right (east), z up.
 	dir := [3]float64{1, u, w}
@@ -62,21 +89,17 @@ func (v View) PanoramaCoord(px, py int) (geom.Point, error) {
 	}
 
 	// Rotate by pitch (about y) then yaw (about z).
-	pitch := v.Center.Pitch / geom.DegPerRad
-	yaw := v.Center.Yaw / geom.DegPerRad
-	cp, sp := math.Cos(pitch), math.Sin(pitch)
-	x1 := dir[0]*cp - dir[2]*sp
-	z1 := dir[0]*sp + dir[2]*cp
+	x1 := dir[0]*m.cp - dir[2]*m.sp
+	z1 := dir[0]*m.sp + dir[2]*m.cp
 	y1 := dir[1]
-	cy, sy := math.Cos(yaw), math.Sin(yaw)
-	x2 := x1*cy - y1*sy
-	y2 := x1*sy + y1*cy
+	x2 := x1*m.cy - y1*m.sy
+	y2 := x1*m.sy + y1*m.cy
 
 	o := geom.Orientation{
 		Yaw:   math.Atan2(y2, x2) * geom.DegPerRad,
 		Pitch: math.Asin(clamp(z1, -1, 1)) * geom.DegPerRad,
 	}
-	return geom.PointOf(o.Normalize()), nil
+	return geom.PointOf(o.Normalize())
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -97,14 +120,11 @@ func (v View) SampleMap() ([]geom.Point, error) {
 	if err := v.Validate(); err != nil {
 		return nil, err
 	}
+	m := v.mapper()
 	out := make([]geom.Point, 0, v.Width*v.Height)
 	for py := 0; py < v.Height; py++ {
 		for px := 0; px < v.Width; px++ {
-			p, err := v.PanoramaCoord(px, py)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
+			out = append(out, m.coord(px, py))
 		}
 	}
 	return out, nil
@@ -120,15 +140,26 @@ func (v View) CoveredTiles(grid geom.Grid, stride int) ([]geom.TileID, error) {
 	if stride <= 0 {
 		return nil, fmt.Errorf("projection: non-positive stride %d", stride)
 	}
-	seen := make(map[geom.TileID]bool)
+	m := v.mapper()
 	var out []geom.TileID
+	if grid.SetSupported() {
+		// Bitset dedup: first-seen append order, no per-view map.
+		var seen geom.TileSet
+		for py := 0; py < v.Height; py += stride {
+			for px := 0; px < v.Width; px += stride {
+				id := grid.TileAt(m.coord(px, py))
+				if idx := grid.Index(id); !seen.Contains(idx) {
+					seen.Add(idx)
+					out = append(out, id)
+				}
+			}
+		}
+		return out, nil
+	}
+	seen := make(map[geom.TileID]bool)
 	for py := 0; py < v.Height; py += stride {
 		for px := 0; px < v.Width; px += stride {
-			p, err := v.PanoramaCoord(px, py)
-			if err != nil {
-				return nil, err
-			}
-			id := grid.TileAt(p)
+			id := grid.TileAt(m.coord(px, py))
 			if !seen[id] {
 				seen[id] = true
 				out = append(out, id)

@@ -1,0 +1,111 @@
+package ptile
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ptile360/internal/cluster"
+	"ptile360/internal/geom"
+)
+
+// buildSegmentMapReference reimplements BuildSegment with the pre-bitset
+// map-dedup Ptile construction so the LUT/mask path can be pinned against it.
+func buildSegmentMapReference(t *testing.T, centers []geom.Point, cfg Config) SegmentResult {
+	t.Helper()
+	clusters, err := cluster.ViewingCenters(centers, cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SegmentResult{TotalUsers: len(centers)}
+	for _, cl := range clusters {
+		if len(cl.Members) < cfg.MinUsers {
+			continue
+		}
+		seen := make(map[geom.TileID]bool)
+		var tiles []geom.TileID
+		for _, m := range cl.Members {
+			for _, id := range cfg.Grid.FoVTiles(centers[m], cfg.FoVDeg, cfg.FoVDeg) {
+				if !seen[id] {
+					seen[id] = true
+					tiles = append(tiles, id)
+				}
+			}
+		}
+		rect, err := cfg.Grid.BoundingRect(tiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := make([]int, len(cl.Members))
+		copy(users, cl.Members)
+		res.Ptiles = append(res.Ptiles, Ptile{Rect: rect, Users: users})
+		res.CoveredUsers += len(cl.Members)
+	}
+	return res
+}
+
+// TestBuildSegmentMaskVsMapReference pins the mask path byte-for-byte
+// against the map reference over randomized center sets, including clusters
+// that straddle the antimeridian seam and pole-clipped FoVs.
+func TestBuildSegmentMaskVsMapReference(t *testing.T) {
+	cfg, err := DefaultConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(42)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + int(next()*40)
+		centers := make([]geom.Point, n)
+		// Two anchor blobs plus uniform noise; shift one blob onto the seam
+		// or a pole on alternating trials.
+		a := geom.Point{X: next() * 360, Y: 30 + next()*120}
+		b := geom.Point{X: next() * 360, Y: 30 + next()*120}
+		switch trial % 3 {
+		case 1:
+			a.X = 358
+		case 2:
+			a.Y = 3 // pole-clipped FoV blocks
+		}
+		for i := range centers {
+			base := a
+			if i%2 == 0 {
+				base = b
+			}
+			if next() < 0.2 {
+				centers[i] = geom.Point{X: next() * 360, Y: next() * 180}
+				continue
+			}
+			centers[i] = geom.Point{
+				X: geom.NormalizeYaw(base.X + (next()-0.5)*20),
+				Y: math.Min(180, math.Max(0, base.Y+(next()-0.5)*20)),
+			}
+		}
+		got, err := BuildSegment(centers, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := buildSegmentMapReference(t, centers, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: mask path %+v, map reference %+v", trial, got, want)
+		}
+		// Covers must agree with the raw predicate loop for every center.
+		for _, pt := range got.Ptiles {
+			for _, c := range centers {
+				want := true
+				for _, id := range cfg.Grid.FoVTiles(c, cfg.FoVDeg, cfg.FoVDeg) {
+					if !rectContainsTile(pt.Rect, cfg.Grid, id) {
+						want = false
+						break
+					}
+				}
+				if gotC := pt.Covers(cfg.Grid, c, cfg.FoVDeg); gotC != want {
+					t.Fatalf("Covers(%+v) = %v, predicate loop %v", c, gotC, want)
+				}
+			}
+		}
+	}
+}

@@ -70,6 +70,16 @@ type Ptile struct {
 // Covers reports whether the viewer's snapped FoV tile block lies entirely
 // within the Ptile, i.e. whether downloading this Ptile serves the viewer.
 func (p Ptile) Covers(g geom.Grid, center geom.Point, fovDeg float64) bool {
+	if lut := geom.FoVLUTFor(g, fovDeg, fovDeg); lut != nil {
+		// Same per-tile predicate, but the FoV block comes from the shared
+		// LUT instead of an allocating FoVTiles call.
+		for _, id := range lut.TilesAt(center) {
+			if !rectContainsTile(p.Rect, g, id) {
+				return false
+			}
+		}
+		return true
+	}
 	for _, id := range g.FoVTiles(center, fovDeg, fovDeg) {
 		if !rectContainsTile(p.Rect, g, id) {
 			return false
@@ -111,12 +121,13 @@ func BuildSegment(centers []geom.Point, cfg Config) (SegmentResult, error) {
 	if err != nil {
 		return SegmentResult{}, err
 	}
+	lut := geom.FoVLUTFor(cfg.Grid, cfg.FoVDeg, cfg.FoVDeg)
 	res := SegmentResult{TotalUsers: len(centers)}
 	for _, cl := range clusters {
 		if len(cl.Members) < cfg.MinUsers {
 			continue
 		}
-		pt, err := buildPtile(centers, cl.Members, cfg)
+		pt, err := buildPtile(centers, cl.Members, cfg, lut)
 		if err != nil {
 			return SegmentResult{}, err
 		}
@@ -127,19 +138,31 @@ func BuildSegment(centers []geom.Point, cfg Config) (SegmentResult, error) {
 }
 
 // buildPtile encodes the conventional tiles covering the cluster members'
-// FoV blocks as one large tile.
-func buildPtile(centers []geom.Point, members []int, cfg Config) (Ptile, error) {
-	seen := make(map[geom.TileID]bool)
-	var tiles []geom.TileID
-	for _, m := range members {
-		for _, id := range cfg.Grid.FoVTiles(centers[m], cfg.FoVDeg, cfg.FoVDeg) {
-			if !seen[id] {
-				seen[id] = true
-				tiles = append(tiles, id)
+// FoV blocks as one large tile. With a LUT the tile union is a few word-ORs
+// and the bounding rect is computed from the mask; the result is identical
+// because BoundingRect depends only on the tile membership, not its order.
+func buildPtile(centers []geom.Point, members []int, cfg Config, lut *geom.FoVLUT) (Ptile, error) {
+	var rect geom.Rect
+	var err error
+	if lut != nil {
+		var union geom.TileSet
+		for _, m := range members {
+			union.Union(lut.SetAt(centers[m]))
+		}
+		rect, err = cfg.Grid.BoundingRectOfSet(union)
+	} else {
+		seen := make(map[geom.TileID]bool)
+		var tiles []geom.TileID
+		for _, m := range members {
+			for _, id := range cfg.Grid.FoVTiles(centers[m], cfg.FoVDeg, cfg.FoVDeg) {
+				if !seen[id] {
+					seen[id] = true
+					tiles = append(tiles, id)
+				}
 			}
 		}
+		rect, err = cfg.Grid.BoundingRect(tiles)
 	}
-	rect, err := cfg.Grid.BoundingRect(tiles)
 	if err != nil {
 		return Ptile{}, fmt.Errorf("ptile: bounding cluster of %d users: %w", len(members), err)
 	}

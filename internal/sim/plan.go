@@ -12,17 +12,26 @@ import (
 )
 
 // segmentPlan is the request structure for one segment: the quality-version
-// options offered to the controller plus what they cover.
+// options offered to the controller plus what they cover. Plans live in the
+// session's recycled per-slot buffers (planBuf), so steady-state planning
+// allocates neither the struct nor its coverage bookkeeping.
 type segmentPlan struct {
 	// options are the downloadable versions.
 	options []abr.OptionMeta
 	// chosenPtile is the serving Ptile (Ptile/Ours schemes, nil on
 	// fallback).
 	chosenPtile *ptile.Ptile
-	// hqTiles is the high-quality grid-tile set (Ctile and fallback).
+	// hqTiles is the high-quality grid-tile set (Ctile and fallback). On the
+	// LUT path it aliases the shared FoVLUT slice — read-only.
 	hqTiles []geom.TileID
-	// hqGroups marks the high-quality Ftile groups by index.
-	hqGroups map[int]bool
+	// hqSet is the bitset form of hqTiles, valid when hasHQSet (grids that
+	// fit a TileSet); coverage is then counted with popcounts.
+	hqSet    geom.TileSet
+	hasHQSet bool
+	// hqGroups marks the high-quality Ftile groups by index, valid when
+	// hasHQGroups. The slice is recycled across plans.
+	hqGroups    []bool
+	hasHQGroups bool
 	// fallback reports that a Ptile scheme had no covering Ptile and
 	// reverted to conventional tiles for this segment.
 	fallback bool
@@ -62,6 +71,26 @@ func (s *session) optionBuf(slot int) []abr.OptionMeta {
 
 func (s *session) storeOptionBuf(slot int, buf []abr.OptionMeta) { s.optBufs[slot] = buf }
 
+// planBuf returns the recycled segmentPlan for scratch slot i, cleared of the
+// previous decision while keeping grown buffers. Slots 0..Horizon are
+// preallocated; a larger slot (which no current caller produces) gets a fresh
+// struct rather than growing the array under live pointers.
+func (s *session) planBuf(slot int) *segmentPlan {
+	if slot >= len(s.planBufs) {
+		return &segmentPlan{}
+	}
+	p := &s.planBufs[slot]
+	p.options = nil
+	p.chosenPtile = nil
+	p.hqTiles = nil
+	p.hqSet = geom.TileSet{}
+	p.hasHQSet = false
+	p.hqGroups = p.hqGroups[:0]
+	p.hasHQGroups = false
+	p.fallback = false
+	return p
+}
+
 // quality evaluates the perceived quality Q(v, f) for this segment. The
 // switching speed is scaled by AlphaScale, implementing α = κ·S_fov/TI
 // (see Config.AlphaScale).
@@ -85,7 +114,16 @@ func (s *session) procPower(scheme power.Scheme, f float64) (float64, error) {
 // ctilePlan: nine FoV grid tiles at quality v, the rest at the lowest
 // quality, one option per v at the source frame rate.
 func (s *session) ctilePlan(k, slot int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
-	hq := s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
+	plan := s.planBuf(slot)
+	var hq []geom.TileID
+	if s.lut != nil {
+		hq = s.lut.TilesAt(predCenter)
+		plan.hqSet = s.lut.SetAt(predCenter)
+		plan.hasHQSet = true
+	} else {
+		hq = s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
+	}
+	plan.hqTiles = hq
 	tileFrac := 1.0 / float64(s.cfg.Grid.NumTiles())
 	nBG := s.cfg.Grid.NumTiles() - len(hq)
 
@@ -103,7 +141,7 @@ func (s *session) ctilePlan(k, slot int, predCenter geom.Point, speedEst float64
 	if err != nil {
 		return nil, err
 	}
-	plan := &segmentPlan{hqTiles: hq, options: s.optionBuf(slot)}
+	plan.options = s.optionBuf(slot)
 	for v := video.MinQuality; v <= video.MaxQuality; v++ {
 		tileBits, err := gridBits(v)
 		if err != nil {
@@ -128,20 +166,39 @@ func (s *session) ctilePlan(k, slot int, predCenter geom.Point, speedEst float64
 // quality v, the rest at the lowest quality.
 func (s *session) ftilePlan(k, slot int, predCenter geom.Point, speedEst float64, sc video.SegmentContent) (*segmentPlan, error) {
 	groups := s.cat.Ftiles[k]
-	fov := s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
-	inFoV := make(map[geom.TileID]bool, len(fov))
-	for _, id := range fov {
-		inFoV[id] = true
-	}
-	hq := make(map[int]bool)
-	for gi, g := range groups {
-		for _, id := range g.Tiles {
-			if inFoV[id] {
-				hq[gi] = true
-				break
+	plan := s.planBuf(slot)
+	hq := plan.hqGroups
+	if s.lut != nil && s.tab != nil && s.tab.setsOK {
+		// Mask path: a group is high-quality iff its tile mask meets the
+		// FoV mask — the same membership test as the map loop below.
+		fovSet := s.lut.SetAt(predCenter)
+		for gi := range groups {
+			hq = append(hq, s.tab.ftileSets[k][gi].Intersects(fovSet))
+		}
+	} else {
+		var fov []geom.TileID
+		if s.lut != nil {
+			fov = s.lut.TilesAt(predCenter)
+		} else {
+			fov = s.cfg.Grid.FoVTiles(predCenter, s.cfg.FoVDeg, s.cfg.FoVDeg)
+		}
+		inFoV := make(map[geom.TileID]bool, len(fov))
+		for _, id := range fov {
+			inFoV[id] = true
+		}
+		for _, g := range groups {
+			in := false
+			for _, id := range g.Tiles {
+				if inFoV[id] {
+					in = true
+					break
+				}
 			}
+			hq = append(hq, in)
 		}
 	}
+	plan.hqGroups = hq
+	plan.hasHQGroups = true
 	proc, err := s.procPower(power.Ftile, s.fm)
 	if err != nil {
 		return nil, err
@@ -152,7 +209,7 @@ func (s *session) ftilePlan(k, slot int, predCenter geom.Point, speedEst float64
 		}
 		return s.cfg.Encoder.RegionBits(g.AreaFrac, q, s.fm, video.KindFtile, s.cfg.SegmentSec, sc)
 	}
-	plan := &segmentPlan{hqGroups: hq, options: s.optionBuf(slot)}
+	plan.options = s.optionBuf(slot)
 	for v := video.MinQuality; v <= video.MaxQuality; v++ {
 		var total float64
 		for gi, g := range groups {
@@ -187,7 +244,8 @@ func (s *session) nontilePlan(k, slot int, speedEst float64, sc video.SegmentCon
 	if err != nil {
 		return nil, err
 	}
-	plan := &segmentPlan{options: s.optionBuf(slot)}
+	plan := s.planBuf(slot)
+	plan.options = s.optionBuf(slot)
 	for v := video.MinQuality; v <= video.MaxQuality; v++ {
 		var bits float64
 		if s.tab != nil {
@@ -254,7 +312,9 @@ func (s *session) ptilePlan(k, slot int, predCenter geom.Point, speedEst float64
 		}
 	}
 
-	plan := &segmentPlan{chosenPtile: pt, options: s.optionBuf(slot)}
+	plan := s.planBuf(slot)
+	plan.chosenPtile = pt
+	plan.options = s.optionBuf(slot)
 	for v := video.MinQuality; v <= video.MaxQuality; v++ {
 		for fi, f := range s.cfg.FrameRates {
 			var bits float64
@@ -300,9 +360,22 @@ func (s *session) coveringPtile(k int, center geom.Point) (*ptile.Ptile, int) {
 	var best *ptile.Ptile
 	bestIdx := -1
 	bestArea := math.Inf(1)
+	// Mask path: "every FoV tile center inside the rect" is exactly
+	// "FoV mask ⊆ rect-coverage mask", with both masks precomputed.
+	useSets := s.lut != nil && s.tab != nil && s.tab.setsOK
+	var fovSet geom.TileSet
+	if useSets {
+		fovSet = s.lut.SetAt(center)
+	}
 	for i := range s.cat.Ptiles[k] {
 		pt := &s.cat.Ptiles[k][i]
-		if pt.Covers(s.cfg.Grid, center, s.cfg.FoVDeg) && pt.Rect.Area() < bestArea {
+		var covers bool
+		if useSets {
+			covers = s.tab.ptileSets[k][i].ContainsAll(fovSet)
+		} else {
+			covers = pt.Covers(s.cfg.Grid, center, s.cfg.FoVDeg)
+		}
+		if covers && pt.Rect.Area() < bestArea {
 			best, bestIdx, bestArea = pt, i, pt.Rect.Area()
 		}
 	}
@@ -375,7 +448,12 @@ func (s *session) coverageFraction(k int, plan *segmentPlan, actual geom.Point) 
 	if s.cfg.Scheme == SchemeNontile {
 		return 1
 	}
-	fov := s.cfg.Grid.FoVTiles(actual, s.cfg.FoVDeg, s.cfg.FoVDeg)
+	var fov []geom.TileID
+	if s.lut != nil {
+		fov = s.lut.TilesAt(actual)
+	} else {
+		fov = s.cfg.Grid.FoVTiles(actual, s.cfg.FoVDeg, s.cfg.FoVDeg)
+	}
 	if len(fov) == 0 {
 		return 0
 	}
@@ -387,28 +465,42 @@ func (s *session) coverageFraction(k int, plan *segmentPlan, actual geom.Point) 
 				covered++
 			}
 		}
-	case plan.hqGroups != nil:
-		inHQ := make(map[geom.TileID]bool)
-		for gi, g := range s.cat.Ftiles[k] {
-			if plan.hqGroups[gi] {
-				for _, id := range g.Tiles {
-					inHQ[id] = true
+	case plan.hasHQGroups:
+		if s.lut != nil && s.tab != nil && s.tab.setsOK {
+			var inHQ geom.TileSet
+			for gi := range s.cat.Ftiles[k] {
+				if plan.hqGroups[gi] {
+					inHQ.Union(s.tab.ftileSets[k][gi])
+				}
+			}
+			covered = inHQ.CountIn(s.lut.SetAt(actual))
+		} else {
+			inHQ := make(map[geom.TileID]bool)
+			for gi, g := range s.cat.Ftiles[k] {
+				if plan.hqGroups[gi] {
+					for _, id := range g.Tiles {
+						inHQ[id] = true
+					}
+				}
+			}
+			for _, id := range fov {
+				if inHQ[id] {
+					covered++
 				}
 			}
 		}
-		for _, id := range fov {
-			if inHQ[id] {
-				covered++
-			}
-		}
 	default:
-		have := make(map[geom.TileID]bool, len(plan.hqTiles))
-		for _, id := range plan.hqTiles {
-			have[id] = true
-		}
-		for _, id := range fov {
-			if have[id] {
-				covered++
+		if plan.hasHQSet {
+			covered = plan.hqSet.CountIn(s.lut.SetAt(actual))
+		} else {
+			have := make(map[geom.TileID]bool, len(plan.hqTiles))
+			for _, id := range plan.hqTiles {
+				have[id] = true
+			}
+			for _, id := range fov {
+				if have[id] {
+					covered++
+				}
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ptile360/internal/geom"
 	"ptile360/internal/ptile"
 	"ptile360/internal/video"
 )
@@ -73,6 +74,15 @@ type planTables struct {
 	ftileBits [][][numQualities]float64
 	// ptiles[k][i] are the per-Ptile tables.
 	ptiles [][]ptileTable
+	// setsOK reports that the coverage masks below were built: the grid fits
+	// a geom.TileSet and every catalogue Ftile tile lies on it. When false
+	// the planners keep the per-tile predicate paths.
+	setsOK bool
+	// ptileSets[k][i] is Ptile i's rect-coverage mask (tiles whose centers
+	// the rect contains), so the covering-Ptile test is a subset check.
+	ptileSets [][]geom.TileSet
+	// ftileSets[k][g] is Ftile group g's tile mask.
+	ftileSets [][]geom.TileSet
 }
 
 // planEntry is one singleflight cache slot: built under its own Once so
@@ -118,6 +128,26 @@ func (c *Catalog) buildPlanTables(cfg *Config) (*planTables, error) {
 		ftileBits:    make([][][numQualities]float64, nSeg),
 		ptiles:       make([][]ptileTable, nSeg),
 	}
+	t.setsOK = cfg.Grid.SetSupported()
+	if t.setsOK {
+		// Guard against a catalogue built on a different grid: an out-of-range
+		// tile index would corrupt the masks, so any stray tile disables them.
+	rangeCheck:
+		for k := 0; k < nSeg; k++ {
+			for _, g := range c.Ftiles[k] {
+				for _, id := range g.Tiles {
+					if id.Row < 0 || id.Row >= cfg.Grid.Rows || id.Col < 0 || id.Col >= cfg.Grid.Cols {
+						t.setsOK = false
+						break rangeCheck
+					}
+				}
+			}
+		}
+	}
+	if t.setsOK {
+		t.ptileSets = make([][]geom.TileSet, nSeg)
+		t.ftileSets = make([][]geom.TileSet, nSeg)
+	}
 	for k := 0; k < nSeg; k++ {
 		sc := c.Content[k]
 		for v := video.MinQuality; v <= video.MaxQuality; v++ {
@@ -135,6 +165,18 @@ func (c *Catalog) buildPlanTables(cfg *Config) (*planTables, error) {
 
 		groups := c.Ftiles[k]
 		t.ftileBits[k] = make([][numQualities]float64, len(groups))
+		if t.setsOK {
+			t.ftileSets[k] = make([]geom.TileSet, len(groups))
+			for gi, g := range groups {
+				for _, id := range g.Tiles {
+					t.ftileSets[k][gi].Add(cfg.Grid.Index(id))
+				}
+			}
+			t.ptileSets[k] = make([]geom.TileSet, len(c.Ptiles[k]))
+			for pi := range c.Ptiles[k] {
+				t.ptileSets[k][pi] = cfg.Grid.RectCoverSet(c.Ptiles[k][pi].Rect)
+			}
+		}
 		for gi, g := range groups {
 			for v := video.MinQuality; v <= video.MaxQuality; v++ {
 				fb, err := enc.RegionBits(g.AreaFrac, v, fm, video.KindFtile, cfg.SegmentSec, sc)

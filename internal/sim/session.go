@@ -266,6 +266,9 @@ type session struct {
 	rate       *abr.RateBased
 	bw         predict.Estimator
 	tab        *planTables
+	lut        *geom.FoVLUT
+	vp         *predict.ViewportPredictor
+	planBufs   []segmentPlan
 	optBufs    [][]abr.OptionMeta
 	horizonBuf []abr.SegmentMeta
 	xs, ys     []float64
@@ -343,6 +346,18 @@ func Run(cat *Catalog, user *headtrace.Trace, net *lte.Trace, cfg Config) (*Resu
 		pm: pm, mpc: mpc, qoeMPC: qoeMPC, rate: rateCtl, bw: bw,
 		tab: tab, xs: xs, ys: ys, fm: cfg.Encoder.FrameRate,
 	}
+	// Shared FoV coverage LUT (nil on grids too large for a TileSet — the
+	// planners then keep the direct FoVTiles paths) and the reusable
+	// viewport predictor. A config the predictor rejects is one Viewport
+	// would reject on every call, so predictViewport's trace fallback applies
+	// either way.
+	s.lut = geom.FoVLUTFor(cfg.Grid, cfg.FoVDeg, cfg.FoVDeg)
+	if vp, vpErr := predict.NewViewportPredictor(cfg.Viewport); vpErr == nil {
+		s.vp = vp
+	}
+	// One recycled plan per horizon slot; preallocated so held plan pointers
+	// are never invalidated by growth.
+	s.planBufs = make([]segmentPlan, cfg.Horizon+1)
 	return s.run()
 }
 
@@ -548,7 +563,10 @@ func (s *session) predictViewport(k int) geom.Point {
 	if horizon > 1 {
 		horizon = 1
 	}
-	p, err := predict.Viewport(s.xs[:idx], s.ys[:idx], horizon, s.cfg.Viewport)
+	if s.vp == nil {
+		return geom.PointOf(s.user.Samples[idx-1].O)
+	}
+	p, err := s.vp.Predict(s.xs[:idx], s.ys[:idx], horizon)
 	if err != nil {
 		return geom.PointOf(s.user.Samples[idx-1].O)
 	}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// quantileSortReference is the pre-selection Quantile: full sort then
+// interpolate.
+func quantileSortReference(xs []float64, q float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// TestQuantileSelectionVsSort pins the introselect Quantile bit-for-bit
+// against the sort-based reference across adversarial shapes (duplicates,
+// sorted, reversed, constant, two-valued) and quantiles.
+func TestQuantileSelectionVsSort(t *testing.T) {
+	state := uint64(12345)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	qs := []float64{0, 0.02, 0.25, 0.5, 0.75, 0.98, 1}
+	shapes := []func(n int) []float64{
+		func(n int) []float64 { // uniform
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = next() * 1000
+			}
+			return xs
+		},
+		func(n int) []float64 { // heavy duplicates
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = math.Floor(next() * 8)
+			}
+			return xs
+		},
+		func(n int) []float64 { // sorted ascending
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		},
+		func(n int) []float64 { // sorted descending
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+			return xs
+		},
+		func(n int) []float64 { // constant (quickselect worst case)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = 7.5
+			}
+			return xs
+		},
+		func(n int) []float64 { // two-valued
+			xs := make([]float64, n)
+			for i := range xs {
+				if next() < 0.5 {
+					xs[i] = 1
+				} else {
+					xs[i] = 2
+				}
+			}
+			return xs
+		},
+	}
+	for si, shape := range shapes {
+		for _, n := range []int{1, 2, 3, 5, 11, 12, 13, 100, 1001, 5000} {
+			xs := shape(n)
+			orig := make([]float64, len(xs))
+			copy(orig, xs)
+			for _, q := range qs {
+				got, err := Quantile(xs, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := quantileSortReference(orig, q)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("shape %d n %d q %g: selection %v, sort %v", si, n, q, got, want)
+				}
+			}
+			// Quantile must not mutate its input.
+			for i := range xs {
+				if xs[i] != orig[i] {
+					t.Fatalf("shape %d n %d: input mutated at %d", si, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectKthPostcondition checks the partial-order contract the hi-order-
+// statistic scan in Quantile relies on.
+func TestSelectKthPostcondition(t *testing.T) {
+	state := uint64(9)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + int(next()*500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(next() * 50)
+		}
+		k := int(next() * float64(n))
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		v := selectKth(xs, k)
+		if v != sorted[k] {
+			t.Fatalf("trial %d: selectKth(%d) = %v, sorted %v", trial, k, v, sorted[k])
+		}
+		for i := 0; i < k; i++ {
+			if xs[i] > v {
+				t.Fatalf("trial %d: xs[%d] = %v > selected %v", trial, i, xs[i], v)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if xs[i] < v {
+				t.Fatalf("trial %d: xs[%d] = %v < selected %v", trial, i, xs[i], v)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -100,6 +101,11 @@ func HarmonicMean(xs []float64) (float64, error) {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics. The input need not be sorted.
+//
+// The order statistics come from an introselect rather than a full sort —
+// O(n) instead of O(n log n) for the million-sample Fig. 5 medians — and the
+// selected values equal the sort-based ones, so the interpolation (the same
+// expression on the same operands) is bit-identical to the sorted path.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
@@ -107,20 +113,81 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("stats: quantile %g outside [0, 1]", q)
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0], nil
+	work := make([]float64, len(xs))
+	copy(work, xs)
+	if len(work) == 1 {
+		return work[0], nil
 	}
-	pos := q * float64(len(sorted)-1)
+	pos := q * float64(len(work)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
+	vlo := selectKth(work, lo)
 	if lo == hi {
-		return sorted[lo], nil
+		return vlo, nil
+	}
+	// selectKth leaves work[lo+1:] holding only elements ≥ work[lo], so the
+	// next order statistic is their minimum.
+	vhi := work[lo+1]
+	for _, x := range work[lo+2:] {
+		if x < vhi {
+			vhi = x
+		}
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return vlo*(1-frac) + vhi*frac, nil
+}
+
+// selectKth partially orders work so work[k] holds the k-th smallest value
+// (0-based), everything before index k is ≤ it, and everything after is
+// ≥ it, then returns work[k]. Introselect: median-of-three quickselect with
+// a recursion-depth bound, falling back to sorting the remaining range when
+// the bound is hit or the range is small.
+func selectKth(work []float64, k int) float64 {
+	lo, hi := 0, len(work)-1
+	depth := 2 * bits.Len(uint(len(work)))
+	for hi > lo {
+		if hi-lo < 12 || depth == 0 {
+			sort.Float64s(work[lo : hi+1])
+			break
+		}
+		depth--
+		p := partitionFloat64s(work, lo, hi)
+		switch {
+		case k < p:
+			hi = p - 1
+		case k > p:
+			lo = p + 1
+		default:
+			return work[k]
+		}
+	}
+	return work[k]
+}
+
+// partitionFloat64s is a Lomuto partition around the median of a[lo], a[mid],
+// a[hi]: afterwards a[lo..p-1] < a[p] ≤ a[p+1..hi], and p is returned.
+func partitionFloat64s(a []float64, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[lo] {
+		a[hi], a[lo] = a[lo], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi] = a[hi], a[mid]
+	pivot := a[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi] = a[hi], a[i]
+	return i
 }
 
 // Median returns the 0.5-quantile of xs.

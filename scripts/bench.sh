@@ -25,7 +25,13 @@ BENCHTIME="${3:-1x}"
 DATE="$(date -u +%Y-%m-%d)"
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 OUT="BENCH_${DATE}.json"
+# Record the tree the run actually measured: the per-run commit, suffixed
+# with -dirty when uncommitted changes are present (an unsuffixed before/
+# after pair from the same commit would be indistinguishable otherwise).
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [ "$COMMIT" != unknown ] && ! git diff --quiet HEAD -- 2>/dev/null; then
+    COMMIT="${COMMIT}-dirty"
+fi
 MAXPROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 
 RAW="$(mktemp)"
