@@ -1,6 +1,10 @@
 // Command ptileserver runs the HTTP Ptile streaming server: it prepares the
 // catalogues (head-movement generation, Ptile construction) for the selected
-// videos and serves manifests plus synthesized segments.
+// videos and serves manifests plus synthesized segments behind the
+// overload-protection chain (admission control, per-client rate limiting,
+// circuit breaking). SIGINT/SIGTERM trigger a graceful drain: the server
+// stops admitting, finishes in-flight requests under -drain-timeout, and
+// prints the per-endpoint outcome ledger before exiting.
 //
 // Usage:
 //
@@ -8,17 +12,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ptile360/internal/faultinject"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
+	"ptile360/internal/resilience"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
 )
@@ -35,6 +43,16 @@ func run() int {
 		seed      = flag.Int64("seed", 42, "random seed")
 		chaos     = flag.String("chaos", "off", "server-side fault profile: off, flaky, lossy, slow, chaos")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's reproducible schedule")
+
+		def          = resilience.DefaultConfig()
+		maxInFlight  = flag.Int("max-inflight", def.MaxInFlight, "admission limit: concurrently served requests")
+		maxQueue     = flag.Int("max-queue", def.MaxQueue, "admission queue slots behind the in-flight limit")
+		queueWait    = flag.Duration("queue-wait", def.QueueTimeout, "longest a queued request may wait before a 503")
+		handlerLimit = flag.Duration("handler-timeout", def.HandlerTimeout, "cooperative per-request timeout (0 disables)")
+		retryAfter   = flag.Duration("retry-after", def.RetryAfter, "Retry-After hint on shed responses")
+		rate         = flag.Float64("rate", 0, "per-client requests/second (0 disables rate limiting)")
+		burst        = flag.Float64("burst", 50, "per-client token-bucket burst (with -rate)")
+		drainWait    = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -83,6 +101,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
 		return 1
 	}
+
+	// Fault injection (when enabled) sits *inside* the protection chain, so
+	// shed requests never consume fault budget and the breaker observes the
+	// injected 5xx.
 	var handler http.Handler = srv
 	profile, err := faultinject.Named(*chaos)
 	if err != nil {
@@ -98,15 +120,41 @@ func run() int {
 		handler = mw
 		fmt.Printf("chaos profile %q (seed %d) active on all responses\n", profile.Name, *chaosSeed)
 	}
+
+	cfg := def
+	cfg.MaxInFlight = *maxInFlight
+	cfg.MaxQueue = *maxQueue
+	cfg.QueueTimeout = *queueWait
+	cfg.HandlerTimeout = *handlerLimit
+	cfg.RetryAfter = *retryAfter
+	cfg.RatePerSec = *rate
+	cfg.Burst = *burst
+	chain, err := resilience.NewChain(cfg, handler)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		return 2
+	}
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           chain,
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	fmt.Printf("serving %d videos on %s\n", len(catalogs), *addr)
-	if err := httpServer.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving %d videos on %s (admission %d+%d queued", len(catalogs), *addr, *maxInFlight, *maxQueue)
+	if *rate > 0 {
+		fmt.Printf(", %g req/s per client", *rate)
+	}
+	fmt.Println("); SIGINT/SIGTERM drains gracefully")
+	err = resilience.Serve(ctx, httpServer, nil, chain, *drainWait)
+	fmt.Println("\nfinal outcome ledger:")
+	fmt.Println(chain.Snapshot())
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
 		return 1
 	}
+	fmt.Println("drained cleanly")
 	return 0
 }

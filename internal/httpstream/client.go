@@ -62,6 +62,10 @@ type ClientConfig struct {
 	// the chosen rung is exhausted the session fails instead of stepping
 	// down to cheaper rungs and, ultimately, abandoning the segment.
 	NoDegrade bool
+	// ClientID, when set, is sent as the X-Client-Id header so the
+	// server's per-client rate limiter can key on the session rather than
+	// the shared NAT address.
+	ClientID string
 }
 
 // Validate reports whether the configuration is usable.
@@ -235,10 +239,11 @@ func (c *Client) jitter() float64 {
 	return c.rng.Float64()
 }
 
-// backoffWait sleeps the policy's backoff before the retry-th retry,
-// aborting promptly when the session context dies.
-func (c *Client) backoffWait(ctx context.Context, retry int) error {
-	return sleepCtx(ctx, c.retry.Backoff(retry, c.jitter()))
+// backoffWait sleeps before the retry-th retry: the policy's backoff,
+// raised to any Retry-After hint the failed attempt carried (capped at the
+// policy's max delay), aborting promptly when the session context dies.
+func (c *Client) backoffWait(ctx context.Context, retry int, lastErr error) error {
+	return sleepCtx(ctx, c.retry.BackoffWithHint(retry, c.jitter(), retryAfterHint(lastErr)))
 }
 
 // cancelBody ties a request-scoped cancel to the response body's Close so
@@ -266,6 +271,9 @@ func (c *Client) get(ctx context.Context, rawURL string) (*http.Response, error)
 		cancel()
 		return nil, err
 	}
+	if c.cfg.ClientID != "" {
+		req.Header.Set("X-Client-Id", c.cfg.ClientID)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		cancel()
@@ -287,7 +295,7 @@ func (c *Client) FetchManifestContext(ctx context.Context, videoID int) (*Manife
 	attempts := 0
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := c.backoffWait(ctx, attempt); err != nil {
+			if err := c.backoffWait(ctx, attempt, lastErr); err != nil {
 				return nil, fmt.Errorf("httpstream: fetch manifest: %w", err)
 			}
 		}
@@ -312,7 +320,7 @@ func (c *Client) fetchManifestOnce(ctx context.Context, videoID int) (*Manifest,
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("manifest: %w", &statusError{code: resp.StatusCode, status: resp.Status})
+		return nil, fmt.Errorf("manifest: %w", newStatusError(resp))
 	}
 	return DecodeManifest(resp.Body)
 }
@@ -607,7 +615,7 @@ func (c *Client) downloadResilient(ctx context.Context, videoID, seg int, ladder
 	for rung, opt := range ladder {
 		for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 			if attempt > 0 {
-				if err := c.backoffWait(ctx, attempt); err != nil {
+				if err := c.backoffWait(ctx, attempt, lastErr); err != nil {
 					return out, fmt.Errorf("httpstream: segment %d: %w", seg, err)
 				}
 			}
@@ -654,7 +662,7 @@ func (c *Client) downloadOnce(ctx context.Context, videoID, seg int, chosen abr.
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return 0, 0, fmt.Errorf("httpstream: segment %d: %w", seg, &statusError{code: resp.StatusCode, status: resp.Status})
+		return 0, 0, fmt.Errorf("httpstream: segment %d: %w", seg, newStatusError(resp))
 	}
 	hdr, err := ParseSegmentHeader(resp.Header)
 	if err != nil {

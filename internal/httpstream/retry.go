@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -79,23 +82,102 @@ func (p RetryPolicy) Backoff(retry int, u float64) time.Duration {
 	return d + time.Duration(p.Jitter*u*float64(d))
 }
 
+// BackoffWithHint combines the exponential backoff with a server-supplied
+// Retry-After hint: the wait is the larger of the two, with the hint capped
+// at MaxDelay so a hostile or confused server cannot park the client.
+func (p RetryPolicy) BackoffWithHint(retry int, u float64, hint time.Duration) time.Duration {
+	d := p.Backoff(retry, u)
+	if hint > p.MaxDelay {
+		hint = p.MaxDelay
+	}
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// maxRetryAfter bounds a parsed Retry-After value before the policy cap is
+// applied, so absurd or overflowing hints cannot produce a bogus duration.
+const maxRetryAfter = 24 * time.Hour
+
+// ParseRetryAfter parses an HTTP Retry-After header value in either RFC
+// 9110 form — delay seconds ("120") or HTTP-date ("Fri, 31 Dec 1999
+// 23:59:59 GMT") — relative to now. Malformed or negative values report
+// ok=false; dates in the past report a zero wait.
+func ParseRetryAfter(v string, now time.Time) (wait time.Duration, ok bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil || errors.Is(err, strconv.ErrRange) {
+		if errors.Is(err, strconv.ErrRange) {
+			// Syntactically valid delay-seconds too large for int64: the
+			// cap applies, same as any other oversized hint.
+			if strings.HasPrefix(v, "-") {
+				return 0, false
+			}
+			return maxRetryAfter, true
+		}
+		if secs < 0 {
+			return 0, false
+		}
+		if secs > int64(maxRetryAfter/time.Second) {
+			return maxRetryAfter, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		if d > maxRetryAfter {
+			d = maxRetryAfter
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // statusError carries a non-200 HTTP status through the retry machinery so
-// 4xx (caller bugs) fail fast while 5xx (server trouble) retry.
+// 4xx (caller bugs) fail fast while 5xx (server trouble) retry, together
+// with the server's Retry-After hint when one was sent.
 type statusError struct {
-	code   int
-	status string
+	code       int
+	status     string
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string { return fmt.Sprintf("status %s", e.status) }
 
+// newStatusError captures a failed response's status and Retry-After hint.
+func newStatusError(resp *http.Response) *statusError {
+	se := &statusError{code: resp.StatusCode, status: resp.Status}
+	if wait, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		se.retryAfter = wait
+	}
+	return se
+}
+
+// retryAfterHint extracts the Retry-After hint buried in an attempt error
+// (zero when the failure carried none).
+func retryAfterHint(err error) time.Duration {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.retryAfter
+	}
+	return 0
+}
+
 // retryable classifies an attempt failure: client-side 4xx responses are
-// permanent; everything else (5xx, transport errors, truncation, per-attempt
-// deadlines) is worth retrying. Session-level cancellation is checked
-// separately by the retry loops.
+// permanent — except 429, which is the server shedding load and explicitly
+// inviting a later retry; everything else (5xx, transport errors,
+// truncation, per-attempt deadlines) is worth retrying. Session-level
+// cancellation is checked separately by the retry loops.
 func retryable(err error) bool {
 	var se *statusError
 	if errors.As(err, &se) {
-		return se.code >= 500
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
 	}
 	if errors.Is(err, context.Canceled) {
 		return false

@@ -1,0 +1,145 @@
+package httpstream
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptile360/internal/power"
+)
+
+func TestParseRetryAfterTable(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"empty", "", 0, false},
+		{"zero seconds", "0", 0, true},
+		{"seconds", "120", 120 * time.Second, true},
+		{"seconds padded", "  7 ", 7 * time.Second, true},
+		{"negative seconds", "-5", 0, false},
+		{"overflow seconds", "99999999999999999999", maxRetryAfter, true},
+		{"huge seconds capped", "9999999999", maxRetryAfter, true},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date past", now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		{"rfc850 date", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second, true},
+		{"garbage", "soon", 0, false},
+		{"float seconds", "1.5", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseRetryAfter(tc.in, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+func TestBackoffWithHint(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond}
+	// A hint above the computed backoff wins.
+	if got := p.BackoffWithHint(1, 0, 50*time.Millisecond); got != 50*time.Millisecond {
+		t.Fatalf("hint should raise the wait: got %v", got)
+	}
+	// A hint below the computed backoff changes nothing.
+	if got := p.BackoffWithHint(1, 0, time.Millisecond); got != p.Backoff(1, 0) {
+		t.Fatalf("small hint must not lower the wait: got %v", got)
+	}
+	// The hint is capped at MaxDelay so a hostile server cannot park us.
+	if got := p.BackoffWithHint(1, 0, time.Hour); got != p.MaxDelay {
+		t.Fatalf("hint must cap at MaxDelay: got %v, want %v", got, p.MaxDelay)
+	}
+	// Zero hint degenerates to the plain backoff.
+	if got := p.BackoffWithHint(2, 0, 0); got != p.Backoff(2, 0) {
+		t.Fatalf("zero hint must match Backoff: got %v", got)
+	}
+}
+
+// Test429RetriedWithRetryAfterHonored verifies the full loop: a 429 is
+// classified as retryable, and the wait before the retry is at least the
+// server's Retry-After hint.
+func Test429RetriedWithRetryAfterHonored(t *testing.T) {
+	h := newHarness(t)
+	var calls atomic.Int64
+	var firstDone, retryStart atomic.Int64
+	inner := h.server.Config.Handler
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == 1 {
+			firstDone.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		retryStart.Store(time.Now().UnixNano())
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	client, err := NewClient(ClientConfig{
+		BaseURL: srv.URL,
+		Phone:   power.Pixel3,
+		// MaxDelay comfortably above the 1 s hint so the hint is binding.
+		Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.FetchManifest(2); err != nil {
+		t.Fatalf("429 with Retry-After must be survivable: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want a single retry (2)", got)
+	}
+	waited := time.Duration(retryStart.Load() - firstDone.Load())
+	if waited < 900*time.Millisecond {
+		t.Fatalf("client waited %v before the retry; Retry-After demanded ≥ 1s", waited)
+	}
+}
+
+// TestRetryAfterCappedByPolicy verifies the complementary bound: a huge
+// hint cannot stretch the wait past the policy's MaxDelay.
+func TestRetryAfterCappedByPolicy(t *testing.T) {
+	var calls atomic.Int64
+	var firstDone, retryStart atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := calls.Add(1)
+		if n == 1 {
+			firstDone.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		retryStart.Store(time.Now().UnixNano())
+		http.Error(w, "still down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	client, err := NewClient(ClientConfig{
+		BaseURL: srv.URL,
+		Phone:   power.Pixel3,
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.FetchManifest(2); err == nil {
+		t.Fatal("want failure from permanently shedding server")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	// Total session time must reflect the cap, not the 1 h hint.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hour-long hint was not capped: session took %v", elapsed)
+	}
+	if waited := time.Duration(retryStart.Load() - firstDone.Load()); waited > 2*time.Second {
+		t.Fatalf("waited %v before retry; cap is 50ms+jitter", waited)
+	}
+}

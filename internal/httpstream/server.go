@@ -90,7 +90,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 func (s *Server) catalogFor(w http.ResponseWriter, r *http.Request) (*sim.Catalog, bool) {
 	id, err := strconv.Atoi(r.URL.Query().Get("video"))
-	if err != nil {
+	if err != nil || id < 0 {
 		http.Error(w, "bad or missing video parameter", http.StatusBadRequest)
 		return nil, false
 	}
@@ -162,7 +162,9 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	f := 0.0
 	if fs := qy.Get("f"); fs != "" {
 		f, err = strconv.ParseFloat(fs, 64)
-		if err != nil {
+		// NaN, infinities, negatives, and absurd rates must die here with
+		// a 400, not fall through into the size model.
+		if err != nil || !finite(f) || f < 0 || f > 1000 {
 			http.Error(w, "bad frame rate", http.StatusBadRequest)
 			return
 		}
@@ -205,7 +207,8 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		// client), background tiles at the lowest quality.
 		cx, errX := strconv.ParseFloat(qy.Get("cx"), 64)
 		cy, errY := strconv.ParseFloat(qy.Get("cy"), 64)
-		if errX != nil || errY != nil {
+		if errX != nil || errY != nil || !finite(cx) || !finite(cy) ||
+			cx < -1e6 || cx > 1e6 || cy < -1e6 || cy > 1e6 {
 			http.Error(w, "bad or missing viewport center", http.StatusBadRequest)
 			return
 		}

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Verdict is the admission controller's decision for one request.
+type Verdict int
+
+const (
+	// VerdictAdmitted means a free slot was taken immediately.
+	VerdictAdmitted Verdict = iota
+	// VerdictAdmittedQueued means the request waited in the queue first.
+	VerdictAdmittedQueued
+	// VerdictQueueFull means every slot and queue position was taken.
+	VerdictQueueFull
+	// VerdictTimeout means the request waited the full queue timeout
+	// without a slot freeing up.
+	VerdictTimeout
+	// VerdictCancelled means the request's context died while queued.
+	VerdictCancelled
+	// VerdictDraining means the controller has stopped admitting.
+	VerdictDraining
+)
+
+// Admitted reports whether the verdict lets the request proceed.
+func (v Verdict) Admitted() bool { return v == VerdictAdmitted || v == VerdictAdmittedQueued }
+
+// String names the verdict for logs and shed-response bodies.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmitted:
+		return "admitted"
+	case VerdictAdmittedQueued:
+		return "admitted after queueing"
+	case VerdictQueueFull:
+		return "queue full"
+	case VerdictTimeout:
+		return "queue timeout"
+	case VerdictCancelled:
+		return "cancelled while queued"
+	case VerdictDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// Admission bounds in-flight concurrency with a deadline-aware wait queue.
+// At most MaxInFlight requests hold slots at once; up to MaxQueue more wait
+// for at most QueueTimeout (or their own context deadline, whichever hits
+// first). Everything beyond that is shed immediately — overload turns into
+// fast rejections, not goroutine pileup.
+type Admission struct {
+	sem          chan struct{}
+	maxQueue     int64
+	queueTimeout time.Duration
+
+	draining   atomic.Bool
+	queued     atomic.Int64
+	queueHW    atomic.Int64
+	inflight   atomic.Int64
+	inflightHW atomic.Int64
+}
+
+// NewAdmission builds a controller with maxInFlight slots and a queue of
+// maxQueue positions bounded by queueTimeout.
+func NewAdmission(maxInFlight, maxQueue int, queueTimeout time.Duration) *Admission {
+	return &Admission{
+		sem:          make(chan struct{}, maxInFlight),
+		maxQueue:     int64(maxQueue),
+		queueTimeout: queueTimeout,
+	}
+}
+
+// StopAdmitting flips the controller into drain mode: every subsequent
+// Acquire is refused with VerdictDraining while in-flight work finishes.
+func (a *Admission) StopAdmitting() { a.draining.Store(true) }
+
+// Draining reports whether StopAdmitting has been called.
+func (a *Admission) Draining() bool { return a.draining.Load() }
+
+// InFlight returns the current and high-water in-flight counts.
+func (a *Admission) InFlight() (current, highWater int64) {
+	return a.inflight.Load(), a.inflightHW.Load()
+}
+
+// QueueDepth returns the current and high-water queue depths.
+func (a *Admission) QueueDepth() (current, highWater int64) {
+	return a.queued.Load(), a.queueHW.Load()
+}
+
+// Acquire tries to take an in-flight slot, queueing within the bounds. On
+// an admitted verdict the returned release func must be called exactly once
+// when the request finishes; it is idempotent and nil on refusal.
+func (a *Admission) Acquire(ctx context.Context) (release func(), v Verdict) {
+	if a.draining.Load() {
+		return nil, VerdictDraining
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return a.admit(), VerdictAdmitted
+	default:
+	}
+	if n := a.queued.Add(1); n > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, VerdictQueueFull
+	} else {
+		raiseHighWater(&a.queueHW, n)
+	}
+	defer a.queued.Add(-1)
+	timer := time.NewTimer(a.queueTimeout)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return a.admit(), VerdictAdmittedQueued
+	case <-ctx.Done():
+		return nil, VerdictCancelled
+	case <-timer.C:
+		return nil, VerdictTimeout
+	}
+}
+
+func (a *Admission) admit() func() {
+	raiseHighWater(&a.inflightHW, a.inflight.Add(1))
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inflight.Add(-1)
+			<-a.sem
+		})
+	}
+}
+
+// raiseHighWater lifts hw to at least n.
+func raiseHighWater(hw *atomic.Int64, n int64) {
+	for {
+		cur := hw.Load()
+		if n <= cur || hw.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}

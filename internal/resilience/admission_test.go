@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0, time.Millisecond)
+	rel1, v1 := a.Acquire(context.Background())
+	rel2, v2 := a.Acquire(context.Background())
+	if v1 != VerdictAdmitted || v2 != VerdictAdmitted {
+		t.Fatalf("verdicts %v, %v; want admitted", v1, v2)
+	}
+	// Third request: no queue → immediate shed.
+	rel3, v3 := a.Acquire(context.Background())
+	if v3 != VerdictQueueFull || rel3 != nil {
+		t.Fatalf("over-capacity acquire = %v (release nil=%v), want queue full", v3, rel3 == nil)
+	}
+	rel1()
+	rel1() // idempotent: double release must not free a second slot
+	if rel, v := a.Acquire(context.Background()); !v.Admitted() {
+		t.Fatalf("slot not reusable after release: %v", v)
+	} else {
+		rel()
+	}
+	rel2()
+	if cur, hw := a.InFlight(); cur != 0 || hw != 2 {
+		t.Fatalf("in-flight %d (hw %d), want 0 (hw 2)", cur, hw)
+	}
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := NewAdmission(1, 1, time.Second)
+	rel, v := a.Acquire(context.Background())
+	if v != VerdictAdmitted {
+		t.Fatal(v)
+	}
+	got := make(chan Verdict, 1)
+	go func() {
+		r, v := a.Acquire(context.Background())
+		if r != nil {
+			defer r()
+		}
+		got <- v
+	}()
+	// Wait for the waiter to queue, then free the slot.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if n, _ := a.QueueDepth(); n == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	select {
+	case v := <-got:
+		if v != VerdictAdmittedQueued {
+			t.Fatalf("queued waiter verdict %v, want admitted after queueing", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+	if _, hw := a.QueueDepth(); hw != 1 {
+		t.Fatalf("queue high-water %d, want 1", hw)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := NewAdmission(1, 4, 20*time.Millisecond)
+	rel, _ := a.Acquire(context.Background())
+	defer rel()
+	start := time.Now()
+	r, v := a.Acquire(context.Background())
+	if v != VerdictTimeout || r != nil {
+		t.Fatalf("verdict %v, want queue timeout", v)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("timed out after %v, want ≈20ms", elapsed)
+	}
+}
+
+func TestAdmissionContextCancelled(t *testing.T) {
+	a := NewAdmission(1, 4, time.Minute)
+	rel, _ := a.Acquire(context.Background())
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, v := a.Acquire(ctx); v != VerdictCancelled {
+		t.Fatalf("verdict %v, want cancelled", v)
+	}
+}
+
+func TestAdmissionDraining(t *testing.T) {
+	a := NewAdmission(4, 4, time.Second)
+	a.StopAdmitting()
+	if _, v := a.Acquire(context.Background()); v != VerdictDraining {
+		t.Fatalf("verdict %v, want draining", v)
+	}
+	if !a.Draining() {
+		t.Fatal("Draining() must report true")
+	}
+}
+
+// TestAdmissionConcurrentBounds hammers the controller and checks the
+// invariants the soak relies on: in-flight never exceeds N, queue depth
+// never exceeds Q, and every admit is balanced by a release.
+func TestAdmissionConcurrentBounds(t *testing.T) {
+	const n, q, workers, rounds = 4, 8, 32, 50
+	a := NewAdmission(n, q, 5*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				rel, v := a.Acquire(context.Background())
+				if v.Admitted() {
+					time.Sleep(100 * time.Microsecond)
+					rel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cur, hw := a.InFlight()
+	if cur != 0 {
+		t.Fatalf("in-flight %d after all releases, want 0", cur)
+	}
+	if hw > n {
+		t.Fatalf("in-flight high-water %d exceeds limit %d", hw, n)
+	}
+	qcur, qhw := a.QueueDepth()
+	if qcur != 0 {
+		t.Fatalf("queue depth %d after the storm, want 0", qcur)
+	}
+	if qhw > q {
+		t.Fatalf("queue high-water %d exceeds limit %d", qhw, q)
+	}
+}

@@ -1,0 +1,258 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and watches the failure rate.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses traffic until the open interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets scheduled probe requests test the backend.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Window is the rolling outcome window the failure rate is computed
+	// over. Must be in [1, 4096].
+	Window int
+	// FailureThreshold opens the breaker when failures/outcomes ≥ this
+	// fraction (with at least MinSamples outcomes seen). Must be in (0, 1].
+	FailureThreshold float64
+	// MinSamples is the minimum window fill before the breaker may trip.
+	MinSamples int
+	// OpenFor is how long the breaker stays open before going half-open.
+	OpenFor time.Duration
+	// MaxProbes bounds concurrent half-open probes. Must be ≥ 1.
+	MaxProbes int
+	// ProbeFraction is the seeded-random chance that a half-open arrival
+	// is admitted as an *additional* concurrent probe while another probe
+	// is already in flight, in [0, 1]. An arrival with no probe in flight
+	// always probes, so progress never depends on the draw and the
+	// schedule is fully deterministic when MaxProbes is 1.
+	ProbeFraction float64
+	// CloseAfter is the number of consecutive probe successes that close
+	// the breaker. Must be ≥ 1.
+	CloseAfter int
+	// Seed drives the probe-scheduling RNG so a (config, seed, traffic)
+	// triple reproduces the same probe schedule. Zero means seed 1.
+	Seed int64
+}
+
+// DefaultBreakerConfig returns a breaker that opens at a 50 % failure rate
+// over a 64-outcome window (16 minimum), stays open 2 s, probes one request
+// at a time, and closes after 3 consecutive probe successes.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           64,
+		FailureThreshold: 0.5,
+		MinSamples:       16,
+		OpenFor:          2 * time.Second,
+		MaxProbes:        1,
+		ProbeFraction:    0.25,
+		CloseAfter:       3,
+		Seed:             1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c BreakerConfig) Validate() error {
+	if c.Window < 1 || c.Window > 4096 {
+		return fmt.Errorf("resilience: breaker window %d outside [1, 4096]", c.Window)
+	}
+	if c.FailureThreshold <= 0 || c.FailureThreshold > 1 {
+		return fmt.Errorf("resilience: breaker failure threshold %g outside (0, 1]", c.FailureThreshold)
+	}
+	if c.MinSamples < 1 || c.MinSamples > c.Window {
+		return fmt.Errorf("resilience: breaker min samples %d outside [1, window %d]", c.MinSamples, c.Window)
+	}
+	if c.OpenFor <= 0 {
+		return fmt.Errorf("resilience: breaker open interval %v not positive", c.OpenFor)
+	}
+	if c.MaxProbes < 1 {
+		return fmt.Errorf("resilience: breaker max probes %d < 1", c.MaxProbes)
+	}
+	if c.ProbeFraction < 0 || c.ProbeFraction > 1 {
+		return fmt.Errorf("resilience: breaker probe fraction %g outside [0, 1]", c.ProbeFraction)
+	}
+	if c.CloseAfter < 1 {
+		return fmt.Errorf("resilience: breaker close-after %d < 1", c.CloseAfter)
+	}
+	return nil
+}
+
+// Breaker is a closed/open/half-open circuit breaker guarding a backend —
+// here the catalogue/segment lookup path behind the middleware chain. It
+// watches a rolling window of outcomes; too many failures open the circuit
+// and traffic is refused (with the remaining open time as a Retry-After
+// hint) instead of queueing up behind a backend that is already failing.
+// After OpenFor it admits seeded-deterministically scheduled probes; enough
+// consecutive successes close it, any probe failure reopens it.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	now func() time.Time // injectable for tests
+	rng *rand.Rand       // probe scheduling; guarded by mu
+
+	state         BreakerState
+	openedUntil   time.Time
+	ring          []bool // true = failure
+	ringIdx       int
+	ringFill      int
+	failures      int
+	probeInFlight int
+	successStreak int
+	trips         int64
+}
+
+// NewBreaker validates the configuration and builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) (*Breaker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Breaker{
+		cfg:  cfg,
+		now:  time.Now,
+		rng:  rand.New(rand.NewSource(seed)),
+		ring: make([]bool, cfg.Window),
+	}, nil
+}
+
+// State returns the current state (open flips to half-open lazily on the
+// next Allow, so a just-expired open interval still reports open here).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Allow decides whether a request may proceed. Refusals report how long the
+// caller should wait before trying again. Every allowed request must be
+// matched by exactly one Report call.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		if now.Before(b.openedUntil) {
+			return false, b.openedUntil.Sub(now)
+		}
+		b.state = BreakerHalfOpen
+		b.probeInFlight = 0
+		b.successStreak = 0
+	}
+	// Half-open: schedule probes. An arrival with no probe in flight
+	// always probes (guaranteed progress); further concurrent probes are
+	// admitted by seeded draw while slots remain.
+	if b.probeInFlight == 0 ||
+		(b.probeInFlight < b.cfg.MaxProbes && b.rng.Float64() < b.cfg.ProbeFraction) {
+		b.probeInFlight++
+		return true, 0
+	}
+	return false, b.cfg.OpenFor / 4
+}
+
+// Report feeds one outcome back. In the closed state it advances the
+// rolling window and may trip the breaker; in half-open it settles the
+// probe: failure reopens, CloseAfter consecutive successes close.
+func (b *Breaker) Report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.push(!success)
+		if b.ringFill >= b.cfg.MinSamples &&
+			float64(b.failures) >= b.cfg.FailureThreshold*float64(b.ringFill) {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if b.probeInFlight > 0 {
+			b.probeInFlight--
+		}
+		if !success {
+			b.trip()
+			return
+		}
+		b.successStreak++
+		if b.successStreak >= b.cfg.CloseAfter {
+			b.reset()
+		}
+	case BreakerOpen:
+		// A request admitted before the trip finishing late; the window
+		// was already cleared, nothing to account.
+	}
+}
+
+// push records one outcome in the rolling window.
+func (b *Breaker) push(failure bool) {
+	if b.ringFill == len(b.ring) {
+		if b.ring[b.ringIdx] {
+			b.failures--
+		}
+	} else {
+		b.ringFill++
+	}
+	b.ring[b.ringIdx] = failure
+	if failure {
+		b.failures++
+	}
+	b.ringIdx = (b.ringIdx + 1) % len(b.ring)
+}
+
+// trip opens the breaker and clears the window.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedUntil = b.now().Add(b.cfg.OpenFor)
+	b.trips++
+	b.clearWindow()
+}
+
+// reset closes the breaker with a clean window.
+func (b *Breaker) reset() {
+	b.state = BreakerClosed
+	b.probeInFlight = 0
+	b.successStreak = 0
+	b.clearWindow()
+}
+
+func (b *Breaker) clearWindow() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.ringIdx, b.ringFill, b.failures = 0, 0, 0
+}

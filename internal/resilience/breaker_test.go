@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           8,
+		FailureThreshold: 0.5,
+		MinSamples:       4,
+		OpenFor:          time.Second,
+		MaxProbes:        1,
+		ProbeFraction:    0.25,
+		CloseAfter:       2,
+		Seed:             7,
+	}
+}
+
+func newTestBreaker(t *testing.T, clk *fakeClock) *Breaker {
+	t.Helper()
+	b, err := NewBreaker(testBreakerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.now = clk.now
+	return b
+}
+
+func TestBreakerConfigValidateTable(t *testing.T) {
+	good := testBreakerConfig()
+	cases := []struct {
+		name   string
+		mutate func(*BreakerConfig)
+		ok     bool
+	}{
+		{"default", func(*BreakerConfig) {}, true},
+		{"zero window", func(c *BreakerConfig) { c.Window = 0 }, false},
+		{"huge window", func(c *BreakerConfig) { c.Window = 100000 }, false},
+		{"zero threshold", func(c *BreakerConfig) { c.FailureThreshold = 0 }, false},
+		{"threshold above 1", func(c *BreakerConfig) { c.FailureThreshold = 1.5 }, false},
+		{"min samples above window", func(c *BreakerConfig) { c.MinSamples = 100 }, false},
+		{"zero open interval", func(c *BreakerConfig) { c.OpenFor = 0 }, false},
+		{"zero probes", func(c *BreakerConfig) { c.MaxProbes = 0 }, false},
+		{"probe fraction above 1", func(c *BreakerConfig) { c.ProbeFraction = 2 }, false},
+		{"zero close-after", func(c *BreakerConfig) { c.CloseAfter = 0 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(t, clk)
+	// Three outcomes: below MinSamples, must not trip even at 100% failure.
+	for i := 0; i < 3; i++ {
+		b.Report(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	// Fourth failure: 4/4 ≥ 0.5 with MinSamples met → open.
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at the failure threshold")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	ok, wait := b.Allow()
+	if ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("open retry-after %v, want (0, 1s]", wait)
+	}
+}
+
+func TestBreakerStaysClosedUnderMixedTraffic(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(t, clk)
+	// 1-in-4 failures: below the 0.5 threshold, must never trip.
+	for i := 0; i < 40; i++ {
+		b.Report(i%4 == 0)
+		b.Report(true)
+		b.Report(true)
+		b.Report(i%4 != 0)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped below threshold")
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(t, clk)
+	for i := 0; i < 4; i++ {
+		b.Report(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("setup: breaker must be open")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	// First arrival after the open interval is always a probe.
+	ok, _ := b.Allow()
+	if !ok {
+		t.Fatal("first half-open arrival must probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	// With MaxProbes=1 and a probe in flight, further arrivals are refused.
+	if ok, wait := b.Allow(); ok {
+		t.Fatal("second arrival admitted while probe in flight")
+	} else if wait <= 0 {
+		t.Fatalf("half-open refusal must carry a wait, got %v", wait)
+	}
+	// CloseAfter=2 probe successes close the breaker.
+	b.Report(true)
+	ok, _ = b.Allow()
+	if !ok {
+		t.Fatal("second probe refused after first success")
+	}
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after %d probe successes, want closed", b.State(), 2)
+	}
+	// A closed breaker starts with a clean window: one failure must not trip.
+	b.Report(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("stale window survived the close")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(t, clk)
+	for i := 0; i < 4; i++ {
+		b.Report(false)
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe refused")
+	}
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("probe failure must reopen the breaker")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// Still refusing before the new interval elapses.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("reopened breaker admitted a request")
+	}
+}
+
+// TestBreakerProbeScheduleDeterministic verifies the seeded probe schedule:
+// two breakers with the same config and seed make identical half-open
+// admit/refuse decisions for the same arrival sequence.
+func TestBreakerProbeScheduleDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		clk := newFakeClock()
+		cfg := testBreakerConfig()
+		cfg.Seed = seed
+		cfg.MaxProbes = 4
+		cfg.CloseAfter = 100 // stay half-open for the whole sequence
+		b, err := NewBreaker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.now = clk.now
+		for i := 0; i < 4; i++ {
+			b.Report(false)
+		}
+		clk.advance(time.Second + time.Millisecond)
+		// Leave probes in flight so admits past the first depend on the
+		// seeded draw, then settle one probe to free a slot periodically.
+		var got []bool
+		for i := 0; i < 32; i++ {
+			ok, _ := b.Allow()
+			got = append(got, ok)
+			if ok && i%3 == 0 {
+				b.Report(true)
+			}
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, a, b)
+		}
+	}
+	// A different seed must be able to produce a different schedule (the
+	// forced first probe is always true, so compare the tail).
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("seeds 42 and 43 produced identical schedules (possible but unlikely)")
+	}
+}

@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Chain is the composed overload-protection middleware. Request flow, in
+// order: exemption check → drain check → rate limiter (429) → admission
+// controller (503) → circuit breaker (503) → cooperative timeout + panic
+// recovery → inner handler. Fault-injection middleware belongs *inside*
+// the chain (wrap the app handler, then hand the result to NewChain):
+// shed and limited requests then never consume fault budget, and the
+// breaker sees injected failures exactly like real ones.
+type Chain struct {
+	cfg      Config
+	next     http.Handler
+	adm      *Admission
+	rl       *RateLimiter
+	br       *Breaker
+	metrics  *metrics
+	exempt   map[string]bool
+	draining atomic.Bool
+}
+
+// NewChain validates the configuration and wraps next with the full
+// protection stack.
+func NewChain(cfg Config, next http.Handler) (*Chain, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	c := &Chain{
+		cfg:     cfg,
+		next:    next,
+		adm:     NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
+		metrics: newMetrics(),
+		exempt:  make(map[string]bool, len(cfg.ExemptPaths)),
+	}
+	for _, p := range cfg.ExemptPaths {
+		c.exempt[p] = true
+	}
+	if cfg.RatePerSec > 0 {
+		c.rl = NewRateLimiter(cfg.RatePerSec, cfg.Burst)
+	}
+	if cfg.Breaker != nil {
+		br, err := NewBreaker(*cfg.Breaker)
+		if err != nil {
+			return nil, err
+		}
+		c.br = br
+	}
+	return c, nil
+}
+
+// Breaker exposes the chain's circuit breaker (nil when disabled).
+func (c *Chain) Breaker() *Breaker { return c.br }
+
+// StartDrain stops admitting: every subsequent non-exempt request is shed
+// with 503 + Retry-After while in-flight requests finish. It is the first
+// half of graceful shutdown; Serve calls it before http.Server.Shutdown.
+func (c *Chain) StartDrain() {
+	c.draining.Store(true)
+	c.adm.StopAdmitting()
+}
+
+// Draining reports whether StartDrain has been called.
+func (c *Chain) Draining() bool { return c.draining.Load() }
+
+// Snapshot copies the chain's counters and occupancy marks.
+func (c *Chain) Snapshot() Snapshot {
+	s := Snapshot{Endpoints: c.metrics.snapshot()}
+	s.QueueDepth, s.QueueHighWater = c.adm.QueueDepth()
+	s.InFlight, s.InFlightHighWater = c.adm.InFlight()
+	if c.br != nil {
+		s.BreakerTrips = c.br.Trips()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Chain) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.exempt[r.URL.Path] {
+		c.next.ServeHTTP(w, r)
+		return
+	}
+	ep := r.URL.Path
+	if c.draining.Load() {
+		c.metrics.count(ep, outcomeShed)
+		c.reject(w, http.StatusServiceUnavailable, c.cfg.RetryAfter, "draining")
+		return
+	}
+	if c.rl != nil {
+		if ok, wait := c.rl.Allow(ClientKey(r)); !ok {
+			c.metrics.count(ep, outcomeLimited)
+			c.reject(w, http.StatusTooManyRequests, wait, "rate limited")
+			return
+		}
+	}
+	release, verdict := c.adm.Acquire(r.Context())
+	if !verdict.Admitted() {
+		c.metrics.count(ep, outcomeShed)
+		c.reject(w, http.StatusServiceUnavailable, c.cfg.RetryAfter, "overloaded: "+verdict.String())
+		return
+	}
+	defer release()
+	if verdict == VerdictAdmittedQueued {
+		c.metrics.countQueued(ep)
+	}
+	if c.br != nil {
+		if ok, wait := c.br.Allow(); !ok {
+			c.metrics.count(ep, outcomeBroken)
+			c.reject(w, http.StatusServiceUnavailable, wait, "circuit open")
+			return
+		}
+	}
+	if c.cfg.HandlerTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.HandlerTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	rec := &statusRecorder{ResponseWriter: w}
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		p := recover()
+		if p == http.ErrAbortHandler {
+			// A deliberate connection abort (e.g. an injected reset): the
+			// request reached the inner handler, so it terminates as
+			// admitted — but it is a failure from the breaker's seat.
+			c.metrics.count(ep, outcomeAdmitted)
+			if c.br != nil {
+				c.br.Report(false)
+			}
+			panic(p)
+		}
+		c.metrics.count(ep, outcomePanicked)
+		if c.br != nil {
+			c.br.Report(false)
+		}
+		if !rec.wrote {
+			http.Error(rec, "internal server error", http.StatusInternalServerError)
+		}
+	}()
+	c.next.ServeHTTP(rec, r)
+	completed = true
+	c.metrics.count(ep, outcomeAdmitted)
+	if c.br != nil {
+		c.br.Report(rec.status() < 500)
+	}
+}
+
+// reject writes a fast refusal with a Retry-After hint.
+func (c *Chain) reject(w http.ResponseWriter, code int, retryAfter time.Duration, reason string) {
+	setRetryAfter(w, retryAfter)
+	http.Error(w, "resilience: "+reason, code)
+}
+
+// statusRecorder captures the inner handler's status for the breaker and
+// panic recovery while passing Flush through so paced body writers keep
+// working.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) status() int {
+	if !r.wrote {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.code = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,454 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptile360/internal/faultinject"
+)
+
+// okHandler writes a tiny 200 body.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+// testChainConfig is a small, queue-less chain for direct-path tests.
+func testChainConfig() Config {
+	return Config{
+		MaxInFlight:  2,
+		MaxQueue:     0,
+		RetryAfter:   2 * time.Second,
+		ExemptPaths:  []string{"/healthz"},
+		QueueTimeout: 0,
+	}
+}
+
+func mustChain(t *testing.T, cfg Config, next http.Handler) *Chain {
+	t.Helper()
+	c, err := NewChain(cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidateTable(t *testing.T) {
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero in-flight", Config{}},
+		{"negative queue", Config{MaxInFlight: 1, MaxQueue: -1}},
+		{"queue without timeout", Config{MaxInFlight: 1, MaxQueue: 4}},
+		{"negative handler timeout", Config{MaxInFlight: 1, HandlerTimeout: -1}},
+		{"negative retry-after", Config{MaxInFlight: 1, RetryAfter: -1}},
+		{"negative rate", Config{MaxInFlight: 1, RatePerSec: -1}},
+		{"rate without burst", Config{MaxInFlight: 1, RatePerSec: 5, Burst: 0}},
+		{"bad breaker", Config{MaxInFlight: 1, Breaker: &BreakerConfig{}}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig must validate: %v", err)
+	}
+}
+
+func TestChainShedsWithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	slow := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		started.Done()
+		<-release
+		io.WriteString(w, "done")
+	})
+	cfg := testChainConfig()
+	chain := mustChain(t, cfg, slow)
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+
+	// Fill both slots.
+	started.Add(2)
+	var fills sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		fills.Add(1)
+		go func() {
+			defer fills.Done()
+			resp, err := http.Get(srv.URL + "/segment")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	started.Wait()
+	// Third request: no queue → 503 with the configured Retry-After.
+	resp, err := http.Get(srv.URL + "/segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("shed response Retry-After %q, want ≥ 1 s", resp.Header.Get("Retry-After"))
+	}
+	close(release)
+	fills.Wait()
+
+	s := chain.Snapshot()
+	c := s.Endpoints["/segment"]
+	if c.Admitted != 2 || c.Shed != 1 {
+		t.Fatalf("counters %+v, want 2 admitted / 1 shed", c)
+	}
+	if s.InFlightHighWater != 2 {
+		t.Fatalf("in-flight high-water %d, want 2", s.InFlightHighWater)
+	}
+}
+
+func TestChainRateLimitsPerClient(t *testing.T) {
+	cfg := testChainConfig()
+	cfg.MaxInFlight = 16
+	cfg.RatePerSec = 0.001 // glacial refill: the burst is the budget
+	cfg.Burst = 2
+	chain := mustChain(t, cfg, okHandler())
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+
+	get := func(clientID string) *http.Response {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/manifest", nil)
+		if clientID != "" {
+			req.Header.Set("X-Client-Id", clientID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	for i := 0; i < 2; i++ {
+		if resp := get("alice"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alice burst request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := get("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over budget: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	// A different client ID from the same address has its own bucket.
+	if resp := get("bob"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob's first request: status %d, want 200", resp.StatusCode)
+	}
+	c := chain.Snapshot().Endpoints["/manifest"]
+	if c.Limited != 1 {
+		t.Fatalf("limited counter %d, want 1", c.Limited)
+	}
+}
+
+func TestChainBreakerOpensAndRecovers(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if fail.Load() {
+			http.Error(w, "backend down", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	})
+	cfg := testChainConfig()
+	cfg.MaxInFlight = 4
+	cfg.Breaker = &BreakerConfig{
+		Window: 8, FailureThreshold: 0.5, MinSamples: 4,
+		OpenFor: 50 * time.Millisecond, MaxProbes: 1, ProbeFraction: 0, CloseAfter: 1, Seed: 1,
+	}
+	chain := mustChain(t, cfg, flaky)
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+
+	get := func() int {
+		resp, err := http.Get(srv.URL + "/segment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Four 500s trip the breaker.
+	for i := 0; i < 4; i++ {
+		if got := get(); got != http.StatusInternalServerError {
+			t.Fatalf("setup request %d: status %d", i, got)
+		}
+	}
+	if st := chain.Breaker().State(); st != BreakerOpen {
+		t.Fatalf("breaker %v after failure burst, want open", st)
+	}
+	resp, err := http.Get(srv.URL + "/segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("open breaker: status %d, Retry-After %q; want 503 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Backend heals; after the open interval one probe closes the circuit.
+	fail.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if got := get(); got != http.StatusOK {
+		t.Fatalf("probe request: status %d, want 200", got)
+	}
+	if st := chain.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe, want closed", st)
+	}
+	if got := get(); got != http.StatusOK {
+		t.Fatalf("post-recovery request: status %d, want 200", got)
+	}
+	c := chain.Snapshot()
+	if c.BreakerTrips != 1 {
+		t.Fatalf("breaker trips %d, want 1", c.BreakerTrips)
+	}
+	if ep := c.Endpoints["/segment"]; ep.Broken != 1 {
+		t.Fatalf("broken counter %d, want 1", ep.Broken)
+	}
+}
+
+func TestChainRecoversPanics(t *testing.T) {
+	boom := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	chain := mustChain(t, testChainConfig(), boom)
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/manifest")
+	if err != nil {
+		t.Fatalf("panic must not kill the connection: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	c := chain.Snapshot().Endpoints["/manifest"]
+	if c.Panicked != 1 || c.Admitted != 0 {
+		t.Fatalf("counters %+v, want exactly one panicked outcome", c)
+	}
+}
+
+func TestChainPassesAbortThrough(t *testing.T) {
+	abort := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	chain := mustChain(t, testChainConfig(), abort)
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+	if _, err := http.Get(srv.URL + "/segment"); err == nil {
+		t.Fatal("aborted handler must drop the connection, not synthesize a response")
+	}
+	c := chain.Snapshot().Endpoints["/segment"]
+	if c.Admitted != 1 || c.Panicked != 0 {
+		t.Fatalf("counters %+v: an abort is an admitted outcome, not a panic", c)
+	}
+}
+
+func TestChainExemptPathBypasses(t *testing.T) {
+	cfg := testChainConfig()
+	cfg.RatePerSec = 0.001
+	cfg.Burst = 1
+	chain := mustChain(t, cfg, okHandler())
+	chain.StartDrain() // even drain must not block health checks
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz request %d: status %d during drain", i, resp.StatusCode)
+		}
+	}
+	if len(chain.Snapshot().Endpoints) != 0 {
+		t.Fatal("exempt traffic must not be counted")
+	}
+}
+
+func TestChainDrainSheds(t *testing.T) {
+	chain := mustChain(t, testChainConfig(), okHandler())
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+	chain.StartDrain()
+	resp, err := http.Get(srv.URL + "/segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("drain response: status %d, Retry-After %q; want 503 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if c := chain.Snapshot().Endpoints["/segment"]; c.Shed != 1 {
+		t.Fatalf("shed counter %d, want 1", c.Shed)
+	}
+}
+
+// TestChainHandlerTimeoutCancelsContext verifies the cooperative timeout:
+// the inner handler's context dies after HandlerTimeout.
+func TestChainHandlerTimeoutCancelsContext(t *testing.T) {
+	expired := make(chan error, 1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			expired <- r.Context().Err()
+		case <-time.After(5 * time.Second):
+			expired <- nil
+		}
+	})
+	cfg := testChainConfig()
+	cfg.HandlerTimeout = 30 * time.Millisecond
+	chain := mustChain(t, cfg, slow)
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	select {
+	case err := <-expired:
+		if err == nil {
+			t.Fatal("handler context never expired")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler still running")
+	}
+}
+
+// TestWrappingOrderFaultBudget is the order-of-wrapping regression: the
+// fault injector sits INSIDE admission, so shed requests must never draw
+// from the fault schedule. With the chain saturated, the injector's request
+// counter must equal the chain's admitted count exactly — if someone
+// reorders the middleware so faults fire before admission, shed traffic
+// starts consuming fault budget and this test fails.
+func TestWrappingOrderFaultBudget(t *testing.T) {
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	slow := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		started.Done()
+		<-release
+		io.WriteString(w, "ok")
+	})
+	// Latency-only profile: every request that reaches the injector draws
+	// from the schedule (Requests counts them all) without failing.
+	faulty, err := faultinject.Middleware(faultinject.Profile{
+		Name:        "order-test",
+		LatencyProb: 1, LatencyMin: time.Microsecond, LatencyMax: time.Microsecond,
+	}, 99, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testChainConfig()
+	cfg.MaxInFlight = 2
+	chain := mustChain(t, cfg, faulty)
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+
+	const total = 10
+	started.Add(cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	codes := make(chan int, total)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/segment")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	started.Wait() // both slots held inside the injector
+	for i := 0; i < total-cfg.MaxInFlight; i++ {
+		resp, err := http.Get(srv.URL + "/segment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("overflow request %d: status %d, want shed 503", i, resp.StatusCode)
+		}
+		codes <- resp.StatusCode
+	}
+	close(release)
+	wg.Wait()
+
+	snap := chain.Snapshot().Endpoints["/segment"]
+	if snap.Terminal() != total {
+		t.Fatalf("terminal outcomes %d, want %d", snap.Terminal(), total)
+	}
+	if snap.Admitted != int64(cfg.MaxInFlight) || snap.Shed != int64(total-cfg.MaxInFlight) {
+		t.Fatalf("counters %+v, want %d admitted / %d shed", snap, cfg.MaxInFlight, total-cfg.MaxInFlight)
+	}
+	stats := faulty.Stats()
+	if stats.Requests != snap.Admitted {
+		t.Fatalf("fault injector saw %d requests but only %d were admitted — "+
+			"shed traffic is consuming fault budget (middleware order broken)",
+			stats.Requests, snap.Admitted)
+	}
+}
+
+// TestChainEndpointCardinalityBounded verifies a path scan cannot grow the
+// counter map without limit.
+func TestChainEndpointCardinalityBounded(t *testing.T) {
+	cfg := testChainConfig()
+	cfg.MaxInFlight = 4
+	chain := mustChain(t, cfg, okHandler())
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+	for i := 0; i < 3*maxTrackedEndpoints; i++ {
+		resp, err := http.Get(srv.URL + fmt.Sprintf("/scan/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	s := chain.Snapshot()
+	if len(s.Endpoints) > maxTrackedEndpoints+1 {
+		t.Fatalf("endpoint map grew to %d entries, cap is %d(+overflow)", len(s.Endpoints), maxTrackedEndpoints)
+	}
+	if s.Totals().Terminal() != 3*maxTrackedEndpoints {
+		t.Fatalf("terminal outcomes %d, want %d (overflow must still count)",
+			s.Totals().Terminal(), 3*maxTrackedEndpoints)
+	}
+}

@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// maxTrackedEndpoints bounds the per-endpoint counter map; requests to
+// paths beyond the cap are folded into the "other" endpoint so a path scan
+// cannot grow server memory.
+const maxTrackedEndpoints = 64
+
+// overflowEndpoint collects counters for paths beyond maxTrackedEndpoints.
+const overflowEndpoint = "other"
+
+// Counters is the per-endpoint outcome accounting. Every request that
+// enters the chain ends in exactly one of the five terminal outcomes;
+// Queued additionally counts admitted requests that waited for a slot
+// first (it is not a terminal outcome of its own).
+type Counters struct {
+	// Admitted requests reached the inner handler (whatever status it
+	// then produced, including injected faults and aborted connections).
+	Admitted int64
+	// Shed requests were refused by the admission controller or drain
+	// (503 + Retry-After).
+	Shed int64
+	// Limited requests were refused by the rate limiter (429 + Retry-After).
+	Limited int64
+	// Broken requests were refused by the open circuit breaker
+	// (503 + Retry-After).
+	Broken int64
+	// Panicked requests hit a handler panic that the recovery middleware
+	// converted into a 500.
+	Panicked int64
+	// Queued counts admitted requests that waited in the admission queue.
+	Queued int64
+}
+
+// Terminal sums the mutually-exclusive terminal outcomes.
+func (c Counters) Terminal() int64 {
+	return c.Admitted + c.Shed + c.Limited + c.Broken + c.Panicked
+}
+
+func (c Counters) add(o Counters) Counters {
+	return Counters{
+		Admitted: c.Admitted + o.Admitted,
+		Shed:     c.Shed + o.Shed,
+		Limited:  c.Limited + o.Limited,
+		Broken:   c.Broken + o.Broken,
+		Panicked: c.Panicked + o.Panicked,
+		Queued:   c.Queued + o.Queued,
+	}
+}
+
+// Snapshot is a point-in-time copy of the chain's counters.
+type Snapshot struct {
+	// Endpoints maps request path → outcome counters.
+	Endpoints map[string]Counters
+	// QueueDepth and InFlight are the admission controller's current
+	// occupancy; the HighWater fields are their lifetime maxima.
+	QueueDepth        int64
+	QueueHighWater    int64
+	InFlight          int64
+	InFlightHighWater int64
+	// BreakerTrips counts circuit-breaker openings (0 when disabled).
+	BreakerTrips int64
+}
+
+// Totals sums the counters across endpoints.
+func (s Snapshot) Totals() Counters {
+	var t Counters
+	for _, c := range s.Endpoints {
+		t = t.add(c)
+	}
+	return t
+}
+
+// String renders a multi-line human-readable summary, endpoints sorted.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	paths := make([]string, 0, len(s.Endpoints))
+	for p := range s.Endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		c := s.Endpoints[p]
+		fmt.Fprintf(&sb, "%-12s admitted=%d shed=%d limited=%d broken=%d panicked=%d queued=%d\n",
+			p, c.Admitted, c.Shed, c.Limited, c.Broken, c.Panicked, c.Queued)
+	}
+	fmt.Fprintf(&sb, "queue depth high-water %d, in-flight high-water %d, breaker trips %d",
+		s.QueueHighWater, s.InFlightHighWater, s.BreakerTrips)
+	return sb.String()
+}
+
+// outcome is the terminal classification recorded per request.
+type outcome int
+
+const (
+	outcomeAdmitted outcome = iota
+	outcomeShed
+	outcomeLimited
+	outcomeBroken
+	outcomePanicked
+)
+
+// metrics is the chain's concurrent counter store.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*Counters
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*Counters)}
+}
+
+func (m *metrics) countersFor(path string) *Counters {
+	c := m.endpoints[path]
+	if c == nil {
+		if len(m.endpoints) >= maxTrackedEndpoints {
+			path = overflowEndpoint
+			if c = m.endpoints[path]; c != nil {
+				return c
+			}
+		}
+		c = &Counters{}
+		m.endpoints[path] = c
+	}
+	return c
+}
+
+// count records one terminal outcome for path.
+func (m *metrics) count(path string, o outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.countersFor(path)
+	switch o {
+	case outcomeAdmitted:
+		c.Admitted++
+	case outcomeShed:
+		c.Shed++
+	case outcomeLimited:
+		c.Limited++
+	case outcomeBroken:
+		c.Broken++
+	case outcomePanicked:
+		c.Panicked++
+	}
+}
+
+// countQueued records that an admitted request waited in the queue.
+func (m *metrics) countQueued(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.countersFor(path).Queued++
+}
+
+// snapshot deep-copies the endpoint counters.
+func (m *metrics) snapshot() map[string]Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Counters, len(m.endpoints))
+	for p, c := range m.endpoints {
+		out[p] = *c
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// maxRateBuckets bounds the limiter's per-client state so a churn of client
+// keys (or a spoofing flood) cannot grow memory without limit.
+const maxRateBuckets = 4096
+
+// RateLimiter is a per-key token bucket: each key accrues rate tokens per
+// second up to burst, and one request costs one token. Refusals return the
+// time until the next token so callers can emit an honest Retry-After.
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time // injectable for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter granting ratePerSec tokens per second per
+// key with the given burst capacity.
+func NewRateLimiter(ratePerSec, burst float64) *RateLimiter {
+	return &RateLimiter{
+		rate:    ratePerSec,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// refuses and reports how long until a token accrues.
+func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxRateBuckets {
+			l.evictLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// Buckets returns the number of tracked client keys.
+func (l *RateLimiter) Buckets() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// evictLocked makes room: full (fully refilled, i.e. idle) buckets go
+// first; if every client is active, the stalest bucket goes. Either way at
+// least one entry is removed.
+func (l *RateLimiter) evictLocked() {
+	var oldestKey string
+	var oldest time.Time
+	removed := false
+	for k, b := range l.buckets {
+		idle := l.now().Sub(b.last).Seconds()
+		if b.tokens+idle*l.rate >= l.burst {
+			delete(l.buckets, k)
+			removed = true
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if !removed && oldestKey != "" {
+		delete(l.buckets, oldestKey)
+	}
+}

@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for deterministic tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(10, 3) // 10 tokens/s, burst 3
+	l.now = clk.now
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("k"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, wait := l.Allow("k")
+	if ok {
+		t.Fatal("fourth request within the burst must be limited")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("retry-after %v, want (0, 100ms] at 10 tokens/s", wait)
+	}
+	// After the advertised wait, a token has accrued.
+	clk.advance(wait)
+	if ok, _ := l.Allow("k"); !ok {
+		t.Fatal("request after the advertised wait must pass")
+	}
+	// Refill caps at burst: a long idle period grants at most 3 tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("k"); !ok {
+			t.Fatalf("post-idle burst request %d refused", i)
+		}
+	}
+	if ok, _ := l.Allow("k"); ok {
+		t.Fatal("burst cap must hold after idle refill")
+	}
+}
+
+func TestRateLimiterKeysAreIndependent(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(1, 1)
+	l.now = clk.now
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("first request for key a refused")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("second request for key a must be limited")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("key b must have its own bucket")
+	}
+}
+
+func TestRateLimiterBoundedMemory(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(1000, 10)
+	l.now = clk.now
+	for i := 0; i < 3*maxRateBuckets; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i))
+		clk.advance(time.Millisecond)
+	}
+	if n := l.Buckets(); n > maxRateBuckets {
+		t.Fatalf("limiter tracks %d buckets, cap is %d", n, maxRateBuckets)
+	}
+}
+
+// TestRateLimiterEvictsStalestWhenAllActive forces the no-idle-bucket path:
+// every key is mid-burst, so eviction must fall back to the stalest one.
+func TestRateLimiterEvictsStalestWhenAllActive(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(0.001, 2) // glacial refill: no bucket ever refills
+	l.now = clk.now
+	for i := 0; i < maxRateBuckets+10; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i))
+		clk.advance(time.Millisecond)
+	}
+	if n := l.Buckets(); n > maxRateBuckets {
+		t.Fatalf("limiter tracks %d buckets with all-active keys, cap is %d", n, maxRateBuckets)
+	}
+}

@@ -1,0 +1,145 @@
+// Package resilience is the server-side overload-protection layer for the
+// streaming path. It hardens an http.Handler with the shapes any
+// high-traffic serving stack needs:
+//
+//   - an admission controller — bounded in-flight concurrency with a
+//     deadline-aware wait queue; excess load is shed fast with
+//     503 + Retry-After instead of piling up goroutines;
+//   - a per-client token-bucket rate limiter (keyed on X-Client-Id or the
+//     remote address) answering 429 + Retry-After;
+//   - a circuit breaker (closed/open/half-open with seeded-deterministic
+//     probe scheduling) that stops hammering a failing backend and tells
+//     clients when to come back;
+//   - panic-recovery and cooperative per-request timeout middleware with
+//     structured per-endpoint outcome counters;
+//   - graceful drain: stop admitting, finish in-flight work under a
+//     deadline, report the counters.
+//
+// The contract with the resilient client in internal/httpstream is a fast,
+// honest rejection: every shed/limited/broken response carries a
+// Retry-After hint that the client folds into its backoff, so the existing
+// degradation ladder reacts in one RTT instead of stalling the playback
+// buffer. Everything here is stdlib-only and safe for concurrent use.
+package resilience
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Config tunes the full middleware chain. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// MaxInFlight bounds concurrently served requests (the admission
+	// controller's N). Must be ≥ 1.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot (Q). Zero
+	// means no queue: the request is shed the moment all slots are busy.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request may wait before it is
+	// shed. Required (> 0) when MaxQueue > 0, so the queue is
+	// deadline-aware rather than unbounded-latency.
+	QueueTimeout time.Duration
+	// HandlerTimeout bounds one request's handling via its context. It is
+	// cooperative: handlers and middleware that honor r.Context() (the
+	// tile server and faultinject both do) stop early. Zero disables.
+	HandlerTimeout time.Duration
+	// RetryAfter is the hint attached to shed and drain responses. Zero
+	// means DefaultRetryAfter.
+	RetryAfter time.Duration
+	// RatePerSec enables the per-client token bucket when > 0: each client
+	// key accrues RatePerSec tokens per second up to Burst.
+	RatePerSec float64
+	// Burst is the bucket capacity; must be ≥ 1 when RatePerSec > 0.
+	Burst float64
+	// Breaker configures the circuit breaker. Nil disables it.
+	Breaker *BreakerConfig
+	// ExemptPaths bypass the whole chain (admission, limiting, breaker,
+	// drain). Health checks belong here.
+	ExemptPaths []string
+}
+
+// DefaultRetryAfter is the shed-response hint when Config.RetryAfter is 0.
+const DefaultRetryAfter = time.Second
+
+// DefaultConfig returns production-shaped defaults: 64 in-flight slots,
+// a 128-deep queue bounded at 500 ms, a 30 s cooperative handler timeout,
+// a 1 s Retry-After hint, rate limiting off, breaker on, /healthz exempt.
+func DefaultConfig() Config {
+	bc := DefaultBreakerConfig()
+	return Config{
+		MaxInFlight:    64,
+		MaxQueue:       128,
+		QueueTimeout:   500 * time.Millisecond,
+		HandlerTimeout: 30 * time.Second,
+		RetryAfter:     DefaultRetryAfter,
+		Breaker:        &bc,
+		ExemptPaths:    []string{"/healthz"},
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MaxInFlight < 1 {
+		return fmt.Errorf("resilience: max in-flight %d < 1", c.MaxInFlight)
+	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("resilience: negative queue size %d", c.MaxQueue)
+	}
+	if c.MaxQueue > 0 && c.QueueTimeout <= 0 {
+		return fmt.Errorf("resilience: queue of %d slots needs a positive queue timeout", c.MaxQueue)
+	}
+	if c.QueueTimeout < 0 {
+		return fmt.Errorf("resilience: negative queue timeout %v", c.QueueTimeout)
+	}
+	if c.HandlerTimeout < 0 {
+		return fmt.Errorf("resilience: negative handler timeout %v", c.HandlerTimeout)
+	}
+	if c.RetryAfter < 0 {
+		return fmt.Errorf("resilience: negative retry-after hint %v", c.RetryAfter)
+	}
+	if c.RatePerSec < 0 {
+		return fmt.Errorf("resilience: negative rate %g", c.RatePerSec)
+	}
+	if c.RatePerSec > 0 && c.Burst < 1 {
+		return fmt.Errorf("resilience: rate limiting enabled with burst %g < 1", c.Burst)
+	}
+	if c.Breaker != nil {
+		if err := c.Breaker.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClientKey identifies the client for rate limiting: the X-Client-Id header
+// when present (streaming clients send one per session), otherwise the
+// host part of the remote address so every port of one NAT'd box shares a
+// bucket.
+func ClientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return "id:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// setRetryAfter writes the Retry-After header as whole seconds, rounding up
+// so the hint never undersells the wait (minimum 1 s per RFC 9110 form).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}

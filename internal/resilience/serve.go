@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs srv on ln until ctx is cancelled, then shuts down gracefully:
+// the chain stops admitting (new requests are shed with 503 + Retry-After
+// on kept-alive connections while the listener closes), in-flight requests
+// get up to drainTimeout to finish via http.Server.Shutdown, and anything
+// still running after the deadline is cut off with Close.
+//
+// ln may be nil, in which case Serve listens on srv.Addr (":http" when
+// empty). chain may be nil for a server without the middleware. The return
+// is nil on a clean drain; a listener setup error, a non-graceful serve
+// error, or the Shutdown deadline error otherwise.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, chain *Chain, drainTimeout time.Duration) error {
+	if ln == nil {
+		addr := srv.Addr
+		if addr == "" {
+			addr = ":http"
+		}
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	if chain != nil {
+		chain.StartDrain()
+	}
+	dctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if drainTimeout > 0 {
+		dctx, cancel = context.WithTimeout(dctx, drainTimeout)
+	}
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if err != nil {
+		// The drain deadline passed with requests still in flight: cut
+		// them off so shutdown is bounded.
+		srv.Close()
+	}
+	if sErr := <-serveErr; err == nil && sErr != nil && !errors.Is(sErr, http.ErrServerClosed) {
+		err = sErr
+	}
+	return err
+}

@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulDrain verifies the shutdown sequence: on cancellation
+// the chain stops admitting, in-flight requests run to completion within
+// the drain deadline, and Serve returns cleanly.
+func TestServeGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		started.Done()
+		<-release
+		io.WriteString(w, "drained cleanly")
+	})
+	chain := mustChain(t, testChainConfig(), slow)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: chain, ReadHeaderTimeout: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, srv, ln, chain, 5*time.Second) }()
+
+	// One slow request in flight when the drain starts.
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/segment")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		inflight <- result{code: resp.StatusCode, body: string(body)}
+	}()
+	started.Wait()
+
+	cancel()
+	// Drain has begun: the chain must be refusing admission.
+	deadline := time.Now().Add(2 * time.Second)
+	for !chain.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !chain.Draining() {
+		t.Fatal("chain never entered drain")
+	}
+	// The in-flight request is still running; let it finish and verify it
+	// completed with a full body rather than being cut off.
+	close(release)
+	select {
+	case r := <-inflight:
+		if r.err != nil {
+			t.Fatalf("in-flight request killed by drain: %v", r.err)
+		}
+		if r.code != http.StatusOK || r.body != "drained cleanly" {
+			t.Fatalf("in-flight request got %d %q, want full 200 body", r.code, r.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never returned")
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeDrainDeadlineCutsOff verifies the bounded drain: a handler that
+// never finishes is cut off once the drain deadline passes, and Serve
+// still returns (with the deadline error) instead of hanging.
+func TestServeDrainDeadlineCutsOff(t *testing.T) {
+	stuck := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // ignores the drain until forcibly closed
+	})
+	chain := mustChain(t, testChainConfig(), stuck)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: chain, ReadHeaderTimeout: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, srv, ln, chain, 100*time.Millisecond) }()
+
+	go http.Get("http://" + ln.Addr().String() + "/segment")
+	time.Sleep(50 * time.Millisecond) // let the request get stuck
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Fatal("Serve must report the missed drain deadline")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve hung past the drain deadline")
+	}
+}
+
+// TestServeListenError verifies a bad address surfaces immediately.
+func TestServeListenError(t *testing.T) {
+	srv := &http.Server{Addr: "256.256.256.256:0"}
+	if err := Serve(context.Background(), srv, nil, nil, time.Second); err == nil {
+		t.Fatal("want listen error")
+	}
+}

@@ -1,0 +1,457 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptile360/internal/faultinject"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/httpstream"
+	"ptile360/internal/power"
+	"ptile360/internal/sim"
+	"ptile360/internal/video"
+)
+
+// soakFixture is the expensive part of the soak (catalogue build), shared
+// across runs behind a sync.Once so -count=N and the race detector don't
+// pay it repeatedly.
+type soakFixture struct {
+	cat  *sim.Catalog
+	eval []*headtrace.Trace
+}
+
+var (
+	soakOnce sync.Once
+	soakFix  *soakFixture
+	soakErr  error
+)
+
+func soakFixtureOnce(t *testing.T) *soakFixture {
+	t.Helper()
+	soakOnce.Do(func() { soakFix, soakErr = buildSoakFixture() })
+	if soakErr != nil {
+		t.Fatal(soakErr)
+	}
+	return soakFix
+}
+
+func buildSoakFixture() (*soakFixture, error) {
+	p, err := video.ProfileByID(2)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = 14
+	ds, err := headtrace.Generate(p, gcfg, 11)
+	if err != nil {
+		return nil, err
+	}
+	train, eval, err := ds.SplitTrainEval(10, 3)
+	if err != nil {
+		return nil, err
+	}
+	ccfg, err := sim.DefaultCatalogConfig()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := sim.BuildCatalog(p, train, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &soakFixture{cat: cat, eval: eval}, nil
+}
+
+// envInt reads an integer knob so CI can scale the soak without editing
+// the test.
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// countingHandler counts every request the server receives, before any
+// middleware outcome, and survives handler aborts.
+type countingHandler struct {
+	n    atomic.Int64
+	next http.Handler
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.n.Add(1)
+	h.next.ServeHTTP(w, r)
+}
+
+// countingTransport counts client-side request attempts.
+type countingTransport struct {
+	n    atomic.Int64
+	next http.RoundTripper
+}
+
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.n.Add(1)
+	return t.next.RoundTrip(req)
+}
+
+// TestChaosSoak is the acceptance gate for the overload-protection layer:
+// dozens of resilient streaming clients, plus a request stampede and a
+// rate-limit abuser, hammer a deliberately under-provisioned,
+// fault-injected server through the full middleware chain, and the
+// invariants must hold:
+//
+//   - every request that reaches the server ends in exactly one terminal
+//     outcome, and the server-side count reconciles with the client-side
+//     attempt count;
+//   - admission bounds hold: queue depth ≤ Q and in-flight ≤ N at all
+//     times (high-water marks), so server goroutines stay ≤ N+Q+const;
+//   - shed responses carry Retry-After;
+//   - client-side accounting stays honest under shed (abandoned segments
+//     have zero bytes and a stall; served segments have bytes);
+//   - after drain, the goroutine count returns to baseline — nothing
+//     leaked.
+func TestChaosSoak(t *testing.T) {
+	fix := soakFixtureOnce(t)
+	nClients := envInt("SOAK_CLIENTS", 12)
+	nSegments := envInt("SOAK_SEGMENTS", 4)
+
+	baseline := runtime.NumGoroutine()
+
+	// Server: tile server → fault injector → protection chain → counter.
+	inner, err := httpstream.NewServer(map[int]*sim.Catalog{2: fix.cat},
+		video.DefaultEncoderConfig(), []float64{30, 27, 24, 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High latency probability is the overload driver: the injected delay
+	// is served while holding an admission slot (the injector sits inside
+	// the chain), so concurrent bursts overflow the queue and shed.
+	// TimeScale 50 compresses the nominal 0.4–2s delays to 8–40ms.
+	profile := faultinject.Profile{
+		Name:        "soak-chaos",
+		LatencyProb: 0.9, LatencyMin: 400 * time.Millisecond, LatencyMax: 2 * time.Second,
+		Error5xxProb: 0.08,
+		ResetProb:    0.05,
+		TruncateProb: 0.05, TruncateFrac: 0.4,
+		TimeScale: 50,
+	}
+	faulty, err := faultinject.Middleware(profile, 1234, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxInFlight, maxQueue = 6, 6
+	cfg := Config{
+		MaxInFlight:    maxInFlight,
+		MaxQueue:       maxQueue,
+		QueueTimeout:   150 * time.Millisecond,
+		HandlerTimeout: 10 * time.Second,
+		RetryAfter:     time.Second,
+		RatePerSec:     50,
+		Burst:          20,
+		Breaker: &BreakerConfig{
+			Window: 64, FailureThreshold: 0.6, MinSamples: 16,
+			OpenFor: 250 * time.Millisecond, MaxProbes: 1, ProbeFraction: 0.25,
+			CloseAfter: 2, Seed: 1,
+		},
+		ExemptPaths: []string{"/healthz"},
+	}
+	chain, err := NewChain(cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &countingHandler{next: chain}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           counter,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       10 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, srv, ln, chain, 10*time.Second) }()
+	baseURL := "http://" + ln.Addr().String()
+
+	// Goroutine ceiling monitor: a per-request goroutine leak shows up
+	// here long before the post-drain check.
+	var maxGoroutines atomic.Int64
+	monitorStop := make(chan struct{})
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for {
+			select {
+			case <-monitorStop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				raiseHighWater(&maxGoroutines, int64(runtime.NumGoroutine()))
+			}
+		}
+	}()
+
+	var clientAttempts atomic.Int64
+	newTransport := func() *countingTransport {
+		// Keep-alives off: a reused idle connection that dies mid-flight
+		// makes net/http silently resend the GET, which would break the
+		// one-attempt-one-server-request reconciliation below.
+		return &countingTransport{n: atomic.Int64{}, next: &http.Transport{DisableKeepAlives: true}}
+	}
+	transports := []*countingTransport{}
+	var transportsMu sync.Mutex
+	track := func(ct *countingTransport) *countingTransport {
+		transportsMu.Lock()
+		transports = append(transports, ct)
+		transportsMu.Unlock()
+		return ct
+	}
+
+	// Phase 1 — streaming sessions: resilient clients with distinct IDs.
+	// Their retry budget is deep enough to degrade (retry, abandon, stall)
+	// under the stampede below rather than die outright.
+	type sessionResult struct {
+		report *httpstream.SessionReport
+		err    error
+	}
+	results := make(chan sessionResult, nClients)
+	var sessions sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		sessions.Add(1)
+		go func(i int) {
+			defer sessions.Done()
+			client, err := httpstream.NewClient(httpstream.ClientConfig{
+				BaseURL:     baseURL,
+				Phone:       power.Pixel3,
+				MaxSegments: nSegments,
+				UseMPC:      true,
+				ClientID:    fmt.Sprintf("viewer-%d", i),
+				Transport:   track(newTransport()),
+				Retry: httpstream.RetryPolicy{
+					MaxAttempts: 5, BaseDelay: 2 * time.Millisecond,
+					MaxDelay: 40 * time.Millisecond, Jitter: 0.5,
+				},
+				RetrySeed: int64(i + 1),
+			})
+			if err != nil {
+				results <- sessionResult{err: err}
+				return
+			}
+			report, err := client.Stream(2, fix.eval[i%len(fix.eval)])
+			results <- sessionResult{report: report, err: err}
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the sessions get rolling first
+
+	// Phase 2 — stampede: a concurrent burst far beyond N+Q must produce
+	// fast 503s with Retry-After, never connection pileup.
+	stampedeN := 3 * (maxInFlight + maxQueue)
+	stampedeTransport := track(newTransport())
+	stampedeClient := &http.Client{Transport: stampedeTransport, Timeout: 30 * time.Second}
+	var stampede sync.WaitGroup
+	var stampedeShed, stampedeRetryAfter atomic.Int64
+	for i := 0; i < stampedeN; i++ {
+		stampede.Add(1)
+		go func(i int) {
+			defer stampede.Done()
+			req, _ := http.NewRequest(http.MethodGet, baseURL+"/manifest?video=2", nil)
+			req.Header.Set("X-Client-Id", fmt.Sprintf("stampede-%d", i))
+			resp, err := stampedeClient.Do(req)
+			if err != nil {
+				return // injected reset: a terminal outcome on both sides
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// A 503 can also be an injected fault ("faultinject: ..."); only
+			// the chain's own rejections ("resilience: ...") must carry the
+			// Retry-After contract.
+			if resp.StatusCode == http.StatusServiceUnavailable &&
+				strings.HasPrefix(string(body), "resilience:") {
+				stampedeShed.Add(1)
+				if resp.Header.Get("Retry-After") != "" {
+					stampedeRetryAfter.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	// Phase 3 — abuser: one client ID bursting far past the token budget
+	// must see 429s without disturbing anyone else's bucket. The burst is
+	// concurrent so the refill rate cannot keep up.
+	abuserN := 3 * int(cfg.Burst)
+	var limited429 atomic.Int64
+	abuserTransport := track(newTransport())
+	abuserClient := &http.Client{Transport: abuserTransport, Timeout: 30 * time.Second}
+	var abuser sync.WaitGroup
+	for i := 0; i < abuserN; i++ {
+		abuser.Add(1)
+		go func() {
+			defer abuser.Done()
+			req, _ := http.NewRequest(http.MethodGet, baseURL+"/manifest?video=2", nil)
+			req.Header.Set("X-Client-Id", "abuser")
+			resp, err := abuserClient.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				limited429.Add(1)
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+			}
+		}()
+	}
+
+	stampede.Wait()
+	abuser.Wait()
+	sessions.Wait()
+	close(results)
+
+	// Drain and wait for the server to exit completely.
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never finished draining")
+	}
+	close(monitorStop)
+	<-monitorDone
+
+	// ---- Invariants ----
+
+	// Client sessions terminated; enough of them streamed end-to-end for
+	// the accounting checks to mean something.
+	completed, failed := 0, 0
+	var totalRetries, totalAbandoned, totalServed int
+	for r := range results {
+		if r.err != nil {
+			failed++
+			continue
+		}
+		completed++
+		if got := len(r.report.Segments); got != nSegments {
+			t.Errorf("session streamed %d segments, want %d", got, nSegments)
+		}
+		totalRetries += r.report.TotalRetries
+		totalAbandoned += r.report.AbandonedSegments
+		for _, rec := range r.report.Segments {
+			if rec.Abandoned {
+				if rec.Bytes != 0 || rec.StallSec <= 0 {
+					t.Errorf("abandoned segment %d: bytes=%d stall=%g; want 0 bytes and a stall",
+						rec.Segment, rec.Bytes, rec.StallSec)
+				}
+				continue
+			}
+			totalServed++
+			if rec.Bytes <= 0 {
+				t.Errorf("served segment %d has %d bytes", rec.Segment, rec.Bytes)
+			}
+		}
+	}
+	if completed < nClients/2 {
+		t.Fatalf("only %d/%d sessions completed (%d failed); overload must degrade, not kill",
+			completed, nClients, failed)
+	}
+	if totalServed == 0 {
+		t.Fatal("no segment was ever served; the soak never exercised the happy path")
+	}
+
+	// Every request reached exactly one terminal outcome, and both sides
+	// agree on how many requests there were.
+	snap := chain.Snapshot()
+	serverSeen := counter.n.Load()
+	if got := snap.Totals().Terminal(); got != serverSeen {
+		t.Fatalf("terminal outcomes %d != requests seen by server %d (an outcome was lost or double-counted)\n%s",
+			got, serverSeen, snap)
+	}
+	var clientSeen int64
+	transportsMu.Lock()
+	for _, ct := range transports {
+		clientSeen += ct.n.Load()
+	}
+	transportsMu.Unlock()
+	clientAttempts.Store(clientSeen)
+	if clientSeen != serverSeen {
+		t.Fatalf("client attempts %d != server requests %d (request lost in flight)", clientSeen, serverSeen)
+	}
+
+	// Admission bounds: the queue and in-flight high-water marks cap the
+	// server-side goroutine commitment at N+Q+const.
+	if snap.InFlightHighWater > maxInFlight {
+		t.Fatalf("in-flight high-water %d exceeds N=%d", snap.InFlightHighWater, maxInFlight)
+	}
+	if snap.QueueHighWater > maxQueue {
+		t.Fatalf("queue high-water %d exceeds Q=%d", snap.QueueHighWater, maxQueue)
+	}
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("post-drain occupancy: in-flight %d, queued %d; want 0/0", snap.InFlight, snap.QueueDepth)
+	}
+
+	// Overload was real, shed carried Retry-After, the abuser got 429s.
+	totals := snap.Totals()
+	if totals.Shed == 0 {
+		t.Fatalf("stampede never shed; the server was not overloaded:\n%s", snap)
+	}
+	if stampedeShed.Load() > 0 && stampedeRetryAfter.Load() != stampedeShed.Load() {
+		t.Fatalf("%d of %d shed stampede responses missing Retry-After",
+			stampedeShed.Load()-stampedeRetryAfter.Load(), stampedeShed.Load())
+	}
+	if limited429.Load() == 0 || totals.Limited == 0 {
+		t.Fatalf("abuser saw %d 429s, chain counted %d limited; rate limiter never fired",
+			limited429.Load(), totals.Limited)
+	}
+	// Server-side shed pressure must show up in client-side resilience
+	// accounting — the ladder absorbed it as retries or abandons.
+	if totalRetries == 0 {
+		t.Fatal("chaos and shedding produced zero client retries; accounting is lying")
+	}
+	t.Logf("soak: %d requests, outcomes %+v, %d/%d sessions, %d retries, %d abandoned, %d served, max goroutines %d (baseline %d)",
+		serverSeen, totals, completed, nClients, totalRetries, totalAbandoned, totalServed, maxGoroutines.Load(), baseline)
+
+	// Goroutine ceiling during the soak: clients are bounded (one request
+	// each, keep-alives off) and the server is bounded by N+Q, so the
+	// total must stay within a generous linear envelope. A per-request
+	// leak would blow through this.
+	ceiling := int64(baseline + 6*(nClients+stampedeN+abuserN) + maxInFlight + maxQueue + 50)
+	if got := maxGoroutines.Load(); got > ceiling {
+		t.Fatalf("goroutine high-water %d exceeds ceiling %d; something leaks per request", got, ceiling)
+	}
+
+	// Post-drain: everything the soak started has unwound.
+	transportsMu.Lock()
+	for _, ct := range transports {
+		if tr, ok := ct.next.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+	}
+	transportsMu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
