@@ -4,17 +4,20 @@
 // overload-protection chain (admission control, per-client rate limiting,
 // circuit breaking). SIGINT/SIGTERM trigger a graceful drain: the server
 // stops admitting, finishes in-flight requests under -drain-timeout, and
-// prints the per-endpoint outcome ledger before exiting.
+// logs the per-endpoint outcome ledger before exiting.
+//
+// With -metrics-addr a second, unprotected ops listener serves /metrics
+// (Prometheus text), /debug/vars (expvar), /debug/pprof, /debug/spans/*,
+// and /healthz.
 //
 // Usage:
 //
-//	ptileserver -addr :8360 -videos 2,8
+//	ptileserver -addr :8360 -videos 2,8 -metrics-addr 127.0.0.1:9360
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,6 +29,7 @@ import (
 	"ptile360/internal/faultinject"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
+	"ptile360/internal/obs"
 	"ptile360/internal/resilience"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
@@ -37,12 +41,14 @@ func main() {
 
 func run() int {
 	var (
-		addr      = flag.String("addr", ":8360", "listen address")
-		videos    = flag.String("videos", "2,8", "comma-separated Table III video IDs to serve")
-		users     = flag.Int("users", 48, "viewers per video (40 train Ptiles)")
-		seed      = flag.Int64("seed", 42, "random seed")
-		chaos     = flag.String("chaos", "off", "server-side fault profile: off, flaky, lossy, slow, chaos")
-		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's reproducible schedule")
+		addr        = flag.String("addr", ":8360", "listen address")
+		metricsAddr = flag.String("metrics-addr", "", "ops listener address for /metrics, /debug/pprof, /debug/vars (empty disables)")
+		videos      = flag.String("videos", "2,8", "comma-separated Table III video IDs to serve")
+		users       = flag.Int("users", 48, "viewers per video (40 train Ptiles)")
+		seed        = flag.Int64("seed", 42, "random seed")
+		chaos       = flag.String("chaos", "off", "server-side fault profile: off, flaky, lossy, slow, chaos")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the fault injector's reproducible schedule")
+		logCfg      = obs.LogFlags(nil)
 
 		def          = resilience.DefaultConfig()
 		maxInFlight  = flag.Int("max-inflight", def.MaxInFlight, "admission limit: concurrently served requests")
@@ -56,41 +62,51 @@ func run() int {
 	)
 	flag.Parse()
 
+	logger, err := logCfg.NewLogger(os.Stderr)
+	if err != nil {
+		// No logger yet to report the bad logging flags through.
+		os.Stderr.WriteString("ptileserver: " + err.Error() + "\n")
+		return 2
+	}
+
+	reg := obs.Default()
+	obs.RegisterGoMetrics(reg)
+
 	catalogs := make(map[int]*sim.Catalog)
 	for _, field := range strings.Split(*videos, ",") {
 		id, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptileserver: bad video id %q\n", field)
+			logger.Error("bad video id", "video", field)
 			return 2
 		}
 		p, err := video.ProfileByID(id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			logger.Error("unknown video profile", "video", id, "err", err)
 			return 2
 		}
-		fmt.Printf("preparing video %d (%s)...\n", id, p.Name)
+		logger.Info("preparing video", "video", id, "name", p.Name, "users", *users)
 		gcfg := headtrace.DefaultGeneratorConfig()
 		gcfg.NumUsers = *users
 		ds, err := headtrace.Generate(p, gcfg, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			logger.Error("head-trace generation failed", "video", id, "err", err)
 			return 1
 		}
 		nTrain := *users * 5 / 6
 		train, _, err := ds.SplitTrainEval(nTrain, *seed+1)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			logger.Error("train/eval split failed", "video", id, "err", err)
 			return 1
 		}
 		ccfg, err := sim.DefaultCatalogConfig()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			logger.Error("catalogue config invalid", "err", err)
 			return 1
 		}
 		ccfg.Seed = *seed
 		cat, err := sim.BuildCatalog(p, train, ccfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			logger.Error("catalogue build failed", "video", id, "err", err)
 			return 1
 		}
 		catalogs[id] = cat
@@ -98,9 +114,10 @@ func run() int {
 
 	srv, err := httpstream.NewServer(catalogs, video.DefaultEncoderConfig(), []float64{30, 27, 24, 21})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		logger.Error("server construction failed", "err", err)
 		return 1
 	}
+	srv.Instrument(reg, logger)
 
 	// Fault injection (when enabled) sits *inside* the protection chain, so
 	// shed requests never consume fault budget and the breaker observes the
@@ -108,17 +125,17 @@ func run() int {
 	var handler http.Handler = srv
 	profile, err := faultinject.Named(*chaos)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		logger.Error("unknown chaos profile", "profile", *chaos, "err", err)
 		return 2
 	}
 	if profile.Enabled() {
 		mw, err := faultinject.Middleware(profile, *chaosSeed, srv)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+			logger.Error("fault middleware failed", "err", err)
 			return 1
 		}
 		handler = mw
-		fmt.Printf("chaos profile %q (seed %d) active on all responses\n", profile.Name, *chaosSeed)
+		logger.Info("chaos profile active", "profile", profile.Name, "seed", *chaosSeed)
 	}
 
 	cfg := def
@@ -129,10 +146,26 @@ func run() int {
 	cfg.RetryAfter = *retryAfter
 	cfg.RatePerSec = *rate
 	cfg.Burst = *burst
+	cfg.Registry = reg
+	cfg.Logger = logger
 	chain, err := resilience.NewChain(cfg, handler)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		logger.Error("protection chain invalid", "err", err)
 		return 2
+	}
+
+	// The ops endpoint listens separately so a scrape answers even while
+	// the serving listener is saturated or draining.
+	if *metricsAddr != "" {
+		mux := obs.NewOpsMux(reg)
+		mux.Handle("/debug/spans/server", srv.Tracer().Handler())
+		mux.Handle("/debug/spans/resilience", chain.Tracer().Handler())
+		ops, err := obs.StartOpsMux(*metricsAddr, mux, logger)
+		if err != nil {
+			logger.Error("ops listener failed", "addr", *metricsAddr, "err", err)
+			return 1
+		}
+		defer ops.Close()
 	}
 
 	httpServer := &http.Server{
@@ -143,18 +176,15 @@ func run() int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("serving %d videos on %s (admission %d+%d queued", len(catalogs), *addr, *maxInFlight, *maxQueue)
-	if *rate > 0 {
-		fmt.Printf(", %g req/s per client", *rate)
-	}
-	fmt.Println("); SIGINT/SIGTERM drains gracefully")
+	logger.Info("serving", "videos", len(catalogs), "addr", *addr,
+		"max_inflight", *maxInFlight, "max_queue", *maxQueue, "rate_per_sec", *rate)
 	err = resilience.Serve(ctx, httpServer, nil, chain, *drainWait)
-	fmt.Println("\nfinal outcome ledger:")
-	fmt.Println(chain.Snapshot())
+	logger.Info("final outcome ledger")
+	os.Stderr.WriteString(chain.Snapshot().String() + "\n")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ptileserver: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		return 1
 	}
-	fmt.Println("drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
 }

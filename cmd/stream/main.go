@@ -1,17 +1,23 @@
 // Command stream drives a full playback session against a ptileserver: it
 // generates a viewer, fetches the manifest, and streams segments with the
-// paper's controller, printing per-segment accounting.
+// paper's controller, emitting one JSON telemetry record per segment (the
+// paper's headline series: bitrate, frame rate, stall, QoE loss, energy)
+// and logging a periodic session summary.
 //
 // A chaos run injects client-side faults from a named profile and reports
 // the resilience accounting (retries, degradations, abandons, stalls):
 //
 //	stream -url http://127.0.0.1:8360 -video 8 -segments 30 -shaped
 //	stream -url http://127.0.0.1:8360 -video 8 -faults chaos -fault-seed 7
+//	stream -telemetry session.jsonl -session-json session.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"time"
 
@@ -19,6 +25,7 @@ import (
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
 	"ptile360/internal/lte"
+	"ptile360/internal/obs"
 	"ptile360/internal/power"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
@@ -30,35 +37,62 @@ func main() {
 
 func run() int {
 	var (
-		baseURL   = flag.String("url", "http://127.0.0.1:8360", "ptileserver address")
-		videoID   = flag.Int("video", 8, "Table III video ID")
-		segments  = flag.Int("segments", 30, "number of segments to stream (0 = all)")
-		shaped    = flag.Bool("shaped", false, "pace downloads against the LTE trace 2")
-		compress  = flag.Float64("compress", 20, "time compression for shaping")
-		useMPC    = flag.Bool("mpc", true, "use the energy-minimizing MPC controller")
-		seed      = flag.Int64("seed", 7, "viewer seed")
-		csvOut    = flag.String("csv", "", "also write per-segment records as CSV to this file")
-		faults    = flag.String("faults", "off", "fault profile injected at the client transport: off, flaky, lossy, slow, chaos")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's reproducible schedule")
-		timeout   = flag.Duration("timeout", httpstream.DefaultRequestTimeout, "per-request timeout")
-		retries   = flag.Int("retries", 0, "attempts per quality rung (0 = default policy)")
+		baseURL      = flag.String("url", "http://127.0.0.1:8360", "ptileserver address")
+		videoID      = flag.Int("video", 8, "Table III video ID")
+		segments     = flag.Int("segments", 30, "number of segments to stream (0 = all)")
+		shaped       = flag.Bool("shaped", false, "pace downloads against the LTE trace 2")
+		compress     = flag.Float64("compress", 20, "time compression for shaping")
+		useMPC       = flag.Bool("mpc", true, "use the energy-minimizing MPC controller")
+		seed         = flag.Int64("seed", 7, "viewer seed")
+		csvOut       = flag.String("csv", "", "also write per-segment records as CSV to this file")
+		faults       = flag.String("faults", "off", "fault profile injected at the client transport: off, flaky, lossy, slow, chaos")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's reproducible schedule")
+		timeout      = flag.Duration("timeout", httpstream.DefaultRequestTimeout, "per-request timeout")
+		retries      = flag.Int("retries", 0, "attempts per quality rung (0 = default policy)")
+		telemetryOut = flag.String("telemetry", "-", "write per-segment JSON telemetry records to this file (\"-\" = stdout, empty disables)")
+		sessionOut   = flag.String("session-json", "", "write the full session report as JSON to this file")
+		summaryEvery = flag.Int("summary-every", 10, "log a session summary every N segments (0 disables)")
+		logCfg       = obs.LogFlags(nil)
 	)
 	flag.Parse()
 
+	logger, err := logCfg.NewLogger(os.Stderr)
+	if err != nil {
+		os.Stderr.WriteString("stream: " + err.Error() + "\n")
+		return 2
+	}
+
 	p, err := video.ProfileByID(*videoID)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		logger.Error("unknown video profile", "video", *videoID, "err", err)
 		return 2
 	}
 	gcfg := headtrace.DefaultGeneratorConfig()
 	gcfg.NumUsers = 1
 	ds, err := headtrace.Generate(p, gcfg, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		logger.Error("head-trace generation failed", "err", err)
 		return 1
 	}
 	viewer := ds.Traces[0]
 
+	// Telemetry sink: JSONL records as the session progresses.
+	var telemetryW io.Writer
+	switch *telemetryOut {
+	case "":
+	case "-":
+		telemetryW = os.Stdout
+	default:
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			logger.Error("telemetry file", "path", *telemetryOut, "err", err)
+			return 1
+		}
+		defer f.Close()
+		telemetryW = f
+	}
+
+	reg := obs.Default()
 	cfg := httpstream.ClientConfig{
 		BaseURL:         *baseURL,
 		Phone:           power.Pixel3,
@@ -67,6 +101,24 @@ func run() int {
 		UseMPC:          *useMPC,
 		RequestTimeout:  *timeout,
 		RetrySeed:       *faultSeed,
+		ClientID:        fmt.Sprintf("stream-%d", *seed),
+		Metrics:         reg,
+	}
+	enc := json.NewEncoder(telemetryW)
+	if telemetryW == nil {
+		enc = nil
+	}
+	var sum sessionAccumulator
+	cfg.Telemetry = func(tr httpstream.TelemetryRecord) {
+		sum.add(tr)
+		if enc != nil {
+			if err := enc.Encode(tr); err != nil {
+				logger.Error("telemetry write failed", "err", err)
+			}
+		}
+		if *summaryEvery > 0 && sum.segments%*summaryEvery == 0 {
+			sum.log(logger)
+		}
 	}
 	if *retries > 0 {
 		rp := httpstream.DefaultRetryPolicy()
@@ -76,7 +128,7 @@ func run() int {
 	if *shaped {
 		_, tr2, err := lte.StandardTraces(400, 99)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+			logger.Error("LTE trace generation failed", "err", err)
 			return 1
 		}
 		cfg.Shape = tr2
@@ -84,71 +136,124 @@ func run() int {
 	var injector *faultinject.Transport
 	profile, err := faultinject.Named(*faults)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		logger.Error("unknown fault profile", "profile", *faults, "err", err)
 		return 2
 	}
 	if profile.Enabled() {
 		injector, err = faultinject.NewTransport(profile, *faultSeed, nil)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+			logger.Error("fault transport failed", "err", err)
 			return 1
 		}
 		cfg.Transport = injector
-		fmt.Printf("fault profile %q (seed %d) active on the client transport\n", profile.Name, *faultSeed)
+		logger.Info("fault profile active", "profile", profile.Name, "seed", *faultSeed)
 	}
 	client, err := httpstream.NewClient(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		logger.Error("client construction failed", "err", err)
 		return 1
 	}
 	start := time.Now()
 	report, err := client.Stream(*videoID, viewer)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		logger.Error("stream failed", "video", *videoID, "err", err)
 		return 1
 	}
 
-	fmt.Printf("seg\tq\tfps\tkB\tMbps\tptile\tenergy(mJ)\tretries\tnote\n")
-	for _, rec := range report.Segments {
-		note := ""
-		switch {
-		case rec.Abandoned:
-			note = "ABANDONED"
-		case rec.DegradeSteps > 0:
-			note = fmt.Sprintf("degraded -%d", rec.DegradeSteps)
-		case rec.StallSec > 0:
-			note = fmt.Sprintf("stall %.2fs", rec.StallSec)
-		}
-		fmt.Printf("%d\tq%d\t%.0f\t%.0f\t%.2f\t%v\t%.0f\t%d\t%s\n",
-			rec.Segment, rec.Quality, rec.FrameRate,
-			float64(rec.Bytes)/1e3, rec.ThroughputBps/1e6, rec.FromPtile, rec.EnergyMJ, rec.Retries, note)
+	meanLoss := 0.0
+	if len(report.Segments) > 0 {
+		meanLoss = report.TotalQoELoss / float64(len(report.Segments))
 	}
-	fmt.Printf("\ntotal: %.1f MB, %.1f J, %d/%d segments from Ptiles (%.1fs wall)\n",
-		float64(report.TotalBytes)/1e6, report.TotalEnergyMJ/1e3,
-		report.PtileSegments, len(report.Segments), time.Since(start).Seconds())
-	fmt.Printf("resilience: %d retries, %d degraded, %d abandoned, %d stalls (%.2fs total stall)\n",
-		report.TotalRetries, report.DegradedSegments, report.AbandonedSegments,
-		report.Stalls, report.TotalStallSec)
+	logger.Info("session complete",
+		"video", *videoID,
+		"segments", len(report.Segments),
+		"mb", float64(report.TotalBytes)/1e6,
+		"energy_j", report.TotalEnergyMJ/1e3,
+		"ptile_segments", report.PtileSegments,
+		"qoe_loss_mean", meanLoss,
+		"retries", report.TotalRetries,
+		"degraded", report.DegradedSegments,
+		"abandoned", report.AbandonedSegments,
+		"stalls", report.Stalls,
+		"stall_sec", report.TotalStallSec,
+		"wall_sec", time.Since(start).Seconds())
 	if injector != nil {
-		fmt.Printf("injected faults: %v\n", injector.Stats())
+		logger.Info("injected faults", "stats", fmt.Sprint(injector.Stats()))
 	}
 
+	if *sessionOut != "" {
+		if err := writeJSON(*sessionOut, report); err != nil {
+			logger.Error("session dump failed", "path", *sessionOut, "err", err)
+			return 1
+		}
+		logger.Info("wrote session dump", "path", *sessionOut)
+	}
 	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
+		if err := writeCSV(*csvOut, report); err != nil {
+			logger.Error("CSV write failed", "path", *csvOut, "err", err)
 			return 1
 		}
-		if err := sim.WriteSegmentsCSV(f, report.SegmentTraces()); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
-			return 1
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
-			return 1
-		}
-		fmt.Printf("wrote %s\n", *csvOut)
+		logger.Info("wrote CSV", "path", *csvOut)
 	}
 	return 0
+}
+
+// sessionAccumulator aggregates telemetry for the periodic summary log.
+type sessionAccumulator struct {
+	segments  int
+	bytes     int64
+	energyMJ  float64
+	stallSec  float64
+	qoeLoss   float64
+	retries   int
+	abandoned int
+}
+
+func (s *sessionAccumulator) add(tr httpstream.TelemetryRecord) {
+	s.segments++
+	s.bytes += tr.Bytes
+	s.energyMJ += tr.EnergyMJ
+	s.stallSec += tr.StallSec
+	s.qoeLoss += tr.QoELoss
+	s.retries += tr.Retries
+	if tr.Abandoned {
+		s.abandoned++
+	}
+}
+
+func (s *sessionAccumulator) log(logger *slog.Logger) {
+	logger.Info("session progress",
+		"segments", s.segments,
+		"mb", float64(s.bytes)/1e6,
+		"energy_j", s.energyMJ/1e3,
+		"stall_sec", s.stallSec,
+		"qoe_loss_mean", s.qoeLoss/float64(s.segments),
+		"retries", s.retries,
+		"abandoned", s.abandoned)
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeCSV(path string, report *httpstream.SessionReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sim.WriteSegmentsCSV(f, report.SegmentTraces()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "chaossoak: %v\n", err)
+		slog.Error("chaossoak failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "chaosstream: %v\n", err)
+		slog.Error("chaosstream failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -67,7 +68,7 @@ func run() error {
 	go func() { serveErr <- httpServer.Serve(ln) }()
 	defer func() {
 		if err := httpServer.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "chaosstream: server close: %v\n", err)
+			slog.Error("server close failed", "err", err)
 		}
 		<-serveErr
 	}()

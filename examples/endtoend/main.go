@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "endtoend: %v\n", err)
+		slog.Error("endtoend failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -64,7 +65,7 @@ func run() error {
 	go func() { serveErr <- httpServer.Serve(ln) }()
 	defer func() {
 		if err := httpServer.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "endtoend: server close: %v\n", err)
+			slog.Error("server close failed", "err", err)
 		}
 		<-serveErr // wait for the serve goroutine to exit
 	}()

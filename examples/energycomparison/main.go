@@ -4,6 +4,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 
@@ -12,7 +13,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "energycomparison: %v\n", err)
+		slog.Error("energycomparison failed", "err", err)
 		os.Exit(1)
 	}
 }

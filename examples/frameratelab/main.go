@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 
@@ -16,7 +17,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "frameratelab: %v\n", err)
+		slog.Error("frameratelab failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -14,7 +15,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "ptileanalysis: %v\n", err)
+		slog.Error("ptileanalysis failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -76,7 +77,7 @@ func printTable(tbl ptile360.Table) {
 		fmt.Fprintln(w, strings.Join(row, "\t"))
 	}
 	if err := w.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "render: %v\n", err)
+		slog.Error("table render failed", "err", err)
 	}
 	fmt.Println()
 }

@@ -4,6 +4,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 
 	"ptile360"
@@ -11,7 +12,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		slog.Error("quickstart failed", "err", err)
 		os.Exit(1)
 	}
 }

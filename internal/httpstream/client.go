@@ -16,6 +16,7 @@ import (
 	"ptile360/internal/geom"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
+	"ptile360/internal/obs"
 	"ptile360/internal/power"
 	"ptile360/internal/predict"
 	"ptile360/internal/ptile"
@@ -64,8 +65,17 @@ type ClientConfig struct {
 	NoDegrade bool
 	// ClientID, when set, is sent as the X-Client-Id header so the
 	// server's per-client rate limiter can key on the session rather than
-	// the shared NAT address.
+	// the shared NAT address. It also labels telemetry records.
 	ClientID string
+	// Telemetry, when set, receives one record per segment (served or
+	// abandoned) as the session progresses — the paper's headline series:
+	// bitrate, frame rate, stall, QoE loss, and modeled energy. The
+	// callback runs on the streaming goroutine; keep it fast.
+	Telemetry func(TelemetryRecord)
+	// Metrics, when set, receives the session's counters and per-stage
+	// latency histograms (client_segments_total, client_stall_seconds_total,
+	// client_qoe_loss, client_segment_stage_seconds, ...).
+	Metrics *obs.Registry
 }
 
 // Validate reports whether the configuration is usable.
@@ -134,6 +144,13 @@ type SegmentRecord struct {
 	// StallSec is the rebuffering time charged to this segment, including
 	// the deadline miss of an abandoned segment.
 	StallSec float64
+	// BestPerceivedQuality is the highest Q(v, f) any offered version had —
+	// the reference the per-segment QoE loss is measured against.
+	BestPerceivedQuality float64
+	// TxEnergyMJ and DecodeEnergyMJ split the Eq. 1 estimate into its
+	// transmission and decode terms (render is the remainder).
+	TxEnergyMJ     float64
+	DecodeEnergyMJ float64
 }
 
 // SessionReport summarizes a client streaming run.
@@ -158,6 +175,10 @@ type SessionReport struct {
 	Stalls int
 	// TotalStallSec is the summed rebuffering time.
 	TotalStallSec float64
+	// TotalQoELoss sums the per-segment QoE losses (fractions in [0, 1]);
+	// divide by len(Segments) for the session mean the paper's ≤5 %
+	// constraint is stated over.
+	TotalQoELoss float64
 }
 
 // Client streams a video from a Server, driving the paper's controller over
@@ -176,6 +197,7 @@ type Client struct {
 	grid    geom.Grid
 	timeout time.Duration
 	retry   RetryPolicy
+	obs     *clientObs // nil when cfg.Metrics is unset
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand // backoff jitter draws
@@ -218,6 +240,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Transport != nil {
 		hc.Transport = cfg.Transport
 	}
+	var co *clientObs
+	if cfg.Metrics != nil {
+		co = newClientObs(cfg.Metrics)
+	}
 	return &Client{
 		cfg:     cfg,
 		http:    hc,
@@ -228,6 +254,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		grid:    grid,
 		timeout: timeout,
 		retry:   retry,
+		obs:     co,
 		rng:     rand.New(rand.NewSource(seed)),
 	}, nil
 }
@@ -359,6 +386,10 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("httpstream: session cancelled at segment %d: %w", seg, err)
 		}
+		var span *obs.Span
+		if c.obs != nil {
+			span = c.obs.tracer.Start(fmt.Sprintf("%s/seg%d", c.cfg.ClientID, seg))
+		}
 		// Viewport prediction from played history.
 		played := float64(seg)*man.SegmentSec - buffer
 		if played < 0 {
@@ -381,6 +412,10 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 				p = geom.PointOf(viewer.Samples[idx-1].O)
 			}
 			center = p
+		}
+
+		if span != nil {
+			span.Stage("predict")
 		}
 
 		// Pick the serving Ptile from the manifest.
@@ -412,10 +447,22 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 		if err != nil {
 			return nil, err
 		}
+		bestQ := 0.0
+		for _, o := range options {
+			if o.PerceivedQuality > bestQ {
+				bestQ = o.PerceivedQuality
+			}
+		}
+		if span != nil {
+			span.Stage("decide")
+		}
 
 		// Download over HTTP with retries and the degradation ladder,
 		// pacing reads against the shaping trace.
 		out, err := c.downloadResilient(ctx, videoID, seg, degradeLadder(options, decision.Chosen), ptIdx, center, &virtual)
+		if span != nil {
+			span.Stage("download")
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -434,17 +481,20 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 				buffer = 0
 			}
 			rec := SegmentRecord{
-				Segment:   seg,
-				Abandoned: true,
-				Retries:   out.retries,
-				BufferSec: bufferBefore,
-				StallSec:  stall,
+				Segment:              seg,
+				Abandoned:            true,
+				Retries:              out.retries,
+				BufferSec:            bufferBefore,
+				StallSec:             stall,
+				BestPerceivedQuality: bestQ,
 			}
 			report.Segments = append(report.Segments, rec)
 			report.TotalRetries += out.retries
 			report.AbandonedSegments++
 			report.Stalls++
 			report.TotalStallSec += stall
+			report.TotalQoELoss += 1
+			c.emitTelemetry(videoID, man.SegmentSec, rec, span)
 			continue
 		}
 
@@ -471,19 +521,22 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 			return nil, err
 		}
 		rec := SegmentRecord{
-			Segment:          seg,
-			Quality:          chosen.Quality,
-			FrameRate:        chosen.FrameRate,
-			Bytes:            out.bytes,
-			ThroughputBps:    throughput,
-			FromPtile:        ptIdx >= 0,
-			EnergyMJ:         e.Total(),
-			PerceivedQuality: chosen.PerceivedQuality,
-			BufferSec:        bufferBefore,
-			Emergency:        decision.Emergency,
-			Retries:          out.retries,
-			DegradeSteps:     out.degradeSteps,
-			StallSec:         stall,
+			Segment:              seg,
+			Quality:              chosen.Quality,
+			FrameRate:            chosen.FrameRate,
+			Bytes:                out.bytes,
+			ThroughputBps:        throughput,
+			FromPtile:            ptIdx >= 0,
+			EnergyMJ:             e.Total(),
+			TxEnergyMJ:           e.Tx,
+			DecodeEnergyMJ:       e.Decode,
+			PerceivedQuality:     chosen.PerceivedQuality,
+			BestPerceivedQuality: bestQ,
+			BufferSec:            bufferBefore,
+			Emergency:            decision.Emergency,
+			Retries:              out.retries,
+			DegradeSteps:         out.degradeSteps,
+			StallSec:             stall,
 		}
 		report.Segments = append(report.Segments, rec)
 		report.TotalBytes += out.bytes
@@ -499,8 +552,29 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 			report.Stalls++
 			report.TotalStallSec += stall
 		}
+		if bestQ > 0 {
+			report.TotalQoELoss += (bestQ - rec.PerceivedQuality) / bestQ
+		}
+		c.emitTelemetry(videoID, man.SegmentSec, rec, span)
 	}
 	return report, nil
+}
+
+// emitTelemetry converts one segment's accounting into a telemetry record,
+// feeds the registry, closes the segment span, and invokes the callback.
+func (c *Client) emitTelemetry(videoID int, segmentSec float64, rec SegmentRecord, span *obs.Span) {
+	if span != nil {
+		span.Stage("account")
+		span.End()
+	}
+	if c.obs == nil && c.cfg.Telemetry == nil {
+		return
+	}
+	tr := telemetryFrom(c.cfg.ClientID, videoID, segmentSec, rec)
+	c.obs.observe(tr)
+	if c.cfg.Telemetry != nil {
+		c.cfg.Telemetry(tr)
+	}
 }
 
 // pickPtile returns the index and rect of the manifest Ptile serving the

@@ -56,6 +56,7 @@ type Server struct {
 	catalogs map[int]*sim.Catalog
 	enc      video.EncoderConfig
 	frames   []float64
+	inst     *serverObs // nil until Instrument
 }
 
 // NewServer builds a server over the given catalogues. frameRates lists the
@@ -86,7 +87,13 @@ func NewServer(catalogs map[int]*sim.Catalog, enc video.EncoderConfig, frameRate
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.inst != nil {
+		s.inst.serve(s.mux, w, r)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) catalogFor(w http.ResponseWriter, r *http.Request) (*sim.Catalog, bool) {
 	id, err := strconv.Atoi(r.URL.Query().Get("video"))

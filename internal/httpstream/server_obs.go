@@ -1,0 +1,105 @@
+package httpstream
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ptile360/internal/obs"
+)
+
+// Server instrumentation: request counters, latency histograms, and
+// byte totals per handler path, plus debug logs keyed by the
+// request-scoped ID. It is opt-in (Instrument) so tests and library users
+// without a registry pay nothing.
+
+// serverObs holds the server's registry handles.
+type serverObs struct {
+	reg    *obs.Registry
+	log    *slog.Logger
+	tracer *obs.Tracer
+}
+
+// Instrument attaches a registry (and optional logger) to the server:
+// every request is counted into httpstream_requests_total{path,code},
+// timed into httpstream_request_seconds{path}, and its response size added
+// to httpstream_response_bytes_total{path}. Call before serving traffic.
+func (s *Server) Instrument(reg *obs.Registry, logger *slog.Logger) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.inst = &serverObs{reg: reg, log: logger, tracer: obs.NewTracer(reg, "server_request")}
+}
+
+// Tracer returns the server's request-lifecycle tracer (nil before
+// Instrument) for mounting its recent-spans handler on an ops mux.
+func (s *Server) Tracer() *obs.Tracer {
+	if s.inst == nil {
+		return nil
+	}
+	return s.inst.tracer
+}
+
+// countingWriter captures status and body size for the metrics.
+type countingWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush keeps paced body writers working behind the wrapper.
+func (w *countingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// serveInstrumented wraps the mux with request-ID assignment, counting,
+// and timing.
+func (o *serverObs) serve(mux *http.ServeMux, w http.ResponseWriter, r *http.Request) {
+	obs.RequestIDMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &countingWriter{ResponseWriter: w}
+		span := o.tracer.Start(obs.RequestID(r.Context()))
+		start := time.Now()
+		defer func() {
+			span.Stage("handler")
+			span.End()
+			elapsed := time.Since(start).Seconds()
+			path := r.URL.Path
+			code := cw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			o.reg.Counter("httpstream_requests_total",
+				"Requests served by the tile server, by path and status.",
+				obs.L("path", path), obs.L("code", strconv.Itoa(code))).Inc()
+			o.reg.Histogram("httpstream_request_seconds",
+				"Tile-server request latency.", nil, obs.L("path", path)).Observe(elapsed)
+			o.reg.Counter("httpstream_response_bytes_total",
+				"Response payload bytes written, by path.", obs.L("path", path)).Add(float64(cw.bytes))
+			if o.log != nil {
+				o.log.Debug("request served", "component", "httpstream",
+					"request_id", obs.RequestID(r.Context()), "path", path,
+					"code", code, "bytes", cw.bytes, "elapsed_sec", elapsed)
+			}
+		}()
+		mux.ServeHTTP(cw, r)
+	})).ServeHTTP(w, r)
+}

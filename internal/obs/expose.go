@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition format
+// (version 0.0.4) and as an expvar JSON tree. Rendering is defensive:
+// metric and label names are sanitized to the exposition charset and label
+// values are escaped, so arbitrary strings (fuzzed, user-supplied paths)
+// always produce parseable output — FuzzPromExposition pins this.
+
+// sanitizeName maps an arbitrary string onto the exposition name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Invalid runes become '_'; an empty or
+// digit-leading name gains a '_' prefix.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// sanitizeLabelName is sanitizeName minus ':' (colons are reserved for
+// recording rules in label-name position).
+func sanitizeLabelName(s string) string {
+	s = sanitizeName(s)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes backslash and newline for HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders a sorted, escaped label block ("{k=\"v\",...}"), with
+// extra appended last (already-formatted pairs like `le="0.5"`). Returns ""
+// for an empty set.
+func renderLabels(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(sanitizeLabelName(l.Key))
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteString(`"`)
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families and series sorted so output is stable for golden tests and
+// scrape diffing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		fams[n] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, rawName := range names {
+		f := fams[rawName]
+		name := sanitizeName(rawName)
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.kind)
+
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(bw, "%s%s %s\n", name, renderLabels(s.labels, ""), formatValue(s.c.Value()))
+			case KindGauge:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				} else {
+					v = s.g.Value()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", name, renderLabels(s.labels, ""), formatValue(v))
+			case KindHistogram:
+				var cum uint64
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					le := fmt.Sprintf(`le="%s"`, formatValue(bound))
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", name, renderLabels(s.labels, le), cum)
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name, renderLabels(s.labels, `le="+Inf"`), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", name, renderLabels(s.labels, ""), formatValue(s.h.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", name, renderLabels(s.labels, ""), s.h.Count())
+			}
+		}
+		f.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry at GET /metrics in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// ExpvarFunc adapts the registry to an expvar.Var: a JSON object of
+// series name (with inline label block) → value. Histograms export their
+// _sum and _count.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any {
+		out := make(map[string]float64)
+		r.mu.Lock()
+		fams := make([]*family, 0, len(r.families))
+		for _, f := range r.families {
+			fams = append(fams, f)
+		}
+		r.mu.Unlock()
+		for _, f := range fams {
+			name := sanitizeName(f.name)
+			f.mu.Lock()
+			for _, s := range f.series {
+				series := name + renderLabels(s.labels, "")
+				switch f.kind {
+				case KindCounter:
+					out[series] = s.c.Value()
+				case KindGauge:
+					if s.fn != nil {
+						out[series] = s.fn()
+					} else {
+						out[series] = s.g.Value()
+					}
+				case KindHistogram:
+					out[series+"_sum"] = s.h.Sum()
+					out[series+"_count"] = float64(s.h.Count())
+				}
+			}
+			f.mu.Unlock()
+		}
+		return out
+	}
+}
+
+// Sample is one parsed exposition series.
+type Sample struct {
+	// Name is the metric name (histogram samples keep their _bucket/_sum/
+	// _count suffix).
+	Name string
+	// Labels holds the parsed label pairs, sorted by key.
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// Series renders the canonical "name{k=\"v\"}" form.
+func (s Sample) Series() string { return s.Name + renderLabels(s.Labels, "") }
+
+// ParsePrometheus parses text exposition output back into samples. It
+// accepts exactly what WritePrometheus emits (and the common subset of the
+// format): comment lines are skipped, every other non-empty line must be
+// `name[{labels}] value`. The scrape-under-load soak assertion and the
+// exposition fuzz target both run every render through it.
+func ParsePrometheus(text string) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+		}
+		out = append(out, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Metric name: up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end <= 0 {
+		return s, fmt.Errorf("missing name or value in %q", line)
+	}
+	s.Name = rest[:end]
+	if err := validExpositionName(s.Name, false); err != nil {
+		return s, err
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		var err error
+		s.Labels, rest, err = parseLabelBlock(rest)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	// A timestamp after the value is legal in the format; we never emit one.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabelBlock(rest string) ([]Label, string, error) {
+	rest = rest[1:] // consume '{'
+	var labels []Label
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("bad label pair near %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if err := validExpositionName(key, true); err != nil {
+			return nil, "", err
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value near %q", rest)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if len(rest) == 0 {
+				return nil, "", fmt.Errorf("unterminated label value")
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label value")
+				}
+				switch rest[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label value", rest[1])
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		rest = strings.TrimLeft(rest, " \t")
+		if len(rest) > 0 && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	return labels, rest, nil
+}
+
+// validExpositionName checks the exposition name charset.
+func validExpositionName(s string, labelName bool) error {
+	if s == "" {
+		return fmt.Errorf("empty name")
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+			(!labelName && c == ':') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid name %q", s)
+		}
+	}
+	return nil
+}
+
+// goGoroutines and goHeapAlloc back RegisterGoMetrics.
+func goGoroutines() float64 { return float64(runtime.NumGoroutine()) }
+
+func goHeapAlloc() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc)
+}

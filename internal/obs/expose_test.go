@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestGoldenExposition pins the exact exposition bytes: family and series
+// ordering, HELP/TYPE lines, label escaping, histogram cumulation. Any
+// format drift breaks real scrapers, so this is a byte-for-byte golden.
+func TestGoldenExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_requests_total", "Requests by path.", L("path", `/seg?q="hi"\x`)).Add(2)
+	reg.Counter("b_requests_total", "Requests by path.", L("path", "/manifest")).Inc()
+	reg.Gauge("a_depth", "Queue\ndepth.").Set(-3.5)
+	h := reg.Histogram("c_lat_seconds", "Latency.", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP a_depth Queue\ndepth.
+# TYPE a_depth gauge
+a_depth -3.5
+# HELP b_requests_total Requests by path.
+# TYPE b_requests_total counter
+b_requests_total{path="/manifest"} 1
+b_requests_total{path="/seg?q=\"hi\"\\x"} 2
+# HELP c_lat_seconds Latency.
+# TYPE c_lat_seconds histogram
+c_lat_seconds_bucket{le="0.5"} 1
+c_lat_seconds_bucket{le="2"} 2
+c_lat_seconds_bucket{le="+Inf"} 3
+c_lat_seconds_sum 100.25
+c_lat_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionStable(t *testing.T) {
+	reg := NewRegistry()
+	for _, p := range []string{"/c", "/a", "/b"} {
+		reg.Counter("m_total", "", L("path", p)).Inc()
+	}
+	var first strings.Builder
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		if err := reg.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs from first:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+	if !strings.Contains(first.String(), `m_total{path="/a"} 1`) {
+		t.Fatalf("missing series:\n%s", first.String())
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ok_name:sub", "ok_name:sub"},
+		{"9leading", "_9leading"},
+		{"", "_"},
+		{"has space-and.dot", "has_space_and_dot"},
+		{"héllo", "h__llo"}, // multi-byte rune → one '_' per byte
+	}
+	for _, c := range cases {
+		if got := sanitizeName(c.in); got != c.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := sanitizeLabelName("a:b"); got != "a_b" {
+		t.Errorf("sanitizeLabelName kept a colon: %q", got)
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("+Inf renders as %q", got)
+	}
+	if got := formatValue(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("-Inf renders as %q", got)
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("NaN renders as %q", got)
+	}
+}
+
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "help", L("k", "v1"), L("a", `weird "quoted" \ value`)).Add(7)
+	reg.Gauge("y", "").Set(math.Inf(1))
+	reg.Histogram("z_seconds", "", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(sb.String())
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\n%s", err, sb.String())
+	}
+	byseries := map[string]float64{}
+	for _, s := range samples {
+		byseries[s.Series()] = s.Value
+	}
+	if got := byseries[`x_total{a="weird \"quoted\" \\ value",k="v1"}`]; got != 7 {
+		t.Fatalf("escaped-label counter not recovered; samples: %v", byseries)
+	}
+	if got := byseries["y"]; !math.IsInf(got, 1) {
+		t.Fatalf("y = %v, want +Inf", got)
+	}
+	if got := byseries[`z_seconds_bucket{le="+Inf"}`]; got != 1 {
+		t.Fatalf("+Inf bucket = %v, want 1", got)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`bad name 1` + "\n",
+		`m{unterminated="v` + "\n",
+		`m{k=unquoted} 1` + "\n",
+		`m{k="v"} notanumber` + "\n",
+		`{*} 1` + "\n",
+	} {
+		if _, err := ParsePrometheus(bad); err == nil {
+			t.Errorf("ParsePrometheus accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPromExposition pins the defensive-rendering contract: whatever metric
+// names, label names, and label values reach the registry, WritePrometheus
+// must emit text that a strict exposition parser accepts — names sanitized
+// to the legal charset, values escaped, no panics.
+func FuzzPromExposition(f *testing.F) {
+	f.Add("requests_total", "path", "/manifest", "help text", 1.5)
+	f.Add("", "", "", "", 0.0)
+	f.Add("9leading", "le", `quote " back \ slash`, "multi\nline", -7.25)
+	f.Add("name with spaces", "läbel", "new\nline\\esc\"", `\`, 1e300)
+	f.Add("dup", "dup", "v", "h", 2.0)
+
+	f.Fuzz(func(t *testing.T, name, lkey, lval, help string, v float64) {
+		reg := NewRegistry()
+		reg.Counter(name, help, L(lkey, lval)).Add(v)
+		reg.Gauge(name+"_g", help).Set(v)
+		h := reg.Histogram(name+"_h", help, []float64{0.5, 2}, L(lkey, lval))
+		h.Observe(v)
+
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		samples, err := ParsePrometheus(sb.String())
+		if err != nil {
+			t.Fatalf("unparseable exposition for name=%q lkey=%q lval=%q:\n%s\nerr: %v",
+				name, lkey, lval, sb.String(), err)
+		}
+		// The three families yield at least counter + gauge + histogram
+		// (buckets + sum + count) samples.
+		if len(samples) < 7 {
+			t.Fatalf("expected ≥7 samples, got %d:\n%s", len(samples), sb.String())
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestLogFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cfg := LogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Level != "debug" || cfg.Format != "json" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var sb strings.Builder
+	logger, err := LogConfig{Level: "warn", Format: "json"}.NewLogger(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Warn("kept", "video", 8)
+	line := strings.TrimSpace(sb.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("expected one record, got:\n%s", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, line)
+	}
+	if rec["msg"] != "kept" || rec["video"] != float64(8) {
+		t.Fatalf("record = %v", rec)
+	}
+
+	for _, bad := range []LogConfig{{Level: "loud"}, {Format: "xml"}} {
+		if _, err := bad.NewLogger(&sb); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	// Aliases and case-insensitivity.
+	if _, err := (LogConfig{Level: "WARNING", Format: "TEXT"}).NewLogger(&sb); err != nil {
+		t.Errorf("warning/text alias rejected: %v", err)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "r-000007")
+	if got := RequestID(ctx); got != "r-000007" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("empty context RequestID = %q", got)
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || !strings.HasPrefix(a, "r-") {
+		t.Fatalf("ids not unique/minted: %q %q", a, b)
+	}
+}
+
+func TestRequestIDMiddleware(t *testing.T) {
+	var seen string
+	h := RequestIDMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+
+	// Minted when absent, surfaced on the response.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if seen == "" || rec.Header().Get(RequestIDHeader) != seen {
+		t.Fatalf("minted id %q, header %q", seen, rec.Header().Get(RequestIDHeader))
+	}
+
+	// An incoming ID is honored...
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(RequestIDHeader, "client-chosen")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "client-chosen" {
+		t.Fatalf("incoming id not honored: %q", seen)
+	}
+
+	// ...but truncated to 64 bytes.
+	req = httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(RequestIDHeader, strings.Repeat("x", 200))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if len(seen) != 64 {
+		t.Fatalf("oversized id kept %d bytes", len(seen))
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// The ops endpoint is a second, unprotected listener dedicated to operators:
+// it must answer while the serving listener is melting down, so it sits
+// outside the resilience chain and rate limiter. Mount it on a loopback or
+// cluster-internal address — pprof and expvar expose internals by design.
+
+// NewOpsMux builds the operator mux over reg:
+//
+//	/metrics          Prometheus text exposition
+//	/debug/vars       expvar JSON (registry published as "metrics")
+//	/debug/pprof/...  net/http/pprof profiles (heap, goroutine, profile, ...)
+//	/healthz          liveness probe
+func NewOpsMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	publishExpvar(reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// expvar.Publish panics on duplicate names, and tests build many ops muxes
+// in one process — publish each registry at most once, under a
+// per-registry name only for non-default registries.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[*Registry]bool{}
+	expvarSeq       int
+)
+
+func publishExpvar(reg *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[reg] {
+		return
+	}
+	name := "metrics"
+	if reg != defaultRegistry {
+		expvarSeq++
+		name = fmt.Sprintf("metrics_%d", expvarSeq)
+	}
+	expvar.Publish(name, reg.ExpvarFunc())
+	expvarPublished[reg] = true
+}
+
+// OpsServer is a running ops listener.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (o *OpsServer) Addr() net.Addr { return o.ln.Addr() }
+
+// Close shuts the ops listener down, waiting briefly for in-flight scrapes.
+func (o *OpsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return o.srv.Shutdown(ctx)
+}
+
+// StartOps binds addr and serves the standard ops mux over reg in a
+// background goroutine. logger may be nil. The caller owns the returned
+// server and should Close it on shutdown.
+func StartOps(addr string, reg *Registry, logger *slog.Logger) (*OpsServer, error) {
+	return StartOpsMux(addr, NewOpsMux(reg), logger)
+}
+
+// StartOpsMux is StartOps for a caller-built mux (NewOpsMux plus extra
+// routes such as /debug/spans handlers).
+func StartOpsMux(addr string, mux http.Handler, logger *slog.Logger) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ops listener: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && logger != nil {
+			logger.Error("ops server exited", "err", err)
+		}
+	}()
+	if logger != nil {
+		logger.Info("ops endpoint listening", "addr", ln.Addr().String(),
+			"paths", "/metrics /debug/vars /debug/pprof /healthz")
+	}
+	return &OpsServer{ln: ln, srv: srv}, nil
+}

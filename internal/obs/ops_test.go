@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestOpsMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_test_total", "").Add(5)
+	RegisterGoMetrics(reg)
+	mux := NewOpsMux(reg)
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code, rec.Body.String(), rec.Header()
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	samples, err := ParsePrometheus(body)
+	if err != nil {
+		t.Fatalf("/metrics unparseable: %v", err)
+	}
+	found := map[string]float64{}
+	for _, s := range samples {
+		found[s.Name] = s.Value
+	}
+	if found["ops_test_total"] != 5 {
+		t.Fatalf("ops_test_total missing from scrape: %v", found)
+	}
+	if found["go_goroutines"] <= 0 {
+		t.Fatalf("go_goroutines = %v, want > 0", found["go_goroutines"])
+	}
+
+	if code, body, _ := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, _, _ := get("/debug/pprof/heap"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap = %d", code)
+	}
+
+	// /debug/vars is valid JSON and carries this registry (published under a
+	// metrics_N name because it is not the default registry).
+	code, body, _ = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	var published map[string]float64
+	for name, raw := range vars {
+		if !strings.HasPrefix(name, "metrics") {
+			continue
+		}
+		var m map[string]float64
+		if json.Unmarshal(raw, &m) == nil && m["ops_test_total"] == 5 {
+			published = m
+		}
+	}
+	if published == nil {
+		t.Fatalf("registry not found in /debug/vars")
+	}
+}
+
+func TestStartOpsServesOverTCP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tcp_scrape_total", "").Inc()
+	ops, err := StartOps("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatalf("StartOps: %v", err)
+	}
+	defer ops.Close()
+
+	resp, err := http.Get("http://" + ops.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "tcp_scrape_total 1") {
+		t.Fatalf("scrape body missing counter:\n%s", body)
+	}
+	if err := ops.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package obs is the repo's unified observability layer: a dependency-free
+// (stdlib-only) concurrent metric registry with Prometheus-text and expvar
+// exposition, an ops endpoint that also mounts net/http/pprof, structured
+// logging on log/slog with request-scoped IDs, and a lightweight span
+// recorder with per-stage latency histograms.
+//
+// The paper's contribution is a measurable trade-off — energy saved per unit
+// of QoE lost — so every layer of the repro (server overload protection,
+// the streaming client's QoE/energy accounting, the experiment engine's
+// caches) reports through this package, and the numbers survive a live
+// scrape under load. See DESIGN.md for why the layer is hand-rolled rather
+// than a client_golang dependency.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the metric family type, mirroring the Prometheus TYPE line.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution with sum and count.
+	KindHistogram
+)
+
+// String names the kind exactly as the exposition TYPE line expects.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one metric dimension. Construct with L for brevity.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// atomicFloat is a float64 with atomic add/set via CompareAndSwap on bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry so they are exported.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter. Negative deltas are ignored — counters only go
+// up; use a Gauge for values that fall.
+func (c *Counter) Add(v float64) {
+	if v > 0 {
+		c.v.Add(v)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can rise and fall.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Set(v) }
+
+// Add shifts the gauge by v (negative deltas allowed).
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Observations are counted into
+// the first bucket whose upper bound is ≥ the value, plus an implicit +Inf
+// bucket, with a running sum and count — exactly the Prometheus histogram
+// contract (cumulative buckets are computed at exposition time).
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DefLatencyBuckets spans 100µs to 10s — wide enough for both the in-memory
+// middleware stages and a shaped segment download.
+func DefLatencyBuckets() []float64 {
+	return []float64{1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// series is one exported (labels → metric) instance within a family.
+type series struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // callback gauge, evaluated at exposition
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64
+	mu      sync.Mutex
+	series  map[string]*series // keyed by canonical label string
+}
+
+// Registry is a concurrent metric store. The zero value is not usable; use
+// NewRegistry. Lookups take a lock — hot paths should obtain their Counter /
+// Gauge / Histogram handles once and hold them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order snapshot for deterministic iteration growth
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry the cmds share.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// labelKey canonicalizes a label set: sorted by key, NUL-joined. The input
+// slice is sorted in place (callers pass fresh literals).
+func labelKey(labels []Label) string {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte(0)
+		sb.WriteString(l.Value)
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// familyFor returns the family, creating it on first use. A name reused with
+// a different kind panics: that is a programming error, not load-dependent.
+func (r *Registry) familyFor(name, help string, kind Kind, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) seriesFor(labels []Label) *series {
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels}
+		switch f.kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			s.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (registering on first use) the counter for the label set.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.familyFor(name, help, KindCounter, nil).seriesFor(labels).c
+}
+
+// Gauge returns (registering on first use) the gauge for the label set.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.familyFor(name, help, KindGauge, nil).seriesFor(labels).g
+}
+
+// Histogram returns (registering on first use) the histogram for the label
+// set. buckets are upper bounds in increasing order (+Inf is implicit); they
+// are fixed by the first registration of the family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets()
+	}
+	bs := make([]float64, len(buckets))
+	copy(bs, buckets)
+	sort.Float64s(bs)
+	return r.familyFor(name, help, KindHistogram, bs).seriesFor(labels).h
+}
+
+// GaugeFunc registers a callback gauge evaluated at exposition time —
+// ideal for values another subsystem already tracks (queue depth, cache
+// hit counts, runtime stats). Re-registering the same (name, labels)
+// replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.familyFor(name, help, KindGauge, nil)
+	s := f.seriesFor(labels)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// RegisterGoMetrics exports a minimal set of Go runtime gauges (goroutines,
+// heap allocation) so every ops endpoint answers the first triage questions.
+func RegisterGoMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", goGoroutines)
+	r.GaugeFunc("go_mem_heap_alloc_bytes", "Bytes of allocated heap objects.", goHeapAlloc)
+}

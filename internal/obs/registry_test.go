@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "Requests.", L("path", "/a"))
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // counters never go down
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	// Same (name, labels) → same handle.
+	if again := reg.Counter("reqs_total", "Requests.", L("path", "/a")); again != c {
+		t.Fatal("re-registration returned a different counter handle")
+	}
+	// Different labels → different series.
+	if other := reg.Counter("reqs_total", "Requests.", L("path", "/b")); other == c {
+		t.Fatal("distinct label sets shared a handle")
+	}
+
+	g := reg.Gauge("depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("m", "", L("x", "1"), L("y", "2"))
+	b := reg.Counter("m", "", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Fatal("label order changed the series identity")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+2+100; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Bucket occupancy: le=0.1 gets 0.05 and 0.1 (bounds are inclusive),
+	// le=1 gets 0.5, le=10 gets 2, +Inf gets 100.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("fn", "", func() float64 { return 1 })
+	reg.GaugeFunc("fn", "", func() float64 { return 2 })
+	samples := scrape(t, reg)
+	if got := samples["fn"]; got != 2 {
+		t.Fatalf("callback gauge = %v, want the replacement's 2", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram (and one counter) from many
+// goroutines; run with -race. The final count and sum must account for every
+// observation exactly once.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{0.5, 1, 2})
+	c := reg.Counter("c", "")
+	const (
+		workers = 16
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%4) * 0.75)
+				c.Inc()
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers: exposition must be safe (and
+	// internally consistent lines, which ParsePrometheus enforces).
+	var sb syncBuffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			sb.Reset()
+			if err := reg.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if _, err := ParsePrometheus(sb.String()); err != nil {
+				t.Errorf("mid-load scrape unparseable: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = workers * perG
+	if h.Count() != total {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), total)
+	}
+	if c.Value() != total {
+		t.Fatalf("counter = %v, want %d", c.Value(), total)
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != total {
+		t.Fatalf("bucket occupancy sums to %d, want %d", cum, total)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes buffer for cross-goroutine asserts.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (s *syncBuffer) Reset() { s.mu.Lock(); s.b = s.b[:0]; s.mu.Unlock() }
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return string(s.b)
+}
+
+// scrape renders reg and returns series → value.
+func scrape(t *testing.T, reg *Registry) map[string]float64 {
+	t.Helper()
+	var sb syncBuffer
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, err := ParsePrometheus(sb.String())
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\n%s", err, sb.String())
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		if _, dup := out[s.Series()]; dup {
+			t.Fatalf("duplicate series %s in exposition", s.Series())
+		}
+		out[s.Series()] = s.Value
+	}
+	return out
+}
+
+func ExampleRegistry_Counter() {
+	reg := NewRegistry()
+	reg.Counter("segments_total", "Segments served.", L("result", "ok")).Add(3)
+	var sb syncBuffer
+	reg.WritePrometheus(&sb)
+	fmt.Print(sb.String())
+	// Output:
+	// # HELP segments_total Segments served.
+	// # TYPE segments_total counter
+	// segments_total{result="ok"} 3
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The span recorder is deliberately lighter than a distributed tracer:
+// process-local, fixed stage names, no propagation. Each Tracer owns one
+// lifecycle (the server request path, the client segment path), each Span is
+// one pass through it, and every stage transition lands in a per-stage
+// latency histogram plus a bounded ring of recent spans for /debug/spans
+// inspection. That is exactly enough to answer "where did the time go
+// between admission and the handler" without a tracing backend.
+
+// StageRecord is one timed stage within a completed span.
+type StageRecord struct {
+	// Stage names the lifecycle step (e.g. "admission", "download").
+	Stage string `json:"stage"`
+	// Seconds is the stage latency.
+	Seconds float64 `json:"seconds"`
+}
+
+// SpanRecord is one completed span in the recent-spans ring.
+type SpanRecord struct {
+	// Name is the tracer's lifecycle name.
+	Name string `json:"name"`
+	// ID is the request/session-scoped identifier, when one was attached.
+	ID string `json:"id,omitempty"`
+	// Stages lists the recorded stage latencies in order.
+	Stages []StageRecord `json:"stages"`
+	// TotalSeconds is the span's start→end latency.
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// ringCap bounds the recent-spans ring per tracer.
+const ringCap = 128
+
+// Tracer records spans for one lifecycle and owns its histograms.
+type Tracer struct {
+	name  string
+	reg   *Registry
+	total *Histogram
+
+	hmu    sync.Mutex
+	stages map[string]*Histogram
+
+	rmu  sync.Mutex
+	ring []SpanRecord
+	next int
+}
+
+// NewTracer builds a tracer named name, registering its histograms on reg:
+// <name>_stage_seconds{stage=...} per stage and <name>_span_seconds for the
+// whole lifecycle.
+func NewTracer(reg *Registry, name string) *Tracer {
+	return &Tracer{
+		name:   name,
+		reg:    reg,
+		total:  reg.Histogram(name+"_span_seconds", "Total latency of one "+name+" lifecycle.", nil),
+		stages: make(map[string]*Histogram),
+	}
+}
+
+// stageHist returns (registering on first use) the stage's histogram.
+func (t *Tracer) stageHist(stage string) *Histogram {
+	t.hmu.Lock()
+	h, ok := t.stages[stage]
+	if !ok {
+		h = t.reg.Histogram(t.name+"_stage_seconds",
+			"Per-stage latency of the "+t.name+" lifecycle.", nil, L("stage", stage))
+		t.stages[stage] = h
+	}
+	t.hmu.Unlock()
+	return h
+}
+
+// Span is one in-flight pass through the tracer's lifecycle. It is not
+// goroutine-safe: a span belongs to the goroutine driving the lifecycle.
+type Span struct {
+	t     *Tracer
+	id    string
+	start time.Time
+	mark  time.Time
+	rec   []StageRecord
+	done  bool
+}
+
+// Start opens a span. id may be "" (attach one later with SetID).
+func (t *Tracer) Start(id string) *Span {
+	now := time.Now()
+	return &Span{t: t, id: id, start: now, mark: now}
+}
+
+// SetID attaches the request/session identifier after the fact.
+func (s *Span) SetID(id string) { s.id = id }
+
+// Stage closes the current stage: the time since the previous mark (or the
+// span start) is observed into the stage's histogram and recorded.
+func (s *Span) Stage(stage string) {
+	now := time.Now()
+	d := now.Sub(s.mark).Seconds()
+	s.mark = now
+	s.t.stageHist(stage).Observe(d)
+	s.rec = append(s.rec, StageRecord{Stage: stage, Seconds: d})
+}
+
+// End closes the span, observing the total latency and pushing the record
+// into the recent ring. End is idempotent.
+func (s *Span) End() {
+	if s.done {
+		return
+	}
+	s.done = true
+	total := time.Since(s.start).Seconds()
+	s.t.total.Observe(total)
+	s.t.push(SpanRecord{Name: s.t.name, ID: s.id, Stages: s.rec, TotalSeconds: total})
+}
+
+func (t *Tracer) push(r SpanRecord) {
+	t.rmu.Lock()
+	if len(t.ring) < ringCap {
+		t.ring = append(t.ring, r)
+	} else {
+		t.ring[t.next%ringCap] = r
+	}
+	t.next++
+	t.rmu.Unlock()
+}
+
+// Recent returns the most recent completed spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) < ringCap {
+		out = append(out, t.ring...)
+		return out
+	}
+	for i := 0; i < ringCap; i++ {
+		out = append(out, t.ring[(t.next+i)%ringCap])
+	}
+	return out
+}
+
+// Handler serves the recent-span ring as JSON — mount it under
+// /debug/spans/<name> on the ops mux.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(t.Recent())
+	})
+}

@@ -2,9 +2,12 @@ package resilience
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"ptile360/internal/obs"
 )
 
 // Chain is the composed overload-protection middleware. Request flow, in
@@ -14,6 +17,10 @@ import (
 // the chain (wrap the app handler, then hand the result to NewChain):
 // shed and limited requests then never consume fault budget, and the
 // breaker sees injected failures exactly like real ones.
+//
+// Every request's walk through the stack is timed by a span recorder:
+// resilience_request_stage_seconds{stage=ratelimit|admission|breaker|handler}
+// histograms locate where latency accrues under overload.
 type Chain struct {
 	cfg      Config
 	next     http.Handler
@@ -21,12 +28,15 @@ type Chain struct {
 	rl       *RateLimiter
 	br       *Breaker
 	metrics  *metrics
+	tracer   *obs.Tracer
+	log      *slog.Logger
 	exempt   map[string]bool
 	draining atomic.Bool
 }
 
 // NewChain validates the configuration and wraps next with the full
-// protection stack.
+// protection stack. When cfg.Registry is set, the chain's counters, gauges,
+// and stage histograms are registered there for scraping.
 func NewChain(cfg Config, next http.Handler) (*Chain, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -34,11 +44,14 @@ func NewChain(cfg Config, next http.Handler) (*Chain, error) {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	m := newMetrics(cfg.Registry)
 	c := &Chain{
 		cfg:     cfg,
 		next:    next,
 		adm:     NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
-		metrics: newMetrics(),
+		metrics: m,
+		tracer:  obs.NewTracer(m.reg, "resilience_request"),
+		log:     cfg.Logger,
 		exempt:  make(map[string]bool, len(cfg.ExemptPaths)),
 	}
 	for _, p := range cfg.ExemptPaths {
@@ -54,11 +67,56 @@ func NewChain(cfg Config, next http.Handler) (*Chain, error) {
 		}
 		c.br = br
 	}
+	c.registerGauges()
 	return c, nil
+}
+
+// registerGauges exports the admission controller's occupancy, the
+// high-water marks, and the breaker position as callback gauges — the
+// registry reads the authoritative values at scrape time, so there is no
+// second copy to drift.
+func (c *Chain) registerGauges() {
+	reg := c.metrics.reg
+	reg.GaugeFunc("resilience_queue_depth",
+		"Requests currently waiting in the admission queue.",
+		func() float64 { cur, _ := c.adm.QueueDepth(); return float64(cur) })
+	reg.GaugeFunc("resilience_queue_high_water",
+		"Lifetime maximum admission queue depth.",
+		func() float64 { _, hw := c.adm.QueueDepth(); return float64(hw) })
+	reg.GaugeFunc("resilience_in_flight",
+		"Requests currently holding an admission slot.",
+		func() float64 { cur, _ := c.adm.InFlight(); return float64(cur) })
+	reg.GaugeFunc("resilience_in_flight_high_water",
+		"Lifetime maximum concurrently served requests.",
+		func() float64 { _, hw := c.adm.InFlight(); return float64(hw) })
+	reg.GaugeFunc("resilience_draining",
+		"1 while the chain is draining, else 0.",
+		func() float64 {
+			if c.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	if c.br != nil {
+		reg.GaugeFunc("resilience_breaker_trips_total",
+			"Circuit-breaker openings since start.",
+			func() float64 { return float64(c.br.Trips()) })
+		reg.GaugeFunc("resilience_breaker_state",
+			"Circuit-breaker position: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(c.br.State()) })
+	}
 }
 
 // Breaker exposes the chain's circuit breaker (nil when disabled).
 func (c *Chain) Breaker() *Breaker { return c.br }
+
+// Registry exposes the registry the chain reports into (the private one
+// when Config.Registry was nil).
+func (c *Chain) Registry() *obs.Registry { return c.metrics.reg }
+
+// Tracer exposes the request-lifecycle span recorder, for mounting its
+// recent-spans handler on an ops mux.
+func (c *Chain) Tracer() *obs.Tracer { return c.tracer }
 
 // StartDrain stops admitting: every subsequent non-exempt request is shed
 // with 503 + Retry-After while in-flight requests finish. It is the first
@@ -66,6 +124,9 @@ func (c *Chain) Breaker() *Breaker { return c.br }
 func (c *Chain) StartDrain() {
 	c.draining.Store(true)
 	c.adm.StopAdmitting()
+	if c.log != nil {
+		c.log.Info("drain started", "component", "resilience")
+	}
 }
 
 // Draining reports whether StartDrain has been called.
@@ -82,6 +143,17 @@ func (c *Chain) Snapshot() Snapshot {
 	return s
 }
 
+// logRefusal logs one fast rejection at debug level (refusals are the
+// expected overload behaviour, not errors).
+func (c *Chain) logRefusal(r *http.Request, reason string, code int) {
+	if c.log == nil {
+		return
+	}
+	c.log.Debug("request refused", "component", "resilience",
+		"request_id", obs.RequestID(r.Context()), "path", r.URL.Path,
+		"reason", reason, "code", code)
+}
+
 // ServeHTTP implements http.Handler.
 func (c *Chain) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if c.exempt[r.URL.Path] {
@@ -89,21 +161,29 @@ func (c *Chain) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ep := r.URL.Path
+	span := c.tracer.Start(obs.RequestID(r.Context()))
+	defer span.End()
 	if c.draining.Load() {
 		c.metrics.count(ep, outcomeShed)
+		c.logRefusal(r, "draining", http.StatusServiceUnavailable)
 		c.reject(w, http.StatusServiceUnavailable, c.cfg.RetryAfter, "draining")
 		return
 	}
 	if c.rl != nil {
-		if ok, wait := c.rl.Allow(ClientKey(r)); !ok {
+		ok, wait := c.rl.Allow(ClientKey(r))
+		span.Stage("ratelimit")
+		if !ok {
 			c.metrics.count(ep, outcomeLimited)
+			c.logRefusal(r, "rate limited", http.StatusTooManyRequests)
 			c.reject(w, http.StatusTooManyRequests, wait, "rate limited")
 			return
 		}
 	}
 	release, verdict := c.adm.Acquire(r.Context())
+	span.Stage("admission")
 	if !verdict.Admitted() {
 		c.metrics.count(ep, outcomeShed)
+		c.logRefusal(r, verdict.String(), http.StatusServiceUnavailable)
 		c.reject(w, http.StatusServiceUnavailable, c.cfg.RetryAfter, "overloaded: "+verdict.String())
 		return
 	}
@@ -112,8 +192,11 @@ func (c *Chain) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		c.metrics.countQueued(ep)
 	}
 	if c.br != nil {
-		if ok, wait := c.br.Allow(); !ok {
+		ok, wait := c.br.Allow()
+		span.Stage("breaker")
+		if !ok {
 			c.metrics.count(ep, outcomeBroken)
+			c.logRefusal(r, "circuit open", http.StatusServiceUnavailable)
 			c.reject(w, http.StatusServiceUnavailable, wait, "circuit open")
 			return
 		}
@@ -126,6 +209,7 @@ func (c *Chain) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w}
 	completed := false
 	defer func() {
+		span.Stage("handler")
 		if completed {
 			return
 		}
@@ -141,6 +225,10 @@ func (c *Chain) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			panic(p)
 		}
 		c.metrics.count(ep, outcomePanicked)
+		if c.log != nil {
+			c.log.Error("handler panic recovered", "component", "resilience",
+				"request_id", obs.RequestID(r.Context()), "path", ep, "panic", p)
+		}
 		if c.br != nil {
 			c.br.Report(false)
 		}

@@ -5,11 +5,22 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"ptile360/internal/obs"
 )
+
+// The chain's accounting lives on an obs.Registry: every terminal outcome is
+// one increment of resilience_requests_total{endpoint,outcome}, queued
+// admissions increment resilience_queued_total{endpoint}, and the
+// occupancy/high-water/breaker values are callback gauges over the
+// admission controller and breaker themselves. Counters and Snapshot are
+// thin read views over those registry series — there is exactly one counter
+// per (endpoint, outcome), so a /metrics scrape and Snapshot() can never
+// disagree (pinned by TestSnapshotMatchesRegistry).
 
 // maxTrackedEndpoints bounds the per-endpoint counter map; requests to
 // paths beyond the cap are folded into the "other" endpoint so a path scan
-// cannot grow server memory.
+// cannot grow server memory (or metric cardinality).
 const maxTrackedEndpoints = 64
 
 // overflowEndpoint collects counters for paths beyond maxTrackedEndpoints.
@@ -106,17 +117,55 @@ const (
 	outcomePanicked
 )
 
-// metrics is the chain's concurrent counter store.
+// outcomeLabel names the outcome for the metric label.
+func (o outcome) label() string {
+	switch o {
+	case outcomeAdmitted:
+		return "admitted"
+	case outcomeShed:
+		return "shed"
+	case outcomeLimited:
+		return "limited"
+	case outcomeBroken:
+		return "broken"
+	case outcomePanicked:
+		return "panicked"
+	}
+	return "unknown"
+}
+
+// Registry metric names exported by the chain.
+const (
+	// MetricRequestsTotal counts terminal outcomes per endpoint:
+	// resilience_requests_total{endpoint,outcome}.
+	MetricRequestsTotal = "resilience_requests_total"
+	// MetricQueuedTotal counts admitted requests that waited in the queue:
+	// resilience_queued_total{endpoint}.
+	MetricQueuedTotal = "resilience_queued_total"
+)
+
+// endpointCounters holds the registry counter handles for one endpoint, so
+// the hot path is a handle lookup plus one atomic add.
+type endpointCounters struct {
+	outcomes [outcomePanicked + 1]*obs.Counter
+	queued   *obs.Counter
+}
+
+// metrics is the chain's counter store, backed by the registry.
 type metrics struct {
+	reg       *obs.Registry
 	mu        sync.Mutex
-	endpoints map[string]*Counters
+	endpoints map[string]*endpointCounters
 }
 
-func newMetrics() *metrics {
-	return &metrics{endpoints: make(map[string]*Counters)}
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{reg: reg, endpoints: make(map[string]*endpointCounters)}
 }
 
-func (m *metrics) countersFor(path string) *Counters {
+func (m *metrics) countersFor(path string) *endpointCounters {
 	c := m.endpoints[path]
 	if c == nil {
 		if len(m.endpoints) >= maxTrackedEndpoints {
@@ -125,7 +174,16 @@ func (m *metrics) countersFor(path string) *Counters {
 				return c
 			}
 		}
-		c = &Counters{}
+		c = &endpointCounters{
+			queued: m.reg.Counter(MetricQueuedTotal,
+				"Admitted requests that waited in the admission queue.",
+				obs.L("endpoint", path)),
+		}
+		for o := outcomeAdmitted; o <= outcomePanicked; o++ {
+			c.outcomes[o] = m.reg.Counter(MetricRequestsTotal,
+				"Terminal outcome of every request entering the protection chain.",
+				obs.L("endpoint", path), obs.L("outcome", o.label()))
+		}
 		m.endpoints[path] = c
 	}
 	return c
@@ -134,36 +192,33 @@ func (m *metrics) countersFor(path string) *Counters {
 // count records one terminal outcome for path.
 func (m *metrics) count(path string, o outcome) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	c := m.countersFor(path)
-	switch o {
-	case outcomeAdmitted:
-		c.Admitted++
-	case outcomeShed:
-		c.Shed++
-	case outcomeLimited:
-		c.Limited++
-	case outcomeBroken:
-		c.Broken++
-	case outcomePanicked:
-		c.Panicked++
-	}
+	m.mu.Unlock()
+	c.outcomes[o].Inc()
 }
 
 // countQueued records that an admitted request waited in the queue.
 func (m *metrics) countQueued(path string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.countersFor(path).Queued++
+	c := m.countersFor(path)
+	m.mu.Unlock()
+	c.queued.Inc()
 }
 
-// snapshot deep-copies the endpoint counters.
+// snapshot reads the endpoint counters back off the registry handles.
 func (m *metrics) snapshot() map[string]Counters {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[string]Counters, len(m.endpoints))
 	for p, c := range m.endpoints {
-		out[p] = *c
+		out[p] = Counters{
+			Admitted: int64(c.outcomes[outcomeAdmitted].Value()),
+			Shed:     int64(c.outcomes[outcomeShed].Value()),
+			Limited:  int64(c.outcomes[outcomeLimited].Value()),
+			Broken:   int64(c.outcomes[outcomeBroken].Value()),
+			Panicked: int64(c.outcomes[outcomePanicked].Value()),
+			Queued:   int64(c.queued.Value()),
+		}
 	}
 	return out
 }

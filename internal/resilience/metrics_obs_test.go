@@ -1,0 +1,187 @@
+package resilience
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ptile360/internal/obs"
+)
+
+// TestSnapshotMatchesRegistry is the no-double-counting regression for the
+// registry-backed counters: after mixed traffic (admitted, shed, limited,
+// panicked), the Snapshot view, the Prometheus exposition, and the expvar
+// tree must all report the same numbers, because they read the same
+// underlying counters.
+func TestSnapshotMatchesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/panic" {
+			panic("boom")
+		}
+		time.Sleep(2 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	chain, err := NewChain(Config{
+		MaxInFlight:  1,
+		MaxQueue:     1,
+		QueueTimeout: 20 * time.Millisecond,
+		RatePerSec:   5,
+		Burst:        2,
+		Registry:     reg,
+	}, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+
+	// Concurrent burst on one client key: with one slot and one queue
+	// position, some requests shed; with burst 2, some are rate limited.
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodGet, srv.URL+"/work", nil)
+			req.Header.Set("X-Client-Id", "burst")
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	// One panicked request on a distinct endpoint and client.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/panic", nil)
+	req.Header.Set("X-Client-Id", "other")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	snap := chain.Snapshot()
+	totals := snap.Totals()
+	if totals.Terminal() != 13 {
+		t.Fatalf("terminal outcomes %d, want 13 (every request exactly once)\n%s", totals.Terminal(), snap)
+	}
+	if totals.Panicked != 1 {
+		t.Fatalf("panicked %d, want 1", totals.Panicked)
+	}
+
+	// The exposition must reconcile series-for-series with the snapshot.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParsePrometheus(sb.String())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+	scraped := map[string]float64{}
+	for _, s := range samples {
+		scraped[s.Series()] += s.Value
+	}
+	for ep, c := range snap.Endpoints {
+		for outcome, want := range map[string]int64{
+			"admitted": c.Admitted, "shed": c.Shed, "limited": c.Limited,
+			"broken": c.Broken, "panicked": c.Panicked,
+		} {
+			series := fmt.Sprintf(`%s{endpoint="%s",outcome="%s"}`, MetricRequestsTotal, ep, outcome)
+			got, ok := scraped[series]
+			if want == 0 && !ok {
+				continue // series not yet registered is an honest zero
+			}
+			if int64(got) != want {
+				t.Errorf("%s: scrape %v, snapshot %d", series, got, want)
+			}
+		}
+		series := fmt.Sprintf(`%s{endpoint="%s"}`, MetricQueuedTotal, ep)
+		if got := int64(scraped[series]); got != c.Queued {
+			t.Errorf("%s: scrape %d, snapshot %d", series, got, c.Queued)
+		}
+	}
+
+	// Occupancy gauges read the admission controller directly.
+	if got := int64(scraped["resilience_in_flight_high_water"]); got != snap.InFlightHighWater {
+		t.Errorf("in-flight high-water: scrape %d, snapshot %d", got, snap.InFlightHighWater)
+	}
+	if got := int64(scraped["resilience_queue_high_water"]); got != snap.QueueHighWater {
+		t.Errorf("queue high-water: scrape %d, snapshot %d", got, snap.QueueHighWater)
+	}
+
+	// Summing the per-endpoint series must equal the snapshot total — a
+	// second scrape must not move any counter the traffic didn't.
+	var requestsTotal float64
+	for series, v := range scraped {
+		if strings.HasPrefix(series, MetricRequestsTotal+"{") {
+			requestsTotal += v
+		}
+	}
+	if int64(requestsTotal) != totals.Terminal() {
+		t.Fatalf("scraped requests_total sum %v != snapshot terminal %d (double counting?)",
+			requestsTotal, totals.Terminal())
+	}
+	var sb2 strings.Builder
+	if err := reg.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	samples2, err := obs.ParsePrometheus(sb2.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var requestsTotal2 float64
+	for _, s := range samples2 {
+		if s.Name == MetricRequestsTotal {
+			requestsTotal2 += s.Value
+		}
+	}
+	if requestsTotal2 != requestsTotal {
+		t.Fatalf("re-scrape moved requests_total %v -> %v without traffic", requestsTotal, requestsTotal2)
+	}
+}
+
+// TestChainStageHistograms pins that every admitted request times its
+// lifecycle stages into the span histograms on the same registry.
+func TestChainStageHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	chain, err := NewChain(Config{MaxInFlight: 4, Registry: reg}, http.HandlerFunc(
+		func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(chain)
+	defer srv.Close()
+	const n = 5
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(srv.URL + "/work")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParsePrometheus(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]float64{}
+	for _, s := range samples {
+		counts[s.Series()] = s.Value
+	}
+	for _, series := range []string{
+		`resilience_request_stage_seconds_count{stage="admission"}`,
+		`resilience_request_stage_seconds_count{stage="handler"}`,
+		"resilience_request_span_seconds_count",
+	} {
+		if got := counts[series]; got != n {
+			t.Errorf("%s = %v, want %d", series, got, n)
+		}
+	}
+}

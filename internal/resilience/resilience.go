@@ -24,11 +24,14 @@ package resilience
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
 	"strconv"
 	"time"
+
+	"ptile360/internal/obs"
 )
 
 // Config tunes the full middleware chain. The zero value is not usable;
@@ -61,6 +64,14 @@ type Config struct {
 	// ExemptPaths bypass the whole chain (admission, limiting, breaker,
 	// drain). Health checks belong here.
 	ExemptPaths []string
+	// Registry receives the chain's metrics (outcome counters, queue and
+	// in-flight occupancy with high-water marks, breaker state, stage
+	// latencies). Nil gives the chain a private registry — Snapshot and the
+	// ledger still work, nothing is scraped.
+	Registry *obs.Registry
+	// Logger, when set, logs shed/limited/broken refusals and recovered
+	// panics with the request-scoped ID.
+	Logger *slog.Logger
 }
 
 // DefaultRetryAfter is the shed-response hint when Config.RetryAfter is 0.

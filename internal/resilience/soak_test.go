@@ -18,6 +18,7 @@ import (
 	"ptile360/internal/faultinject"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
+	"ptile360/internal/obs"
 	"ptile360/internal/power"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
@@ -152,7 +153,9 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	const maxInFlight, maxQueue = 6, 6
+	reg := obs.NewRegistry()
 	cfg := Config{
+		Registry:       reg,
 		MaxInFlight:    maxInFlight,
 		MaxQueue:       maxQueue,
 		QueueTimeout:   150 * time.Millisecond,
@@ -185,6 +188,48 @@ func TestChaosSoak(t *testing.T) {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- Serve(ctx, srv, ln, chain, 10*time.Second) }()
 	baseURL := "http://" + ln.Addr().String()
+
+	// Ops endpoint on its own listener: scrapes must answer (and parse)
+	// while the serving listener is melting down.
+	ops, err := obs.StartOps("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+	metricsURL := "http://" + ops.Addr().String() + "/metrics"
+	scrapeMetrics := func() ([]obs.Sample, error) {
+		resp, err := http.Get(metricsURL)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("scrape status %d", resp.StatusCode)
+		}
+		return obs.ParsePrometheus(string(body))
+	}
+	var scrapes atomic.Int64
+	scrapeStop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			case <-time.After(15 * time.Millisecond):
+			}
+			if _, err := scrapeMetrics(); err != nil {
+				t.Errorf("mid-storm scrape failed: %v", err)
+				return
+			}
+			scrapes.Add(1)
+		}
+	}()
 
 	// Goroutine ceiling monitor: a per-request goroutine leak shows up
 	// here long before the post-drain check.
@@ -320,6 +365,11 @@ func TestChaosSoak(t *testing.T) {
 	abuser.Wait()
 	sessions.Wait()
 	close(results)
+	close(scrapeStop)
+	<-scrapeDone
+	if scrapes.Load() == 0 {
+		t.Fatal("no successful /metrics scrape landed during the storm")
+	}
 
 	// Drain and wait for the server to exit completely.
 	cancel()
@@ -392,6 +442,39 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("client attempts %d != server requests %d (request lost in flight)", clientSeen, serverSeen)
 	}
 
+	// The exported metrics are the same ledger: a post-drain scrape of the
+	// ops endpoint must reconcile exactly — per outcome and in total — with
+	// both the Snapshot and the raw request count the server observed.
+	samples, err := scrapeMetrics()
+	if err != nil {
+		t.Fatalf("post-drain scrape: %v", err)
+	}
+	byOutcome := map[string]int64{}
+	var promTerminal int64
+	for _, s := range samples {
+		if s.Name != MetricRequestsTotal {
+			continue
+		}
+		promTerminal += int64(s.Value)
+		for _, l := range s.Labels {
+			if l.Key == "outcome" {
+				byOutcome[l.Value] += int64(s.Value)
+			}
+		}
+	}
+	if promTerminal != serverSeen {
+		t.Fatalf("scraped %s sums to %d, server saw %d requests", MetricRequestsTotal, promTerminal, serverSeen)
+	}
+	scrapedTotals := Counters{
+		Admitted: byOutcome["admitted"], Shed: byOutcome["shed"], Limited: byOutcome["limited"],
+		Broken: byOutcome["broken"], Panicked: byOutcome["panicked"],
+	}
+	wantTotals := snap.Totals()
+	wantTotals.Queued = 0 // queued rides MetricQueuedTotal, not the outcome series
+	if scrapedTotals != wantTotals {
+		t.Fatalf("scraped outcomes %+v != snapshot totals %+v", scrapedTotals, wantTotals)
+	}
+
 	// Admission bounds: the queue and in-flight high-water marks cap the
 	// server-side goroutine commitment at N+Q+const.
 	if snap.InFlightHighWater > maxInFlight {
@@ -442,6 +525,11 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}
 	transportsMu.Unlock()
+	// The scraper used the default transport; drop its keep-alive
+	// connections to the ops listener before counting goroutines.
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if n := runtime.NumGoroutine(); n <= baseline+4 {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ptile360/internal/experiments"
+	"ptile360/internal/obs"
 	"ptile360/internal/power"
 )
 
@@ -185,12 +186,16 @@ func RunExperiment(name string, scale Scale) ([]Table, error) {
 		return nil, err
 	}
 	if name == "all" {
+		names := ExperimentNames()
+		experiments.SetProgressTotal(len(names))
 		var out []Table
-		for _, n := range ExperimentNames() {
+		for _, n := range names {
+			experiments.FigureStarted(n)
 			tables, err := registry[n](scale)
 			if err != nil {
 				return nil, fmt.Errorf("ptile360: experiment %s: %w", n, err)
 			}
+			experiments.FigureDone(n)
 			out = append(out, tables...)
 		}
 		return out, nil
@@ -199,11 +204,24 @@ func RunExperiment(name string, scale Scale) ([]Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("ptile360: unknown experiment %q (known: %v, plus \"all\")", name, ExperimentNames())
 	}
+	experiments.SetProgressTotal(1)
+	experiments.FigureStarted(name)
 	tables, err := run(scale)
 	if err != nil {
 		return nil, fmt.Errorf("ptile360: experiment %s: %w", name, err)
 	}
+	experiments.FigureDone(name)
 	return tables, nil
+}
+
+// RegisterExperimentMetrics exports the experiment engine's cache counters
+// and sweep progress on reg (see internal/experiments.RegisterMetrics).
+func RegisterExperimentMetrics(reg *obs.Registry) { experiments.RegisterMetrics(reg) }
+
+// ExperimentProgress reports the current sweep position: the figure now
+// running and the done/total counts.
+func ExperimentProgress() (current string, done, total int) {
+	return experiments.ProgressSnapshot()
 }
 
 // WriteTableCSV serializes one experiment table as CSV (header row first) —
