@@ -1,0 +1,265 @@
+// Command fleet runs the event-driven fleet simulator: a population of
+// -sessions concurrent viewers advanced on per-shard virtual clocks by
+// O(shards) goroutines — session count and goroutine count are independent,
+// which is what lets one process push 100k–1M sessions. Each shard owns a
+// private planning workspace (sim.Stepper); per-session state is a compact
+// sim.State allocated when the session's join event fires.
+//
+// The engine executes exactly the code path of the blocking per-goroutine
+// simulator (sim.Run), so results are bit-identical to it — the fleet
+// package's differential tests pin that equivalence.
+//
+// With -metrics-addr an ops listener serves /metrics (fleet_* series),
+// /debug/vars, /debug/pprof, and /healthz; the fleet counters there
+// reconcile exactly with the final ledger. The run summary is written to
+// stdout as one JSON line, ready for appending to a JSONL log.
+//
+// Usage:
+//
+//	fleet -sessions 100000 -shards 16 -duration 120 -metrics-addr 127.0.0.1:9361
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ptile360/internal/fleet"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/obs"
+	"ptile360/internal/power"
+	"ptile360/internal/sim"
+	"ptile360/internal/video"
+)
+
+// summary is the JSONL run record.
+type summary struct {
+	Sessions       int     `json:"sessions"`
+	Shards         int     `json:"shards"`
+	Workers        int     `json:"workers"`
+	Scheme         string  `json:"scheme"`
+	Video          int     `json:"video"`
+	NetProfile     string  `json:"net_profile"`
+	Seed           int64   `json:"seed"`
+	DurationSec    float64 `json:"duration_sec"`
+	Joined         int     `json:"joined"`
+	Finished       int     `json:"finished"`
+	Active         int     `json:"active"`
+	Segments       int     `json:"segments"`
+	Stalls         int     `json:"stalls"`
+	StallSec       float64 `json:"stall_sec"`
+	EnergyMJ       float64 `json:"energy_mj"`
+	MeanQoE        float64 `json:"mean_qoe"`
+	BitsDownloaded float64 `json:"bits_downloaded"`
+	Events         int     `json:"events"`
+	WallSec        float64 `json:"wall_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	GoroutinePeak  int     `json:"goroutine_peak"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		sessions    = flag.Int("sessions", 10000, "concurrent viewer sessions to simulate")
+		shards      = flag.Int("shards", runtime.GOMAXPROCS(0), "independent event queues (bounds parallelism and planning-scratch copies)")
+		workers     = flag.Int("workers", 0, "goroutines advancing shards (0 = one per shard)")
+		duration    = flag.Float64("duration", 0, "virtual seconds to simulate (0 = run every session to completion)")
+		metricsAddr = flag.String("metrics-addr", "", "ops listener address for /metrics, /debug/pprof, /debug/vars (empty disables)")
+		videoID     = flag.Int("video", 2, "Table III video ID every session streams")
+		users       = flag.Int("users", 14, "distinct viewers to generate (sessions cycle the eval pool)")
+		seed        = flag.Int64("seed", 42, "random seed")
+		scheme      = flag.String("scheme", "Ptile", "streaming scheme (Ctile, Ftile, Nontile, Ptile, Ours)")
+		netProfile  = flag.String("net", "walking", "LTE mobility profile: stationary, walking, driving")
+		vpUpdate    = flag.Float64("viewport-update", 0.5, "virtual seconds between head-pose refresh events (0 disables)")
+		logCfg      = obs.LogFlags(nil)
+	)
+	flag.Parse()
+
+	logger, err := logCfg.NewLogger(os.Stderr)
+	if err != nil {
+		os.Stderr.WriteString("fleet: " + err.Error() + "\n")
+		return 2
+	}
+
+	var sch sim.Scheme
+	for _, s := range sim.Schemes() {
+		if s.String() == *scheme {
+			sch = s
+		}
+	}
+	if sch == 0 {
+		logger.Error("unknown scheme", "scheme", *scheme)
+		return 2
+	}
+	var prof lte.Profile
+	switch *netProfile {
+	case "stationary":
+		prof = lte.ProfileStationary
+	case "walking":
+		prof = lte.ProfileWalking
+	case "driving":
+		prof = lte.ProfileDriving
+	default:
+		logger.Error("unknown net profile", "net", *netProfile)
+		return 2
+	}
+
+	p, err := video.ProfileByID(*videoID)
+	if err != nil {
+		logger.Error("unknown video profile", "video", *videoID, "err", err)
+		return 2
+	}
+	logger.Info("preparing catalogue", "video", *videoID, "name", p.Name, "users", *users)
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = *users
+	ds, err := headtrace.Generate(p, gcfg, *seed)
+	if err != nil {
+		logger.Error("head-trace generation failed", "err", err)
+		return 1
+	}
+	nTrain := *users * 5 / 6
+	train, eval, err := ds.SplitTrainEval(nTrain, *seed+1)
+	if err != nil {
+		logger.Error("train/eval split failed", "err", err)
+		return 1
+	}
+	ccfg, err := sim.DefaultCatalogConfig()
+	if err != nil {
+		logger.Error("catalogue config invalid", "err", err)
+		return 1
+	}
+	ccfg.Seed = *seed
+	cat, err := sim.BuildCatalog(p, train, ccfg)
+	if err != nil {
+		logger.Error("catalogue build failed", "err", err)
+		return 1
+	}
+	ncfg, err := lte.ProfileConfig(prof)
+	if err != nil {
+		logger.Error("net profile config failed", "err", err)
+		return 1
+	}
+	net, err := lte.Generate(600, ncfg, *seed)
+	if err != nil {
+		logger.Error("bandwidth trace generation failed", "err", err)
+		return 1
+	}
+
+	cfg, err := sim.DefaultConfig(sch, power.Pixel3)
+	if err != nil {
+		logger.Error("sim config failed", "err", err)
+		return 1
+	}
+	// Sessions cycle the eval viewers with staggered joins so the event
+	// queues interleave instead of marching in lockstep.
+	specs := make([]fleet.SessionSpec, *sessions)
+	for i := range specs {
+		specs[i] = fleet.SessionSpec{
+			User:    eval[i%len(eval)],
+			Net:     net,
+			JoinSec: 0.25 * float64(i%13),
+		}
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterGoMetrics(reg)
+	eng, err := fleet.New(fleet.Config{
+		Catalog:           cat,
+		Sim:               cfg,
+		Shards:            *shards,
+		Workers:           *workers,
+		ViewportUpdateSec: *vpUpdate,
+		Registry:          reg,
+	}, specs)
+	if err != nil {
+		logger.Error("engine construction failed", "err", err)
+		return 1
+	}
+
+	if *metricsAddr != "" {
+		ops, err := obs.StartOps(*metricsAddr, reg, logger)
+		if err != nil {
+			logger.Error("ops listener failed", "addr", *metricsAddr, "err", err)
+			return 1
+		}
+		defer ops.Close()
+	}
+
+	logger.Info("fleet starting", "sessions", *sessions, "shards", *shards,
+		"workers", *workers, "scheme", sch.String(), "duration_sec", *duration)
+	start := time.Now()
+	peak := runtime.NumGoroutine()
+	// Advance in bounded virtual-time chunks so the published metrics (and
+	// any scraper on -metrics-addr) track the run instead of jumping from
+	// zero to final.
+	const chunk = 5.0
+	horizon := chunk
+	for {
+		next, ok := eng.NextEventTime()
+		if !ok {
+			break
+		}
+		if *duration > 0 && next > *duration {
+			break
+		}
+		if *duration > 0 && horizon > *duration {
+			horizon = *duration
+		}
+		if err := eng.Advance(horizon); err != nil {
+			logger.Error("fleet advance failed", "err", err)
+			return 1
+		}
+		if g := runtime.NumGoroutine(); g > peak {
+			peak = g
+		}
+		horizon += chunk
+	}
+	wall := time.Since(start).Seconds()
+
+	led := eng.Ledger()
+	meanQoE := 0.0
+	if led.Finished > 0 {
+		meanQoE = led.QoESum / float64(led.Finished)
+	}
+	sum := summary{
+		Sessions:       *sessions,
+		Shards:         *shards,
+		Workers:        *workers,
+		Scheme:         sch.String(),
+		Video:          *videoID,
+		NetProfile:     *netProfile,
+		Seed:           *seed,
+		DurationSec:    *duration,
+		Joined:         led.Joined,
+		Finished:       led.Finished,
+		Active:         led.Active,
+		Segments:       led.Segments,
+		Stalls:         led.Stalls,
+		StallSec:       led.StallSec,
+		EnergyMJ:       led.EnergyMJ,
+		MeanQoE:        meanQoE,
+		BitsDownloaded: led.Bits,
+		Events:         led.Events,
+		WallSec:        wall,
+		EventsPerSec:   float64(led.Events) / wall,
+		GoroutinePeak:  peak,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(sum); err != nil {
+		logger.Error("summary encode failed", "err", err)
+		return 1
+	}
+	logger.Info("fleet done",
+		"finished", led.Finished, "segments", led.Segments,
+		"events", led.Events, "wall_sec", fmt.Sprintf("%.2f", wall),
+		"events_per_sec", fmt.Sprintf("%.0f", float64(led.Events)/wall),
+		"goroutine_peak", peak)
+	return 0
+}

@@ -1,0 +1,138 @@
+package ptile360
+
+// Fleet-scale benches: BenchmarkFleetTick advances an N-session event-driven
+// fleet by one virtual second per iteration, reporting events/op and
+// events/sec alongside allocs/op. The 10k/100k/1M ladder is the scaling
+// story: cost per event should stay flat while the session count grows three
+// orders of magnitude (goroutines stay O(shards) throughout).
+//
+// Run via:
+//
+//	scripts/bench.sh fleet '^BenchmarkFleetTick' 1x
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"ptile360/internal/fleet"
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/sim"
+	"ptile360/internal/video"
+)
+
+type fleetBenchFixture struct {
+	cat  *sim.Catalog
+	eval []*headtrace.Trace
+	net  *lte.Trace
+	cfg  sim.Config
+}
+
+var (
+	fleetBenchOnce sync.Once
+	fleetBenchFx   *fleetBenchFixture
+	fleetBenchErr  error
+)
+
+func fleetBenchFixtureOnce(b *testing.B) *fleetBenchFixture {
+	b.Helper()
+	fleetBenchOnce.Do(func() {
+		fleetBenchFx, fleetBenchErr = buildFleetBenchFixture()
+	})
+	if fleetBenchErr != nil {
+		b.Fatal(fleetBenchErr)
+	}
+	return fleetBenchFx
+}
+
+func buildFleetBenchFixture() (*fleetBenchFixture, error) {
+	p, err := video.ProfileByID(2)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = 14
+	ds, err := headtrace.Generate(p, gcfg, 42)
+	if err != nil {
+		return nil, err
+	}
+	train, eval, err := ds.SplitTrainEval(10, 43)
+	if err != nil {
+		return nil, err
+	}
+	ccfg, err := sim.DefaultCatalogConfig()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := sim.BuildCatalog(p, train, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	ncfg, err := lte.ProfileConfig(lte.ProfileWalking)
+	if err != nil {
+		return nil, err
+	}
+	net, err := lte.Generate(600, ncfg, 42)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := sim.DefaultConfig(sim.SchemePtile, power.Pixel3)
+	if err != nil {
+		return nil, err
+	}
+	return &fleetBenchFixture{cat: cat, eval: eval, net: net, cfg: cfg}, nil
+}
+
+func newFleetBenchEngine(b *testing.B, fx *fleetBenchFixture, sessions int) *fleet.Engine {
+	b.Helper()
+	specs := make([]fleet.SessionSpec, sessions)
+	for i := range specs {
+		specs[i] = fleet.SessionSpec{
+			User:    fx.eval[i%len(fx.eval)],
+			Net:     fx.net,
+			JoinSec: 0.25 * float64(i%13),
+		}
+	}
+	eng, err := fleet.New(fleet.Config{
+		Catalog: fx.cat,
+		Sim:     fx.cfg,
+		Shards:  runtime.GOMAXPROCS(0),
+	}, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func benchmarkFleetTick(b *testing.B, sessions int) {
+	fx := fleetBenchFixtureOnce(b)
+	eng := newFleetBenchEngine(b, fx, sessions)
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := 0.0
+	events := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := eng.NextEventTime(); !ok {
+			// Fleet drained: rebuild off the clock and keep ticking.
+			b.StopTimer()
+			events += eng.Ledger().Events
+			eng = newFleetBenchEngine(b, fx, sessions)
+			horizon = 0
+			b.StartTimer()
+		}
+		horizon++
+		if err := eng.Advance(horizon); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	events += eng.Ledger().Events
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkFleetTick10k(b *testing.B)  { benchmarkFleetTick(b, 10_000) }
+func BenchmarkFleetTick100k(b *testing.B) { benchmarkFleetTick(b, 100_000) }
+func BenchmarkFleetTick1M(b *testing.B)   { benchmarkFleetTick(b, 1_000_000) }

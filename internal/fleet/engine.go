@@ -1,0 +1,413 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/obs"
+	"ptile360/internal/parallel"
+	"ptile360/internal/sim"
+)
+
+// SessionSpec describes one viewer the engine should simulate. Traces may be
+// shared freely between specs (and with other engines): both trace types are
+// read-only or internally locked, and per-session mutable state lives in the
+// sim.State the engine creates at join time.
+type SessionSpec struct {
+	// User is the head-movement trace.
+	User *headtrace.Trace
+	// Net is the bandwidth trace.
+	Net *lte.Trace
+	// JoinSec is the virtual time at which the session joins the fleet.
+	JoinSec float64
+	// LeaveAfterSegments truncates the session after this many segments;
+	// zero streams the whole catalogue.
+	LeaveAfterSegments int
+}
+
+// Config tunes the fleet engine.
+type Config struct {
+	// Catalog is the encoded-video catalogue every session streams.
+	Catalog *sim.Catalog
+	// Sim is the per-session streaming configuration (scheme, phone, MPC
+	// settings) shared by the whole fleet.
+	Sim sim.Config
+	// Shards is the number of independent event queues. Each shard owns a
+	// private sim.Stepper (plan scratch, controllers) and is advanced by at
+	// most one goroutine, so Shards bounds both parallelism and the number
+	// of copies of the planning scratch.
+	Shards int
+	// Workers caps the goroutines advancing shards (0 = min(Shards,
+	// GOMAXPROCS)). Scheduling cost is O(Shards) goroutines at most,
+	// independent of the session count.
+	Workers int
+	// ViewportUpdateSec > 0 schedules a periodic per-session head-pose
+	// refresh event. The tick is accounting-only — the planners read the
+	// head trace directly — so it exercises the event queue (and its
+	// cancellation path on leave) without perturbing trajectories.
+	ViewportUpdateSec float64
+	// Registry receives the fleet metrics; nil creates a private registry.
+	Registry *obs.Registry
+}
+
+// Ledger is the fleet-wide accounting roll-up. Integer fields are exact;
+// float fields are summed per shard in event order and then across shards
+// in shard order, so they are deterministic for a fixed shard count
+// regardless of worker count.
+type Ledger struct {
+	// Joined, Finished, Active count sessions; Active = Joined − Finished.
+	Joined, Finished, Active int
+	// Segments counts completed segment downloads fleet-wide.
+	Segments int
+	// Stalls and StallSec count rebuffering events and their total duration.
+	Stalls   int
+	StallSec float64
+	// EnergyMJ, QoESum, and Bits accumulate finished sessions' energy
+	// totals, session mean QoE, and downloaded bits.
+	EnergyMJ float64
+	QoESum   float64
+	Bits     float64
+	// Emergencies counts finished sessions' emergency controller decisions.
+	Emergencies int
+	// ViewportUpdates counts head-pose refresh ticks.
+	ViewportUpdates int
+	// Events counts every processed event; EventsByKind splits it by Kind.
+	Events       int
+	EventsByKind [5]int
+}
+
+// add folds another ledger in (shard roll-up).
+func (l *Ledger) add(o Ledger) {
+	l.Joined += o.Joined
+	l.Finished += o.Finished
+	l.Segments += o.Segments
+	l.Stalls += o.Stalls
+	l.StallSec += o.StallSec
+	l.EnergyMJ += o.EnergyMJ
+	l.QoESum += o.QoESum
+	l.Bits += o.Bits
+	l.Emergencies += o.Emergencies
+	l.ViewportUpdates += o.ViewportUpdates
+	l.Events += o.Events
+	for k := range l.EventsByKind {
+		l.EventsByKind[k] += o.EventsByKind[k]
+	}
+}
+
+// shard is one independent event queue plus the structure-of-arrays state
+// columns for the sessions it owns (global session i lives on shard
+// i % Shards at local slot i / Shards). A shard is advanced by at most one
+// goroutine at a time; its stepper and heap are never shared.
+type shard struct {
+	eng     *Engine
+	stepper *sim.Stepper
+	heap    Heap
+	clock   float64
+
+	// Per-slot columns. states is nil before join and after leave, so a
+	// retired session costs one pointer.
+	global  []int
+	states  []*sim.State
+	pending []sim.StepInfo
+	vpEvent []ID
+	leave   []int32
+
+	led Ledger
+	err error
+}
+
+// Engine advances a fleet of sessions on per-shard virtual clocks.
+type Engine struct {
+	cfg     Config
+	specs   []SessionSpec
+	shards  []*shard
+	results []*sim.Result
+	reg     *obs.Registry
+	met     fleetMetrics
+	pub     Ledger
+}
+
+// fleetMetrics are the obs series the engine publishes after every Advance.
+type fleetMetrics struct {
+	active    *obs.Gauge
+	clock     *obs.Gauge
+	joined    *obs.Counter
+	finished  *obs.Counter
+	segments  *obs.Counter
+	stalls    *obs.Counter
+	stallSec  *obs.Counter
+	energyMJ  *obs.Counter
+	bits      *obs.Counter
+	events    [5]*obs.Counter
+	shardsG   *obs.Gauge
+	sessionsG *obs.Gauge
+}
+
+// New builds an engine over the given session population. Construction is
+// cheap per session (join events only); per-session state is allocated when
+// the join event fires.
+func New(cfg Config, specs []SessionSpec) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("fleet: need at least one shard, got %d", cfg.Shards)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fleet: no sessions")
+	}
+	if cfg.ViewportUpdateSec < 0 {
+		return nil, fmt.Errorf("fleet: negative viewport update interval %g", cfg.ViewportUpdateSec)
+	}
+	for i, spec := range specs {
+		if spec.JoinSec < 0 {
+			return nil, fmt.Errorf("fleet: session %d joins at negative time %g", i, spec.JoinSec)
+		}
+		if spec.LeaveAfterSegments < 0 {
+			return nil, fmt.Errorf("fleet: session %d has negative leave count", i)
+		}
+	}
+	if cfg.Shards > len(specs) {
+		cfg.Shards = len(specs)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
+		cfg:     cfg,
+		specs:   specs,
+		shards:  make([]*shard, cfg.Shards),
+		results: make([]*sim.Result, len(specs)),
+		reg:     reg,
+	}
+	e.registerMetrics()
+	for si := range e.shards {
+		// One stepper per shard: steppers carry mutable planning scratch and
+		// must not be shared, but every copy is built from the same
+		// (catalogue, config) pair so the math is identical on any shard.
+		stepper, err := sim.NewStepper(cfg.Catalog, cfg.Sim)
+		if err != nil {
+			return nil, err
+		}
+		n := (len(specs) - si + cfg.Shards - 1) / cfg.Shards
+		sh := &shard{
+			eng:     e,
+			stepper: stepper,
+			global:  make([]int, n),
+			states:  make([]*sim.State, n),
+			pending: make([]sim.StepInfo, n),
+			vpEvent: make([]ID, n),
+			leave:   make([]int32, n),
+		}
+		e.shards[si] = sh
+	}
+	for i, spec := range specs {
+		sh := e.shards[i%cfg.Shards]
+		slot := i / cfg.Shards
+		sh.global[slot] = i
+		sh.leave[slot] = int32(spec.LeaveAfterSegments)
+		sh.heap.Push(spec.JoinSec, KindJoin, i)
+	}
+	return e, nil
+}
+
+func (e *Engine) registerMetrics() {
+	m := &e.met
+	m.active = e.reg.Gauge("fleet_sessions_active", "Sessions currently streaming.")
+	m.clock = e.reg.Gauge("fleet_clock_seconds", "Lowest pending virtual timestamp across shards.")
+	m.joined = e.reg.Counter("fleet_sessions_joined_total", "Sessions that have joined.")
+	m.finished = e.reg.Counter("fleet_sessions_finished_total", "Sessions that have left.")
+	m.segments = e.reg.Counter("fleet_segments_total", "Segment downloads completed fleet-wide.")
+	m.stalls = e.reg.Counter("fleet_stalls_total", "Rebuffering stalls fleet-wide.")
+	m.stallSec = e.reg.Counter("fleet_stall_seconds_total", "Total rebuffering time fleet-wide.")
+	m.energyMJ = e.reg.Counter("fleet_energy_mj_total", "Energy of finished sessions (mJ).")
+	m.bits = e.reg.Counter("fleet_bits_downloaded_total", "Bits downloaded by finished sessions.")
+	for k := range m.events {
+		m.events[k] = e.reg.Counter("fleet_events_total", "Virtual-clock events processed.",
+			obs.L("kind", Kind(k).String()))
+	}
+	m.shardsG = e.reg.Gauge("fleet_shards", "Configured shard count.")
+	m.sessionsG = e.reg.Gauge("fleet_sessions_total", "Configured session count.")
+}
+
+// Registry returns the registry carrying the fleet metrics.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Sessions returns the configured session count.
+func (e *Engine) Sessions() int { return len(e.specs) }
+
+// Advance processes every event with timestamp ≤ until on all shards, using
+// at most Workers goroutines (never more than one per shard), then
+// publishes the aggregate ledger to the metrics registry. It must not be
+// called concurrently with itself or with Ledger/Results.
+func (e *Engine) Advance(until float64) error {
+	err := parallel.ForEach(len(e.shards), e.workers(), func(si int) error {
+		return e.shards[si].advance(until)
+	})
+	e.publish()
+	return err
+}
+
+// Run advances until every shard's event queue is empty.
+func (e *Engine) Run() error { return e.Advance(math.Inf(1)) }
+
+func (e *Engine) workers() int {
+	w := e.cfg.Workers
+	if w <= 0 || w > len(e.shards) {
+		w = len(e.shards)
+	}
+	return w
+}
+
+// NextEventTime returns the earliest pending virtual timestamp across
+// shards, or false when the fleet has fully drained.
+func (e *Engine) NextEventTime() (float64, bool) {
+	t, ok := math.Inf(1), false
+	for _, sh := range e.shards {
+		if st, sok := sh.heap.PeekTime(); sok && st < t {
+			t, ok = st, true
+		}
+	}
+	return t, ok
+}
+
+// Ledger aggregates the per-shard ledgers in shard order.
+func (e *Engine) Ledger() Ledger {
+	var l Ledger
+	for _, sh := range e.shards {
+		l.add(sh.led)
+	}
+	l.Active = l.Joined - l.Finished
+	return l
+}
+
+// Results returns the per-session results in spec order. Sessions that have
+// not yet left are nil.
+func (e *Engine) Results() []*sim.Result { return e.results }
+
+// publish pushes the aggregate ledger into the obs registry. Counters
+// receive the delta since the last publish, so scraped values equal the
+// ledger exactly between Advance calls.
+func (e *Engine) publish() {
+	l := e.Ledger()
+	m := &e.met
+	m.active.Set(float64(l.Active))
+	if t, ok := e.NextEventTime(); ok {
+		m.clock.Set(t)
+	}
+	m.joined.Add(float64(l.Joined - e.pub.Joined))
+	m.finished.Add(float64(l.Finished - e.pub.Finished))
+	m.segments.Add(float64(l.Segments - e.pub.Segments))
+	m.stalls.Add(float64(l.Stalls - e.pub.Stalls))
+	m.stallSec.Add(l.StallSec - e.pub.StallSec)
+	m.energyMJ.Add(l.EnergyMJ - e.pub.EnergyMJ)
+	m.bits.Add(l.Bits - e.pub.Bits)
+	for k := range m.events {
+		m.events[k].Add(float64(l.EventsByKind[k] - e.pub.EventsByKind[k]))
+	}
+	m.shardsG.Set(float64(len(e.shards)))
+	m.sessionsG.Set(float64(len(e.specs)))
+	e.pub = l
+}
+
+// advance drains the shard's queue up to the time horizon.
+func (sh *shard) advance(until float64) error {
+	if sh.err != nil {
+		return sh.err
+	}
+	for {
+		t, ok := sh.heap.PeekTime()
+		if !ok || t > until {
+			return nil
+		}
+		ev, _ := sh.heap.Pop()
+		sh.clock = ev.Time
+		sh.led.Events++
+		sh.led.EventsByKind[ev.Kind]++
+		if err := sh.handle(ev); err != nil {
+			sh.err = fmt.Errorf("fleet: session %d (%s at t=%.3f): %w", ev.Session, ev.Kind, ev.Time, err)
+			return sh.err
+		}
+	}
+}
+
+func (sh *shard) slot(session int) int { return session / len(sh.eng.shards) }
+
+func (sh *shard) handle(ev Event) error {
+	slot := sh.slot(ev.Session)
+	switch ev.Kind {
+	case KindJoin:
+		spec := sh.eng.specs[ev.Session]
+		state, err := sh.stepper.NewState(spec.User, spec.Net)
+		if err != nil {
+			return err
+		}
+		sh.states[slot] = state
+		sh.led.Joined++
+		if vp := sh.eng.cfg.ViewportUpdateSec; vp > 0 {
+			sh.vpEvent[slot] = sh.heap.Push(ev.Time+vp, KindViewportUpdate, ev.Session)
+		}
+		return sh.stepOnce(ev.Time, slot, ev.Session)
+
+	case KindSegmentComplete:
+		sh.led.Segments++
+		info := sh.pending[slot]
+		state := sh.states[slot]
+		if info.Done || (sh.leave[slot] > 0 && state.Segments() >= int(sh.leave[slot])) {
+			sh.heap.Push(ev.Time, KindLeave, ev.Session)
+			return nil
+		}
+		return sh.stepOnce(ev.Time, slot, ev.Session)
+
+	case KindStallResume:
+		sh.led.Stalls++
+		sh.led.StallSec += sh.pending[slot].StallSec
+		return nil
+
+	case KindViewportUpdate:
+		if sh.states[slot] == nil {
+			return nil
+		}
+		sh.led.ViewportUpdates++
+		sh.vpEvent[slot] = sh.heap.Push(ev.Time+sh.eng.cfg.ViewportUpdateSec, KindViewportUpdate, ev.Session)
+		return nil
+
+	case KindLeave:
+		res, err := sh.stepper.Finish(sh.states[slot])
+		if err != nil {
+			return err
+		}
+		// Distinct indices per session: shards never write the same slot.
+		sh.eng.results[ev.Session] = res
+		sh.led.Finished++
+		sh.led.EnergyMJ += res.Energy.Total()
+		sh.led.QoESum += res.QoE.MeanQ
+		sh.led.Bits += res.BitsDownloaded
+		sh.led.Emergencies += res.Emergencies
+		if sh.vpEvent[slot] != 0 {
+			sh.heap.Cancel(sh.vpEvent[slot])
+			sh.vpEvent[slot] = 0
+		}
+		sh.states[slot] = nil
+		return nil
+	}
+	return fmt.Errorf("unknown event kind %d", ev.Kind)
+}
+
+// stepOnce advances one session by one segment and schedules its
+// completion. The stall-resume event (playback restarting the instant the
+// blocking download delivers) is pushed first so it pops before the
+// completion event at the shared timestamp.
+func (sh *shard) stepOnce(now float64, slot, session int) error {
+	info, err := sh.stepper.Step(sh.states[slot])
+	if err != nil {
+		return err
+	}
+	sh.pending[slot] = info
+	done := now + info.WaitSec + info.DownloadSec
+	if info.StallSec > 0 {
+		sh.heap.Push(done, KindStallResume, session)
+	}
+	sh.heap.Push(done, KindSegmentComplete, session)
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package fleet advances large populations of streaming sessions on a
+// virtual clock. Instead of one blocking goroutine per viewer (which tops
+// out far below the ROADMAP's million-session target), each session is a
+// compact sim.State advanced one segment at a time by events popped from a
+// per-shard binary heap; scheduling stays O(shards) goroutines regardless
+// of the session count. The engine reuses the sim planners, lte bandwidth
+// traces, and geom FoV LUT through one sim.Stepper per shard, and its
+// per-session trajectories are bit-identical to the blocking sim.Run path
+// (see the differential tests).
+package fleet
+
+// Kind discriminates virtual-clock events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindJoin starts a session: the first segment request is issued at the
+	// event's time.
+	KindJoin Kind = iota
+	// KindSegmentComplete fires when a segment download finishes; the
+	// session accounts the segment and issues the next request.
+	KindSegmentComplete
+	// KindStallResume fires when playback resumes after a rebuffering stall
+	// (the moment the blocking download delivers the segment).
+	KindStallResume
+	// KindViewportUpdate is the periodic head-pose refresh tick; it is
+	// accounting-only (the planners read the head trace directly, so the
+	// tick cannot perturb the trajectory) and is cancelled on leave.
+	KindViewportUpdate
+	// KindLeave retires a session and settles its accounting.
+	KindLeave
+)
+
+// String names the kind for logs and metrics labels.
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindSegmentComplete:
+		return "segment_complete"
+	case KindStallResume:
+		return "stall_resume"
+	case KindViewportUpdate:
+		return "viewport_update"
+	case KindLeave:
+		return "leave"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled occurrence on a shard's virtual clock.
+type Event struct {
+	// Time is the virtual timestamp in seconds.
+	Time float64
+	// Kind is the event type.
+	Kind Kind
+	// Session is the engine-global session index the event belongs to.
+	Session int
+	id      uint64
+}
+
+// ID is a cancellation handle returned by Heap.Push. The zero ID is never
+// issued, so it can mean "no outstanding event".
+type ID uint64
+
+// Heap is a min-heap of events ordered by (Time, insertion order). Ties on
+// Time pop in push order, so event processing is deterministic and FIFO at
+// equal timestamps. Cancellation is lazy: cancelled IDs are dropped on Pop,
+// which keeps Cancel O(1) without sifting. Heap is not safe for concurrent
+// use; each shard owns one.
+type Heap struct {
+	events    []Event
+	cancelled map[ID]struct{}
+	pending   map[ID]struct{}
+	nextID    uint64
+}
+
+// Push schedules an event and returns its cancellation handle.
+func (h *Heap) Push(t float64, kind Kind, session int) ID {
+	h.nextID++
+	ev := Event{Time: t, Kind: kind, Session: session, id: h.nextID}
+	h.events = append(h.events, ev)
+	h.up(len(h.events) - 1)
+	if h.pending == nil {
+		h.pending = make(map[ID]struct{})
+	}
+	h.pending[ID(h.nextID)] = struct{}{}
+	return ID(h.nextID)
+}
+
+// Cancel removes a scheduled event by handle. It reports whether the handle
+// named a still-pending event; cancelling twice, or cancelling an event
+// already popped, returns false.
+func (h *Heap) Cancel(id ID) bool {
+	if _, ok := h.pending[id]; !ok {
+		return false
+	}
+	delete(h.pending, id)
+	if h.cancelled == nil {
+		h.cancelled = make(map[ID]struct{})
+	}
+	h.cancelled[id] = struct{}{}
+	return true
+}
+
+// Len returns the number of live (scheduled, not cancelled) events.
+func (h *Heap) Len() int { return len(h.pending) }
+
+// PeekTime returns the timestamp of the earliest live event.
+func (h *Heap) PeekTime() (float64, bool) {
+	for len(h.events) > 0 {
+		if _, dead := h.cancelled[ID(h.events[0].id)]; !dead {
+			return h.events[0].Time, true
+		}
+		delete(h.cancelled, ID(h.events[0].id))
+		h.drop()
+	}
+	return 0, false
+}
+
+// Pop removes and returns the earliest live event.
+func (h *Heap) Pop() (Event, bool) {
+	for len(h.events) > 0 {
+		ev := h.events[0]
+		h.drop()
+		if _, dead := h.cancelled[ID(ev.id)]; dead {
+			delete(h.cancelled, ID(ev.id))
+			continue
+		}
+		delete(h.pending, ID(ev.id))
+		return ev, true
+	}
+	return Event{}, false
+}
+
+// drop removes the root element.
+func (h *Heap) drop() {
+	n := len(h.events) - 1
+	h.events[0] = h.events[n]
+	h.events[n] = Event{}
+	h.events = h.events[:n]
+	if n > 0 {
+		h.down(0)
+	}
+}
+
+// less orders by (Time, id): id is the strictly increasing push sequence.
+func (h *Heap) less(i, j int) bool {
+	if h.events[i].Time != h.events[j].Time {
+		return h.events[i].Time < h.events[j].Time
+	}
+	return h.events[i].id < h.events[j].id
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.events[i], h.events[parent] = h.events[parent], h.events[i]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.events[i], h.events[min] = h.events[min], h.events[i]
+		i = min
+	}
+}

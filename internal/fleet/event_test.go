@@ -1,0 +1,146 @@
+package fleet
+
+import "testing"
+
+func TestHeapOrderingAndCancel(t *testing.T) {
+	var h Heap
+	a := h.Push(3, KindSegmentComplete, 0)
+	b := h.Push(1, KindJoin, 1)
+	c := h.Push(2, KindViewportUpdate, 2)
+	d := h.Push(1, KindStallResume, 3) // ties with b; b pushed first, pops first
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", h.Len())
+	}
+	if !h.Cancel(c) {
+		t.Fatal("cancel of pending event failed")
+	}
+	if h.Cancel(c) {
+		t.Fatal("double cancel succeeded")
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len after cancel = %d, want 3", h.Len())
+	}
+	if tm, ok := h.PeekTime(); !ok || tm != 1 {
+		t.Fatalf("PeekTime = %g,%v, want 1,true", tm, ok)
+	}
+	wantSessions := []int{1, 3, 0}
+	for i, want := range wantSessions {
+		ev, ok := h.Pop()
+		if !ok {
+			t.Fatalf("pop %d: heap empty", i)
+		}
+		if ev.Session != want {
+			t.Fatalf("pop %d: session %d, want %d", i, ev.Session, want)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from drained heap succeeded")
+	}
+	if h.Cancel(a) || h.Cancel(b) || h.Cancel(d) {
+		t.Fatal("cancel of popped event succeeded")
+	}
+	if h.Cancel(0) || h.Cancel(ID(99)) {
+		t.Fatal("cancel of never-issued id succeeded")
+	}
+}
+
+// FuzzEventHeapOrdering drives the heap through random interleavings of
+// push, cancel, and pop, checking against a flat reference model that (a)
+// every pop returns the minimum (time, push-order) among live events, (b)
+// cancelled events never surface, (c) no live event is lost, and (d) Cancel
+// reports exactly whether the handle was still pending.
+func FuzzEventHeapOrdering(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 10, 2, 3, 0, 0, 2, 0, 0, 0, 5, 3})
+	f.Add([]byte{0, 1, 1, 0, 1, 2, 0, 1, 3, 2, 1, 0, 3, 0, 0, 3, 0, 0})
+	f.Add([]byte{3, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Heap
+		type rec struct {
+			time      float64
+			cancelled bool
+			popped    bool
+		}
+		recs := make(map[ID]*rec)
+		var ids []ID
+		live := func() int {
+			n := 0
+			for _, r := range recs {
+				if !r.cancelled && !r.popped {
+					n++
+				}
+			}
+			return n
+		}
+		checkPop := func() {
+			ev, ok := h.Pop()
+			if !ok {
+				if live() != 0 {
+					t.Fatalf("pop reported empty with %d live events", live())
+				}
+				return
+			}
+			r := recs[ID(ev.id)]
+			if r == nil {
+				t.Fatalf("popped unknown id %d", ev.id)
+			}
+			if r.cancelled {
+				t.Fatalf("popped cancelled event %d", ev.id)
+			}
+			if r.popped {
+				t.Fatalf("popped event %d twice", ev.id)
+			}
+			if r.time != ev.Time {
+				t.Fatalf("event %d popped with time %g, pushed at %g", ev.id, ev.Time, r.time)
+			}
+			// Minimality: nothing live may order before the popped event.
+			for id, o := range recs {
+				if o.cancelled || o.popped {
+					continue
+				}
+				if o.time < ev.Time || (o.time == ev.Time && uint64(id) < ev.id) {
+					t.Fatalf("popped (%g,%d) while (%g,%d) was live", ev.Time, ev.id, o.time, id)
+				}
+			}
+			r.popped = true
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			switch data[i] % 4 {
+			case 0, 1: // push (weighted: populated heaps find more bugs)
+				// Coarse timestamps so equal-time ties are common.
+				tm := float64(data[i+1]%32) / 4
+				id := h.Push(tm, Kind(data[i+2]%5), int(data[i+2]))
+				recs[id] = &rec{time: tm}
+				ids = append(ids, id)
+			case 2: // cancel a known handle (possibly already popped/cancelled)
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(data[i+1])%len(ids)]
+				r := recs[id]
+				want := !r.cancelled && !r.popped
+				if got := h.Cancel(id); got != want {
+					t.Fatalf("Cancel(%d) = %v, want %v (cancelled=%v popped=%v)",
+						id, got, want, r.cancelled, r.popped)
+				}
+				if want {
+					r.cancelled = true
+				}
+			case 3:
+				checkPop()
+			}
+			if h.Len() != live() {
+				t.Fatalf("Len = %d, model has %d live", h.Len(), live())
+			}
+		}
+		// Drain: every live event must come out, in order.
+		for h.Len() > 0 {
+			checkPop()
+		}
+		if live() != 0 {
+			t.Fatalf("heap drained with %d live events lost", live())
+		}
+		if _, ok := h.Pop(); ok {
+			t.Fatal("pop from drained heap succeeded")
+		}
+	})
+}

@@ -1,0 +1,435 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptile360/internal/headtrace"
+	"ptile360/internal/lte"
+	"ptile360/internal/power"
+	"ptile360/internal/sim"
+	"ptile360/internal/video"
+)
+
+// testFixture is a deliberately short synthetic video (24 s, so 24 one-
+// second segments) with a small viewer pool: the differential suite runs
+// hundreds of full sessions per case, and trajectory equivalence does not
+// depend on the video length.
+type testFixture struct {
+	profile video.Profile
+	cat     *sim.Catalog
+	eval    []*headtrace.Trace
+}
+
+var (
+	fixtureOnce  sync.Once
+	fixtureCache *testFixture
+	fixtureErr   error
+)
+
+func fixture(t testing.TB) *testFixture {
+	t.Helper()
+	fixtureOnce.Do(func() { fixtureCache, fixtureErr = buildFixture() })
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureCache
+}
+
+func buildFixture() (*testFixture, error) {
+	p, err := video.ProfileByID(2)
+	if err != nil {
+		return nil, err
+	}
+	p.DurationSec = 24
+	gcfg := headtrace.DefaultGeneratorConfig()
+	gcfg.NumUsers = 8
+	ds, err := headtrace.Generate(p, gcfg, 42)
+	if err != nil {
+		return nil, err
+	}
+	train, eval, err := ds.SplitTrainEval(5, 7)
+	if err != nil {
+		return nil, err
+	}
+	ccfg, err := sim.DefaultCatalogConfig()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := sim.BuildCatalog(p, train, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &testFixture{profile: p, cat: cat, eval: eval}, nil
+}
+
+// netFor generates a bandwidth trace for one mobility profile and seed,
+// long enough to cover any stalled session of the short fixture video.
+func netFor(t testing.TB, prof lte.Profile, seed int64) *lte.Trace {
+	t.Helper()
+	cfg, err := lte.ProfileConfig(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := lte.Generate(120, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// specsFor builds n sessions cycling the eval viewer pool with staggered
+// join times (joins at distinct virtual times must not affect the
+// session-local trajectory).
+func specsFor(fx *testFixture, net *lte.Trace, n int) []SessionSpec {
+	specs := make([]SessionSpec, n)
+	for i := range specs {
+		specs[i] = SessionSpec{
+			User:    fx.eval[i%len(fx.eval)],
+			Net:     net,
+			JoinSec: 0.25 * float64(i%13),
+		}
+	}
+	return specs
+}
+
+func simConfig(t testing.TB, scheme sim.Scheme) sim.Config {
+	t.Helper()
+	cfg, err := sim.DefaultConfig(scheme, power.Pixel3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record the full per-segment trace so the differential comparison pins
+	// every segment's quality, throughput, stall, and energy — not just the
+	// session aggregates.
+	cfg.RecordSegments = true
+	return cfg
+}
+
+// requireSameResult pins two session results bit-identical: DeepEqual over
+// the full struct (including the per-segment trace) plus explicit
+// Float64bits checks on the headline scalars so a float difference reports
+// the exact bit pattern.
+func requireSameResult(t *testing.T, label string, got, want *sim.Result) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil result (got=%v want=%v)", label, got, want)
+	}
+	pins := []struct {
+		name      string
+		got, want float64
+	}{
+		{"QoE.MeanQ", got.QoE.MeanQ, want.QoE.MeanQ},
+		{"QoE.StallSec", got.QoE.StallSec, want.QoE.StallSec},
+		{"Energy.Tx", got.Energy.Tx, want.Energy.Tx},
+		{"Energy.Decode", got.Energy.Decode, want.Energy.Decode},
+		{"Energy.Render", got.Energy.Render, want.Energy.Render},
+		{"BitsDownloaded", got.BitsDownloaded, want.BitsDownloaded},
+	}
+	for _, p := range pins {
+		if math.Float64bits(p.got) != math.Float64bits(p.want) {
+			t.Fatalf("%s: %s differs: got %x (%g) want %x (%g)",
+				label, p.name, math.Float64bits(p.got), p.got, math.Float64bits(p.want), p.want)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: results differ beyond pinned scalars:\ngot:  %+v\nwant: %+v", label, got, want)
+	}
+}
+
+// TestFleetMatchesSim is the differential harness of this package: across
+// seeds × scales × mobility (fault) profiles × schemes, every per-session
+// trajectory produced by the event-driven engine must be bit-identical to
+// the blocking-loop sim.Run under the same inputs.
+func TestFleetMatchesSim(t *testing.T) {
+	fx := fixture(t)
+	cases := []struct {
+		scheme   sim.Scheme
+		sessions int
+		shards   int
+		profile  lte.Profile
+		seed     int64
+	}{
+		// The ≤1k headline case at full scale, plus smaller scales covering
+		// the remaining seeds, mobility profiles, and controller families
+		// (rate-based Ptile/Ctile and the MPC-driven Ours).
+		{sim.SchemePtile, 1000, 8, lte.ProfileWalking, 11},
+		{sim.SchemePtile, 250, 4, lte.ProfileStationary, 23},
+		{sim.SchemePtile, 250, 3, lte.ProfileDriving, 37},
+		{sim.SchemeCtile, 120, 5, lte.ProfileStationary, 37},
+		{sim.SchemeOurs, 48, 4, lte.ProfileWalking, 11},
+		{sim.SchemeOurs, 48, 2, lte.ProfileDriving, 23},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%v/%v/seed=%d/n=%d", tc.scheme, tc.profile, tc.seed, tc.sessions)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			net := netFor(t, tc.profile, tc.seed)
+			cfg := simConfig(t, tc.scheme)
+			specs := specsFor(fx, net, tc.sessions)
+			eng, err := New(Config{
+				Catalog:           fx.cat,
+				Sim:               cfg,
+				Shards:            tc.shards,
+				ViewportUpdateSec: 0.5,
+			}, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			// One blocking-loop reference per distinct viewer (the pool is
+			// tiny, every session cycling it must match its viewer's run).
+			refs := make(map[*headtrace.Trace]*sim.Result)
+			for _, u := range fx.eval {
+				ref, err := sim.Run(fx.cat, u, net, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs[u] = ref
+			}
+			results := eng.Results()
+			for i, spec := range specs {
+				requireSameResult(t, fmt.Sprintf("session %d", i), results[i], refs[spec.User])
+			}
+
+			led := eng.Ledger()
+			if led.Joined != tc.sessions || led.Finished != tc.sessions || led.Active != 0 {
+				t.Fatalf("ledger session counts off: %+v", led)
+			}
+			wantSegs := 0
+			wantStallSec := 0.0
+			for _, spec := range specs {
+				wantSegs += refs[spec.User].Segments
+				wantStallSec += refs[spec.User].QoE.StallSec
+			}
+			if led.Segments != wantSegs {
+				t.Fatalf("ledger counted %d segments, references streamed %d", led.Segments, wantSegs)
+			}
+			if math.Abs(led.StallSec-wantStallSec) > 1e-9*(1+wantStallSec) {
+				t.Fatalf("ledger stall time %g, references %g", led.StallSec, wantStallSec)
+			}
+			if led.EventsByKind[KindJoin] != tc.sessions || led.EventsByKind[KindLeave] != tc.sessions {
+				t.Fatalf("event counts off: %+v", led.EventsByKind)
+			}
+			if led.EventsByKind[KindSegmentComplete] != wantSegs {
+				t.Fatalf("segment-complete events %d, want %d", led.EventsByKind[KindSegmentComplete], wantSegs)
+			}
+		})
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers pins the whole engine output —
+// per-session results and the ledger, floats included — identical between a
+// serial advance (workers=1) and the full worker pool: shards are
+// independent and the roll-up order is fixed, so worker scheduling must not
+// leak into a single bit.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	fx := fixture(t)
+	net := netFor(t, lte.ProfileWalking, 5)
+	cfg := simConfig(t, sim.SchemePtile)
+	run := func(workers int) (*Engine, Ledger) {
+		t.Helper()
+		eng, err := New(Config{
+			Catalog:           fx.cat,
+			Sim:               cfg,
+			Shards:            8,
+			Workers:           workers,
+			ViewportUpdateSec: 0.5,
+		}, specsFor(fx, net, 400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng, eng.Ledger()
+	}
+	serial, serialLed := run(1)
+	pooled, pooledLed := run(8)
+	if !reflect.DeepEqual(serialLed, pooledLed) {
+		t.Fatalf("ledger depends on worker count:\nworkers=1: %+v\nworkers=8: %+v", serialLed, pooledLed)
+	}
+	for i := range serial.Results() {
+		requireSameResult(t, fmt.Sprintf("session %d", i), pooled.Results()[i], serial.Results()[i])
+	}
+}
+
+// TestFleetShardCountInvariant checks per-session trajectories are
+// independent of how sessions are distributed over shards. (The ledger's
+// float sums legitimately reassociate across shard counts, so only results
+// and integer ledger fields are pinned.)
+func TestFleetShardCountInvariant(t *testing.T) {
+	fx := fixture(t)
+	net := netFor(t, lte.ProfileDriving, 9)
+	cfg := simConfig(t, sim.SchemePtile)
+	run := func(shards int) *Engine {
+		t.Helper()
+		eng, err := New(Config{Catalog: fx.cat, Sim: cfg, Shards: shards}, specsFor(fx, net, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	one := run(1)
+	many := run(5)
+	for i := range one.Results() {
+		requireSameResult(t, fmt.Sprintf("session %d", i), many.Results()[i], one.Results()[i])
+	}
+	l1, l5 := one.Ledger(), many.Ledger()
+	l1.StallSec, l5.StallSec = 0, 0
+	l1.EnergyMJ, l5.EnergyMJ = 0, 0
+	l1.QoESum, l5.QoESum = 0, 0
+	l1.Bits, l5.Bits = 0, 0
+	if !reflect.DeepEqual(l1, l5) {
+		t.Fatalf("integer ledger depends on shard count:\nshards=1: %+v\nshards=5: %+v", l1, l5)
+	}
+}
+
+// TestFleetTruncatedSessions checks early leave: a session that leaves after
+// k segments must have streamed exactly the first k segments of its full
+// blocking-loop trajectory, bit for bit.
+func TestFleetTruncatedSessions(t *testing.T) {
+	fx := fixture(t)
+	net := netFor(t, lte.ProfileWalking, 3)
+	cfg := simConfig(t, sim.SchemePtile)
+	const k = 7
+	specs := specsFor(fx, net, 30)
+	for i := range specs {
+		specs[i].LeaveAfterSegments = k
+	}
+	eng, err := New(Config{Catalog: fx.cat, Sim: cfg, Shards: 3}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	refs := make(map[*headtrace.Trace]*sim.Result)
+	for _, u := range fx.eval {
+		ref, err := sim.Run(fx.cat, u, net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[u] = ref
+	}
+	for i, spec := range specs {
+		got := eng.Results()[i]
+		if got == nil {
+			t.Fatalf("session %d has no result", i)
+		}
+		if got.Segments != k {
+			t.Fatalf("session %d streamed %d segments, want %d", i, got.Segments, k)
+		}
+		if !reflect.DeepEqual(got.PerSegment, refs[spec.User].PerSegment[:k]) {
+			t.Fatalf("session %d: truncated trajectory is not a prefix of the full run", i)
+		}
+	}
+}
+
+// TestFleetGoroutinesOShards is the goroutine-count regression: advancing a
+// fleet must cost O(shards) goroutines, never O(sessions). A
+// goroutine-per-session engine would trip this by four orders of magnitude.
+func TestFleetGoroutinesOShards(t *testing.T) {
+	fx := fixture(t)
+	net := netFor(t, lte.ProfileStationary, 1)
+	cfg := simConfig(t, sim.SchemePtile)
+	cfg.RecordSegments = false
+	const sessions, shards, workers = 20000, 8, 4
+	specs := specsFor(fx, net, sessions)
+	for i := range specs {
+		specs[i].LeaveAfterSegments = 1
+	}
+	eng, err := New(Config{Catalog: fx.cat, Sim: cfg, Shards: shards, Workers: workers}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+				peak.Store(n)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// base + the sampler + at most `workers` shard goroutines + slack for
+	// runtime helpers.
+	limit := int64(base + 1 + workers + 16)
+	if got := peak.Load(); got > limit {
+		t.Fatalf("fleet advance used %d goroutines for %d sessions (limit %d): scheduling is not O(shards)",
+			got, sessions, limit)
+	}
+	if led := eng.Ledger(); led.Finished != sessions {
+		t.Fatalf("finished %d of %d sessions", led.Finished, sessions)
+	}
+}
+
+// TestFleetMetricsMatchLedger checks the published obs counters equal the
+// ledger exactly after a run (publish writes deltas, so the final scrape is
+// the final ledger).
+func TestFleetMetricsMatchLedger(t *testing.T) {
+	fx := fixture(t)
+	net := netFor(t, lte.ProfileWalking, 13)
+	cfg := simConfig(t, sim.SchemePtile)
+	cfg.RecordSegments = false
+	eng, err := New(Config{Catalog: fx.cat, Sim: cfg, Shards: 4, ViewportUpdateSec: 1}, specsFor(fx, net, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance in small horizons so publish runs repeatedly mid-flight.
+	for until := 2.0; ; until += 2 {
+		if err := eng.Advance(until); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := eng.NextEventTime(); !ok {
+			break
+		}
+	}
+	led := eng.Ledger()
+	if led.Finished != 60 {
+		t.Fatalf("fleet did not drain: %+v", led)
+	}
+	if got := eng.met.segments.Value(); got != float64(led.Segments) {
+		t.Fatalf("segments counter %g != ledger %d", got, led.Segments)
+	}
+	if got := eng.met.stallSec.Value(); math.Abs(got-led.StallSec) > 1e-9 {
+		t.Fatalf("stall counter %g != ledger %g", got, led.StallSec)
+	}
+	if got := eng.met.active.Value(); got != 0 {
+		t.Fatalf("active gauge %g after drain", got)
+	}
+	for k, c := range eng.met.events {
+		if got := c.Value(); got != float64(led.EventsByKind[k]) {
+			t.Fatalf("%v events counter %g != ledger %d", Kind(k), got, led.EventsByKind[k])
+		}
+	}
+}

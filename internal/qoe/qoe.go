@@ -103,25 +103,53 @@ type SessionSummary struct {
 
 // Summarize aggregates breakdowns into a session summary.
 func Summarize(segments []Breakdown) (SessionSummary, error) {
-	if len(segments) == 0 {
+	var a Accumulator
+	for _, b := range segments {
+		a.Add(b)
+	}
+	return a.Summary()
+}
+
+// Accumulator aggregates per-segment breakdowns incrementally, so a
+// long-running (or fleet-scale) session need not retain its breakdown
+// series. Adding breakdowns in segment order performs exactly the additions
+// of Summarize in the same order, so Summary is bit-identical to
+// Summarize over the equivalent slice.
+type Accumulator struct {
+	sumQ, sumQ0, sumVariation, sumRebuffer, stallSec float64
+	stalls, segments                                 int
+}
+
+// Add folds one segment breakdown into the running sums.
+func (a *Accumulator) Add(b Breakdown) {
+	a.sumQ += b.Q
+	a.sumQ0 += b.Q0
+	a.sumVariation += b.Variation
+	a.sumRebuffer += b.Rebuffer
+	a.stallSec += b.StallSec
+	if b.StallSec > 0 {
+		a.stalls++
+	}
+	a.segments++
+}
+
+// Segments returns the number of breakdowns added so far.
+func (a *Accumulator) Segments() int { return a.segments }
+
+// Summary finalizes the session summary. It fails on an empty accumulator,
+// matching Summarize on an empty slice.
+func (a *Accumulator) Summary() (SessionSummary, error) {
+	if a.segments == 0 {
 		return SessionSummary{}, fmt.Errorf("qoe: no segments to summarize")
 	}
-	var s SessionSummary
-	for _, b := range segments {
-		s.MeanQ += b.Q
-		s.MeanQ0 += b.Q0
-		s.MeanVariation += b.Variation
-		s.MeanRebuffer += b.Rebuffer
-		s.StallSec += b.StallSec
-		if b.StallSec > 0 {
-			s.Stalls++
-		}
-	}
-	n := float64(len(segments))
-	s.MeanQ /= n
-	s.MeanQ0 /= n
-	s.MeanVariation /= n
-	s.MeanRebuffer /= n
-	s.Segments = len(segments)
-	return s, nil
+	n := float64(a.segments)
+	return SessionSummary{
+		MeanQ:         a.sumQ / n,
+		MeanQ0:        a.sumQ0 / n,
+		MeanVariation: a.sumVariation / n,
+		MeanRebuffer:  a.sumRebuffer / n,
+		StallSec:      a.stallSec,
+		Stalls:        a.stalls,
+		Segments:      a.segments,
+	}, nil
 }

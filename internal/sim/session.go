@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"ptile360/internal/abr"
 	"ptile360/internal/geom"
@@ -254,7 +253,10 @@ type Result struct {
 	PerSegment []SegmentTrace
 }
 
-// session is the per-run mutable state.
+// session is the shared per-worker workspace behind both Run and the
+// resumable Stepper: the (catalogue, config) runtime plus the recycled
+// planning scratch, with the per-session fields swapped in around each
+// step (see step.go).
 type session struct {
 	cfg        Config
 	cat        *Catalog
@@ -282,7 +284,8 @@ type session struct {
 }
 
 // Run streams the whole video for one evaluation user and returns the
-// session accounting.
+// session accounting. It is the blocking-loop form of the resumable
+// Stepper/State API: one stepper, one state, stepped to completion.
 func Run(cat *Catalog, user *headtrace.Trace, net *lte.Trace, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -296,246 +299,24 @@ func Run(cat *Catalog, user *headtrace.Trace, net *lte.Trace, cfg Config) (*Resu
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
-	if cat.SegmentSec != cfg.SegmentSec {
-		return nil, fmt.Errorf("sim: catalogue segment duration %g != config %g", cat.SegmentSec, cfg.SegmentSec)
-	}
-	pm, err := power.TableI(cfg.Phone)
+	st, err := NewStepper(cat, cfg)
 	if err != nil {
 		return nil, err
 	}
-	mpcCfg := abr.DefaultConfig(pm.Tx)
-	mpcCfg.Horizon = cfg.Horizon
-	mpcCfg.SegmentSec = cfg.SegmentSec
-	mpcCfg.BufferCapSec = cfg.BufferCapSec
-	mpcCfg.Epsilon = cfg.Epsilon
-	mpc, err := abr.NewEnergyMPC(mpcCfg)
+	state, err := st.NewState(user, net)
 	if err != nil {
 		return nil, err
 	}
-	qoeMPC, err := abr.NewQoEMPC(mpcCfg, cfg.Weights.Variation)
-	if err != nil {
-		return nil, err
-	}
-	rateCtl, err := abr.NewRateBased(cfg.RateSafety)
-	if err != nil {
-		return nil, err
-	}
-	estKind := cfg.Estimator
-	if estKind == 0 {
-		estKind = predict.EstimatorHarmonic
-	}
-	bw, err := predict.NewEstimator(estKind, cfg.BandwidthWindow)
-	if err != nil {
-		return nil, err
-	}
-	xs, ys := user.XYSeries()
-
-	// Fetch the catalogue's shared precomputed size tables; when disabled
-	// (determinism tests) the planners fall back to computing every size
-	// directly, which is the bit-identical serial reference path.
-	var tab *planTables
-	if !disablePlanTables {
-		tab, err = cat.tablesFor(&cfg)
+	for {
+		info, err := st.Step(state)
 		if err != nil {
 			return nil, err
 		}
+		if info.Done {
+			break
+		}
 	}
-
-	s := &session{
-		cfg: cfg, cat: cat, user: user, net: net,
-		pm: pm, mpc: mpc, qoeMPC: qoeMPC, rate: rateCtl, bw: bw,
-		tab: tab, xs: xs, ys: ys, fm: cfg.Encoder.FrameRate,
-	}
-	// Shared FoV coverage LUT (nil on grids too large for a TileSet — the
-	// planners then keep the direct FoVTiles paths) and the reusable
-	// viewport predictor. A config the predictor rejects is one Viewport
-	// would reject on every call, so predictViewport's trace fallback applies
-	// either way.
-	s.lut = geom.FoVLUTFor(cfg.Grid, cfg.FoVDeg, cfg.FoVDeg)
-	if vp, vpErr := predict.NewViewportPredictor(cfg.Viewport); vpErr == nil {
-		s.vp = vp
-	}
-	// One recycled plan per horizon slot; preallocated so held plan pointers
-	// are never invalidated by growth.
-	s.planBufs = make([]segmentPlan, cfg.Horizon+1)
-	return s.run()
-}
-
-func (s *session) run() (*Result, error) {
-	nSeg := len(s.cat.Content)
-	res := &Result{
-		Scheme:  s.cfg.Scheme,
-		Phone:   s.cfg.Phone,
-		VideoID: s.cat.Video.ID,
-		UserID:  s.user.UserID,
-	}
-	breakdowns := make([]qoe.Breakdown, 0, nSeg)
-
-	// Seed the bandwidth estimator with an initial probe (the paper's
-	// startup phase downloads segment metadata).
-	if err := s.bw.Observe(s.net.At(0)); err != nil {
-		return nil, err
-	}
-
-	for k := 0; k < nSeg; k++ {
-		// Wait rule: Δt = max(B − β, 0) before requesting segment k.
-		if dt := s.buffer - s.cfg.BufferCapSec; dt > 0 {
-			s.tWall += dt
-			s.buffer -= dt
-		}
-
-		rateEst, err := s.bw.Estimate()
-		if err != nil {
-			return nil, err
-		}
-
-		predCenter := s.predictViewport(k)
-		speedEst := s.recentSwitchingSpeed(k)
-
-		seg, err := s.segmentPlan(k, 0, predCenter, speedEst)
-		if err != nil {
-			return nil, err
-		}
-
-		// Only Ours runs the energy-minimizing MPC (Section IV-C). The Ptile
-		// baseline is "similar to the Ctile approach" (Section V-A): it
-		// requests the best quality the network affords, merely encoded as
-		// one large tile.
-		var decision abr.Decision
-		switch s.cfg.Scheme {
-		case SchemeOurs:
-			horizon, err := s.horizonPlans(k, predCenter, speedEst, seg)
-			if err != nil {
-				return nil, err
-			}
-			if s.cfg.UseQoEMPC {
-				prevQ := s.prevQ0
-				if !s.hasPrevQ0 {
-					prevQ = bestQuality(seg.options)
-				}
-				decision, err = s.qoeMPC.Decide(s.buffer, rateEst, prevQ, horizon)
-			} else {
-				decision, err = s.mpc.Decide(s.buffer, rateEst, horizon)
-			}
-			if err != nil {
-				return nil, err
-			}
-		default:
-			decision, err = s.rate.Decide(s.buffer, rateEst, seg.options)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if decision.Emergency {
-			res.Emergencies++
-		}
-		chosen := decision.Chosen
-		// Version hysteresis (Ours only): Eq. 2 charges |ΔQ| between
-		// consecutive segments, which the energy DP does not model. When
-		// last segment's version is still feasible and within a small energy
-		// margin of the fresh optimum, keep it to avoid quality flapping.
-		if s.cfg.VersionHysteresis && s.cfg.Scheme == SchemeOurs && !s.cfg.UseQoEMPC &&
-			s.hasPrev && !decision.Emergency {
-			chosen = s.applyHysteresis(seg.options, chosen, rateEst)
-		}
-		s.prevChoice = chosen.Option
-		s.hasPrev = true
-
-		// Download against the bandwidth trace.
-		bufferAtRequest := s.buffer
-		dl, err := s.net.DownloadTime(chosen.SizeBits, s.tWall)
-		if err != nil {
-			return nil, err
-		}
-		s.tWall += dl
-		measuredRate := chosen.SizeBits / dl
-		if dl <= 0 {
-			measuredRate = s.net.At(s.tWall)
-		}
-		if err := s.bw.Observe(measuredRate); err != nil {
-			return nil, err
-		}
-		s.buffer = math.Max(s.buffer-dl, 0) + s.cfg.SegmentSec
-
-		// Energy accounting (Eq. 1). Fallback segments decode with the
-		// conventional pipeline.
-		decSch := s.cfg.Scheme.decodeScheme()
-		if seg.fallback {
-			decSch = power.Ctile
-		}
-		e, err := s.pm.Segment(decSch, chosen.SizeBits, measuredRate, chosen.FrameRate, s.cfg.SegmentSec)
-		if err != nil {
-			return nil, err
-		}
-		res.Energy.Tx += e.Tx
-		res.Energy.Decode += e.Decode
-		res.Energy.Render += e.Render
-
-		// QoE accounting: the user perceives the chosen quality only if the
-		// downloaded high-quality region covers what they actually watch;
-		// otherwise they see the low-quality background.
-		q0, hit, err := s.perceivedQuality(k, seg, chosen)
-		if err != nil {
-			return nil, err
-		}
-		if hit {
-			res.ViewportHits++
-		}
-		prev := q0
-		if s.hasPrevQ0 {
-			prev = s.prevQ0
-		}
-		// The startup download (k = 0, empty buffer) is excluded from
-		// rebuffering, as is standard in ABR evaluation.
-		qoeBuffer := bufferAtRequest
-		if k == 0 {
-			qoeBuffer = dl + 1
-		}
-		bd, err := qoe.Segment(qoe.SegmentInput{
-			Q0: q0, PrevQ0: prev,
-			SizeBits: chosen.SizeBits, RateBps: measuredRate,
-			BufferSec: qoeBuffer,
-		}, s.cfg.Weights)
-		if err != nil {
-			return nil, err
-		}
-		breakdowns = append(breakdowns, bd)
-		s.prevQ0 = q0
-		s.hasPrevQ0 = true
-
-		res.BitsDownloaded += chosen.SizeBits
-		res.MeanQuality += float64(chosen.Quality)
-		res.MeanFrameRate += chosen.FrameRate
-		if !seg.fallback && (s.cfg.Scheme == SchemePtile || s.cfg.Scheme == SchemeOurs) {
-			res.PtileSegments++
-		}
-		if s.cfg.RecordSegments {
-			res.PerSegment = append(res.PerSegment, SegmentTrace{
-				Segment:       k,
-				Quality:       chosen.Quality,
-				FrameRate:     chosen.FrameRate,
-				SizeBits:      chosen.SizeBits,
-				ThroughputBps: measuredRate,
-				BufferSec:     bufferAtRequest,
-				Q0:            q0,
-				Q:             bd.Q,
-				StallSec:      bd.StallSec,
-				EnergyMJ:      e.Total(),
-				FromPtile:     !seg.fallback && (s.cfg.Scheme == SchemePtile || s.cfg.Scheme == SchemeOurs),
-				Emergency:     decision.Emergency,
-			})
-		}
-		res.Segments++
-	}
-
-	summary, err := qoe.Summarize(breakdowns)
-	if err != nil {
-		return nil, err
-	}
-	res.QoE = summary
-	res.MeanQuality /= float64(res.Segments)
-	res.MeanFrameRate /= float64(res.Segments)
-	return res, nil
+	return st.Finish(state)
 }
 
 // predictViewport estimates the viewing center for segment k's playback
