@@ -1,0 +1,83 @@
+// Command benchbudget enforces the CI performance budget: it compares a
+// fresh scripts/bench.sh record against the committed baseline and fails
+// when any benchmark's cost regressed past tolerance.
+//
+// Usage:
+//
+//	go run ./cmd/benchbudget -baseline BENCH_2026-08-08.json -fresh /tmp/bench-fresh.json
+//
+// Benchmarks are matched by (name, GOMAXPROCS); series present on only one
+// side are ignored (use -allow-unmatched to also tolerate zero matches,
+// e.g. while bootstrapping a new baseline file). Tolerances are fractions
+// of the baseline value; a negative tolerance disables that metric.
+// allocs/op is the hard, machine-independent budget — ns/op defaults loose
+// because wall time shifts between machines.
+//
+// Override knob: setting BENCH_BUDGET_SKIP=1 in the environment skips the
+// gate entirely (exit 0 with a warning). Use it for commits that knowingly
+// trade benchmark cost for something else; the next committed BENCH_*.json
+// then becomes the new baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ptile360/internal/benchrecord"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		baseline       = flag.String("baseline", "", "committed baseline BENCH_*.json (JSONL)")
+		fresh          = flag.String("fresh", "", "fresh bench.sh record to check (JSONL)")
+		nsTol          = flag.Float64("ns-tol", 0.10, "ns/op regression tolerance as a fraction of baseline (negative disables)")
+		allocTol       = flag.Float64("alloc-tol", 0.10, "allocs/op regression tolerance as a fraction of baseline (negative disables)")
+		allowUnmatched = flag.Bool("allow-unmatched", false, "exit 0 even when no benchmark series matched the baseline")
+	)
+	flag.Parse()
+
+	if os.Getenv("BENCH_BUDGET_SKIP") == "1" {
+		fmt.Fprintln(os.Stderr, "benchbudget: BENCH_BUDGET_SKIP=1 — budget gate skipped")
+		return 0
+	}
+	if *baseline == "" || *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchbudget: -baseline and -fresh are required")
+		return 2
+	}
+	base, err := benchrecord.ParseFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchbudget: baseline: %v\n", err)
+		return 2
+	}
+	cand, err := benchrecord.ParseFile(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchbudget: fresh: %v\n", err)
+		return 2
+	}
+	viols, matched := benchrecord.Compare(base, cand, benchrecord.Budget{
+		NsTolerance:    *nsTol,
+		AllocTolerance: *allocTol,
+	})
+	fmt.Fprintf(os.Stderr, "benchbudget: %d series compared against %s (ns-tol %.2f, alloc-tol %.2f)\n",
+		matched, *baseline, *nsTol, *allocTol)
+	if matched == 0 && !*allowUnmatched {
+		fmt.Fprintln(os.Stderr, "benchbudget: no benchmark series matched the baseline — "+
+			"check the regex/GOMAXPROCS, or pass -allow-unmatched when bootstrapping")
+		return 1
+	}
+	if len(viols) > 0 {
+		fmt.Fprintf(os.Stderr, "benchbudget: %d budget violation(s):\n", len(viols))
+		for _, v := range viols {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", v)
+		}
+		fmt.Fprintln(os.Stderr, "benchbudget: set BENCH_BUDGET_SKIP=1 to override for an intentional trade-off")
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "benchbudget: within budget")
+	return 0
+}

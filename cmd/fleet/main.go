@@ -41,6 +41,7 @@ type summary struct {
 	Sessions       int     `json:"sessions"`
 	Shards         int     `json:"shards"`
 	Workers        int     `json:"workers"`
+	Planner        string  `json:"planner"`
 	Scheme         string  `json:"scheme"`
 	Video          int     `json:"video"`
 	NetProfile     string  `json:"net_profile"`
@@ -56,6 +57,9 @@ type summary struct {
 	MeanQoE        float64 `json:"mean_qoe"`
 	BitsDownloaded float64 `json:"bits_downloaded"`
 	Events         int     `json:"events"`
+	BatchLeaders   int     `json:"batch_leaders"`
+	BatchReplays   int     `json:"batch_replays"`
+	BatchFallbacks int     `json:"batch_fallbacks"`
 	WallSec        float64 `json:"wall_sec"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	GoroutinePeak  int     `json:"goroutine_peak"`
@@ -78,6 +82,7 @@ func run() int {
 		scheme      = flag.String("scheme", "Ptile", "streaming scheme (Ctile, Ftile, Nontile, Ptile, Ours)")
 		netProfile  = flag.String("net", "walking", "LTE mobility profile: stationary, walking, driving")
 		vpUpdate    = flag.Float64("viewport-update", 0.5, "virtual seconds between head-pose refresh events (0 disables)")
+		plannerStr  = flag.String("planner", "batched", "fleet planner: batched (share work across decision-identical sessions) or scalar (plan every session independently)")
 		logCfg      = obs.LogFlags(nil)
 	)
 	flag.Parse()
@@ -96,6 +101,11 @@ func run() int {
 	}
 	if sch == 0 {
 		logger.Error("unknown scheme", "scheme", *scheme)
+		return 2
+	}
+	planner, err := fleet.ParsePlanner(*plannerStr)
+	if err != nil {
+		logger.Error("unknown planner", "planner", *plannerStr, "err", err)
 		return 2
 	}
 	var prof lte.Profile
@@ -177,6 +187,7 @@ func run() int {
 		Workers:           *workers,
 		ViewportUpdateSec: *vpUpdate,
 		Registry:          reg,
+		Planner:           planner,
 	}, specs)
 	if err != nil {
 		logger.Error("engine construction failed", "err", err)
@@ -193,7 +204,8 @@ func run() int {
 	}
 
 	logger.Info("fleet starting", "sessions", *sessions, "shards", *shards,
-		"workers", *workers, "scheme", sch.String(), "duration_sec", *duration)
+		"workers", *workers, "scheme", sch.String(), "planner", planner.String(),
+		"duration_sec", *duration)
 	start := time.Now()
 	peak := runtime.NumGoroutine()
 	// Advance in bounded virtual-time chunks so the published metrics (and
@@ -232,6 +244,7 @@ func run() int {
 		Sessions:       *sessions,
 		Shards:         *shards,
 		Workers:        *workers,
+		Planner:        planner.String(),
 		Scheme:         sch.String(),
 		Video:          *videoID,
 		NetProfile:     *netProfile,
@@ -247,6 +260,9 @@ func run() int {
 		MeanQoE:        meanQoE,
 		BitsDownloaded: led.Bits,
 		Events:         led.Events,
+		BatchLeaders:   led.BatchLeaders,
+		BatchReplays:   led.BatchReplays,
+		BatchFallbacks: led.BatchFallbacks,
 		WallSec:        wall,
 		EventsPerSec:   float64(led.Events) / wall,
 		GoroutinePeak:  peak,
@@ -258,7 +274,9 @@ func run() int {
 	}
 	logger.Info("fleet done",
 		"finished", led.Finished, "segments", led.Segments,
-		"events", led.Events, "wall_sec", fmt.Sprintf("%.2f", wall),
+		"events", led.Events, "planner", planner.String(),
+		"batch_replays", led.BatchReplays,
+		"wall_sec", fmt.Sprintf("%.2f", wall),
 		"events_per_sec", fmt.Sprintf("%.0f", float64(led.Events)/wall),
 		"goroutine_peak", peak)
 	return 0

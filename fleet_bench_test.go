@@ -85,7 +85,7 @@ func buildFleetBenchFixture() (*fleetBenchFixture, error) {
 	return &fleetBenchFixture{cat: cat, eval: eval, net: net, cfg: cfg}, nil
 }
 
-func newFleetBenchEngine(b *testing.B, fx *fleetBenchFixture, sessions int) *fleet.Engine {
+func newFleetBenchEngine(b *testing.B, fx *fleetBenchFixture, sessions int, planner fleet.PlannerMode) *fleet.Engine {
 	b.Helper()
 	specs := make([]fleet.SessionSpec, sessions)
 	for i := range specs {
@@ -99,6 +99,7 @@ func newFleetBenchEngine(b *testing.B, fx *fleetBenchFixture, sessions int) *fle
 		Catalog: fx.cat,
 		Sim:     fx.cfg,
 		Shards:  runtime.GOMAXPROCS(0),
+		Planner: planner,
 	}, specs)
 	if err != nil {
 		b.Fatal(err)
@@ -106,9 +107,9 @@ func newFleetBenchEngine(b *testing.B, fx *fleetBenchFixture, sessions int) *fle
 	return eng
 }
 
-func benchmarkFleetTick(b *testing.B, sessions int) {
+func benchmarkFleetTick(b *testing.B, sessions int, planner fleet.PlannerMode) {
 	fx := fleetBenchFixtureOnce(b)
-	eng := newFleetBenchEngine(b, fx, sessions)
+	eng := newFleetBenchEngine(b, fx, sessions, planner)
 	b.ReportAllocs()
 	b.ResetTimer()
 	horizon := 0.0
@@ -118,7 +119,7 @@ func benchmarkFleetTick(b *testing.B, sessions int) {
 			// Fleet drained: rebuild off the clock and keep ticking.
 			b.StopTimer()
 			events += eng.Ledger().Events
-			eng = newFleetBenchEngine(b, fx, sessions)
+			eng = newFleetBenchEngine(b, fx, sessions, planner)
 			horizon = 0
 			b.StartTimer()
 		}
@@ -133,6 +134,13 @@ func benchmarkFleetTick(b *testing.B, sessions int) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
-func BenchmarkFleetTick10k(b *testing.B)  { benchmarkFleetTick(b, 10_000) }
-func BenchmarkFleetTick100k(b *testing.B) { benchmarkFleetTick(b, 100_000) }
-func BenchmarkFleetTick1M(b *testing.B)   { benchmarkFleetTick(b, 1_000_000) }
+func BenchmarkFleetTick10k(b *testing.B)  { benchmarkFleetTick(b, 10_000, fleet.PlannerBatched) }
+func BenchmarkFleetTick100k(b *testing.B) { benchmarkFleetTick(b, 100_000, fleet.PlannerBatched) }
+func BenchmarkFleetTick1M(b *testing.B)   { benchmarkFleetTick(b, 1_000_000, fleet.PlannerBatched) }
+
+// BenchmarkFleetTick100kScalar is the per-session reference planner at the
+// 100k scale — the before/after denominator for the batched planner's
+// speedup, kept as a live benchmark so the comparison never goes stale.
+func BenchmarkFleetTick100kScalar(b *testing.B) {
+	benchmarkFleetTick(b, 100_000, fleet.PlannerScalar)
+}

@@ -1,0 +1,213 @@
+package abr
+
+import "math"
+
+// This file is the controller half of the batched cross-session planner:
+// a memo table that lets one DP solve serve every session whose decision
+// inputs are bit-identical. At fleet scale, thousands of sessions share a
+// handful of (buffer, rate, horizon) states per segment tick — the stage
+// tables for such a group are identical, so the controller runs once and
+// every other member resolves by lookup.
+//
+// Correctness rests on exact equality, not approximation: a cache key is
+// the Float64bits of every input the DP reads (buffer, rate, previous
+// quality, and the full horizon option metadata), so a hit returns the very
+// Decision the scalar Decide call would have computed — bit for bit. Keys
+// that merely hash alike are separated by a full word comparison, never
+// merged. Sharing the *backward DP tables* across nearby-but-unequal states
+// was considered and rejected: regrouping the stage sums reassociates
+// floating-point addition and breaks bit-identity with the per-session path
+// (see DESIGN.md).
+
+// DecisionCache memoizes controller decisions under exact input equality.
+// It is scratch, not a long-lived store: Reset it at each planning tick
+// (horizon metadata is only comparable within a tick, because plan buffers
+// are recycled). A cache must only be shared by controller instances with
+// identical configurations — in practice, give each planning worker its own
+// cache and its own controllers, as sim.Stepper does. Not safe for
+// concurrent use.
+type DecisionCache struct {
+	words   []uint64 // flattened stored keys
+	keyBuf  []uint64 // scratch for the key being probed
+	entries []cacheEntry
+	table   map[uint64]int32 // key hash → first entry index
+	hits    int
+	misses  int
+}
+
+// cacheEntry is one memoized decision; entries with equal hashes chain.
+type cacheEntry struct {
+	off, n int32
+	next   int32
+	dec    Decision
+}
+
+// Controller tags keep decisions from different controller types apart.
+const (
+	cacheTagEnergy uint64 = 1 + iota
+	cacheTagQoE
+	cacheTagRate
+)
+
+// NewDecisionCache returns an empty cache.
+func NewDecisionCache() *DecisionCache {
+	return &DecisionCache{table: make(map[uint64]int32)}
+}
+
+// Reset empties the cache, keeping its storage for reuse.
+func (c *DecisionCache) Reset() {
+	c.words = c.words[:0]
+	c.entries = c.entries[:0]
+	clear(c.table)
+	c.hits, c.misses = 0, 0
+}
+
+// Stats reports lookups served from the cache and lookups that ran the
+// scalar controller, since the last Reset.
+func (c *DecisionCache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// appendHorizon appends the option metadata the DP reads: every word of
+// every option, per segment. Two horizons with equal words drive the DP
+// through identical arithmetic.
+func appendHorizon(dst []uint64, horizon []SegmentMeta) []uint64 {
+	dst = append(dst, uint64(len(horizon)))
+	for _, seg := range horizon {
+		dst = append(dst, uint64(len(seg.Options)))
+		for _, o := range seg.Options {
+			dst = append(dst,
+				uint64(o.Quality),
+				math.Float64bits(o.FrameRate),
+				math.Float64bits(o.SizeBits),
+				math.Float64bits(o.PerceivedQuality),
+				math.Float64bits(o.ProcPowerMW),
+			)
+		}
+	}
+	return dst
+}
+
+func cacheHash(words []uint64) uint64 {
+	// FNV-1a folded over the words, with a final avalanche so map buckets
+	// spread even when keys differ only in low bits.
+	h := uint64(1469598103934665603)
+	for _, w := range words {
+		h ^= w
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds the entry matching key, or returns the chain tail (-1 when
+// the hash is unseen) for linking.
+func (c *DecisionCache) lookup(hash uint64, key []uint64) (idx, tail int32, ok bool) {
+	ei, seen := c.table[hash]
+	if !seen {
+		return -1, -1, false
+	}
+	for {
+		e := &c.entries[ei]
+		if wordsEqual(c.words[e.off:e.off+e.n], key) {
+			return ei, -1, true
+		}
+		if e.next < 0 {
+			return -1, ei, false
+		}
+		ei = e.next
+	}
+}
+
+// store memoizes a decision under the probed key.
+func (c *DecisionCache) store(hash uint64, tail int32, key []uint64, dec Decision) {
+	off := int32(len(c.words))
+	c.words = append(c.words, key...)
+	c.entries = append(c.entries, cacheEntry{off: off, n: int32(len(key)), next: -1, dec: dec})
+	ni := int32(len(c.entries) - 1)
+	if tail >= 0 {
+		c.entries[tail].next = ni
+	} else {
+		c.table[hash] = ni
+	}
+}
+
+// decide is the shared memoization wrapper: probe with the prepared key,
+// fall through to the scalar controller on a miss. Errors are never cached —
+// a failing input re-runs the scalar path so the caller sees its exact
+// error.
+func (c *DecisionCache) decide(key []uint64, scalar func() (Decision, error)) (Decision, error) {
+	hash := cacheHash(key)
+	ei, tail, ok := c.lookup(hash, key)
+	if ok {
+		c.hits++
+		return c.entries[ei].dec, nil
+	}
+	dec, err := scalar()
+	if err != nil {
+		return dec, err
+	}
+	c.misses++
+	c.store(hash, tail, key, dec)
+	return dec, nil
+}
+
+// DecideCached is Decide memoized through c: bit-identical to Decide for
+// every input, one DP run per distinct (buffer, rate, horizon) since the
+// cache's last Reset. A nil cache degrades to the scalar path.
+func (m *EnergyMPC) DecideCached(c *DecisionCache, bufferSec, rateBps float64, horizon []SegmentMeta) (Decision, error) {
+	if c == nil {
+		return m.Decide(bufferSec, rateBps, horizon)
+	}
+	key := append(c.keyBuf[:0], cacheTagEnergy, math.Float64bits(bufferSec), math.Float64bits(rateBps))
+	key = appendHorizon(key, horizon)
+	c.keyBuf = key
+	return c.decide(key, func() (Decision, error) { return m.Decide(bufferSec, rateBps, horizon) })
+}
+
+// DecideCached is Decide memoized through c; see EnergyMPC.DecideCached.
+func (m *QoEMPC) DecideCached(c *DecisionCache, bufferSec, rateBps, prevQuality float64, horizon []SegmentMeta) (Decision, error) {
+	if c == nil {
+		return m.Decide(bufferSec, rateBps, prevQuality, horizon)
+	}
+	key := append(c.keyBuf[:0], cacheTagQoE,
+		math.Float64bits(bufferSec), math.Float64bits(rateBps), math.Float64bits(prevQuality))
+	key = appendHorizon(key, horizon)
+	c.keyBuf = key
+	return c.decide(key, func() (Decision, error) { return m.Decide(bufferSec, rateBps, prevQuality, horizon) })
+}
+
+// DecideCached is Decide memoized through c; see EnergyMPC.DecideCached.
+// The greedy baseline is cheap enough that this mostly exists so every
+// controller offers the same batch API.
+func (r *RateBased) DecideCached(c *DecisionCache, bufferSec, rateBps float64, options []OptionMeta) (Decision, error) {
+	if c == nil {
+		return r.Decide(bufferSec, rateBps, options)
+	}
+	key := append(c.keyBuf[:0], cacheTagRate,
+		math.Float64bits(bufferSec), math.Float64bits(rateBps), math.Float64bits(r.Safety),
+		uint64(len(options)))
+	for _, o := range options {
+		key = append(key,
+			uint64(o.Quality),
+			math.Float64bits(o.FrameRate),
+			math.Float64bits(o.SizeBits),
+			math.Float64bits(o.PerceivedQuality),
+			math.Float64bits(o.ProcPowerMW),
+		)
+	}
+	c.keyBuf = key
+	return c.decide(key, func() (Decision, error) { return r.Decide(bufferSec, rateBps, options) })
+}

@@ -1,0 +1,189 @@
+package abr
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDecideCachedBitIdentical pins DecideCached to the scalar Decide for
+// all three controllers across a sweep of inputs: identical Decision values
+// (floats by bits), both on cache misses and on hits.
+func TestDecideCachedBitIdentical(t *testing.T) {
+	opts := makeOptions(allRates())
+	h := horizon(5, opts)
+	energy := mustMPC(t)
+	qoe := mustQoEMPC(t)
+	rate, err := NewRateBased(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buffers := []float64{0, 0.7, 2.0, 4.0}
+	rates := []float64{1.5e6, 4e6, 9.7e6}
+	c := NewDecisionCache()
+	// Two passes: the second resolves every input from the cache.
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range buffers {
+			for _, r := range rates {
+				want, err := energy.Decide(b, r, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := energy.DecideCached(c, b, r, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("pass %d energy(%g,%g): cached %+v != scalar %+v", pass, b, r, got, want)
+				}
+
+				want, err = qoe.Decide(b, r, 35, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err = qoe.DecideCached(c, b, r, 35, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("pass %d qoe(%g,%g): cached %+v != scalar %+v", pass, b, r, got, want)
+				}
+
+				want, err = rate.Decide(b, r, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err = rate.DecideCached(c, b, r, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("pass %d rate(%g,%g): cached %+v != scalar %+v", pass, b, r, got, want)
+				}
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	n := 3 * len(buffers) * len(rates)
+	if misses != n || hits != n {
+		t.Fatalf("want %d misses then %d hits, got misses=%d hits=%d", n, n, misses, hits)
+	}
+
+	// A nil cache is exactly the scalar path.
+	want, err := energy.Decide(2, 4e6, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := energy.DecideCached(nil, 2, 4e6, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nil-cache DecideCached %+v != Decide %+v", got, want)
+	}
+}
+
+// TestDecideCachedKeysDisjoint checks near-miss inputs resolve separately:
+// controllers with equal numeric inputs, and inputs differing in a single
+// bit, must not share an entry.
+func TestDecideCachedKeysDisjoint(t *testing.T) {
+	opts := makeOptions(fullRate())
+	h := horizon(3, opts)
+	energy := mustMPC(t)
+	c := NewDecisionCache()
+
+	if _, err := energy.DecideCached(c, 2, 4e6, h); err != nil {
+		t.Fatal(err)
+	}
+	// One ULP away: must be a fresh miss, not a hit.
+	nudged := math.Nextafter(4e6, 5e6)
+	if _, err := energy.DecideCached(c, 2, nudged, h); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("ULP-distinct inputs must miss separately: hits=%d misses=%d", hits, misses)
+	}
+	// Same numbers through a different controller tag: also distinct.
+	rate, err := NewRateBased(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rate.DecideCached(c, 2, 4e6, opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses = c.Stats(); hits != 0 || misses != 3 {
+		t.Fatalf("controller tags must separate keys: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestDecisionCacheChainCollision drives the internal chain path directly:
+// two different keys stored under one forced hash must both resolve by the
+// exact word comparison.
+func TestDecisionCacheChainCollision(t *testing.T) {
+	c := NewDecisionCache()
+	keyA := []uint64{1, 2, 3}
+	keyB := []uint64{1, 2, 4}
+	const hash = uint64(0xdeadbeef)
+	decA := Decision{PlanEnergyMJ: 1}
+	decB := Decision{PlanEnergyMJ: 2}
+
+	if _, _, ok := c.lookup(hash, keyA); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.store(hash, -1, keyA, decA)
+	_, tail, ok := c.lookup(hash, keyB)
+	if ok {
+		t.Fatal("keyB must miss while only keyA is stored")
+	}
+	c.store(hash, tail, keyB, decB)
+
+	ia, _, okA := c.lookup(hash, keyA)
+	ib, _, okB := c.lookup(hash, keyB)
+	if !okA || !okB {
+		t.Fatalf("chained keys must both hit: %v %v", okA, okB)
+	}
+	if c.entries[ia].dec != decA || c.entries[ib].dec != decB {
+		t.Fatalf("chain returned wrong decisions: %+v %+v", c.entries[ia].dec, c.entries[ib].dec)
+	}
+}
+
+// TestDecideCachedErrorNotCached checks a failing input re-runs the scalar
+// controller every time and pollutes nothing.
+func TestDecideCachedErrorNotCached(t *testing.T) {
+	energy := mustMPC(t)
+	h := horizon(3, makeOptions(fullRate()))
+	c := NewDecisionCache()
+	for i := 0; i < 2; i++ {
+		if _, err := energy.DecideCached(c, 2, -1, h); err == nil {
+			t.Fatal("want error for non-positive rate")
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("errors must not touch the cache: hits=%d misses=%d", hits, misses)
+	}
+	if len(c.entries) != 0 {
+		t.Fatalf("errors must not store entries: %d", len(c.entries))
+	}
+}
+
+// TestDecisionCacheReset checks Reset empties occupancy but keeps storage.
+func TestDecisionCacheReset(t *testing.T) {
+	energy := mustMPC(t)
+	h := horizon(3, makeOptions(fullRate()))
+	c := NewDecisionCache()
+	if _, err := energy.DecideCached(c, 2, 4e6, h); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("Reset must clear stats: %d %d", hits, misses)
+	}
+	if _, err := energy.DecideCached(c, 2, 4e6, h); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("post-Reset lookup must miss: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -1,0 +1,180 @@
+// Package benchrecord parses the JSONL benchmark records written by
+// scripts/bench.sh and compares two of them under a performance budget.
+// It is the library half of the CI bench-budget gate (cmd/benchbudget):
+// the committed BENCH_*.json files are the baseline, a fresh run is the
+// candidate, and Compare reports every benchmark whose cost regressed past
+// tolerance.
+package benchrecord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Record is one bench.sh invocation: a label, provenance, and the parsed
+// benchmark results.
+type Record struct {
+	Label      string   `json:"label"`
+	Time       string   `json:"time"`
+	Commit     string   `json:"commit"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Parse reads JSONL records. Blank lines are skipped; a malformed line is an
+// error (a truncated record must not silently shrink the baseline).
+func Parse(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("benchrecord: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ParseFile reads JSONL records from a file.
+func ParseFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Key identifies one benchmark series: the bare benchmark name (the
+// go-test "-N" procs suffix stripped) and the GOMAXPROCS it ran under.
+// Costs are only comparable at equal parallelism, so the procs value is
+// part of the identity.
+type Key struct {
+	Name  string
+	Procs int
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s@%dprocs", k.Name, k.Procs) }
+
+// bareName strips go test's "-N" GOMAXPROCS suffix from a benchmark name.
+func bareName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		digits := name[i+1:]
+		if digits != "" && strings.Trim(digits, "0123456789") == "" {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Latest folds records into the newest result per series — records are in
+// file order (bench.sh appends), so last wins. A re-run of a benchmark in a
+// later record supersedes the earlier one.
+func Latest(recs []Record) map[Key]Result {
+	out := make(map[Key]Result)
+	for _, rec := range recs {
+		for _, res := range rec.Results {
+			out[Key{Name: bareName(res.Name), Procs: rec.GoMaxProcs}] = res
+		}
+	}
+	return out
+}
+
+// Budget sets the per-metric regression tolerances as fractions of the
+// baseline (0.10 = fail if >10% worse). A negative tolerance disables that
+// metric's check.
+type Budget struct {
+	// NsTolerance bounds ns/op growth. Wall-time budgets are machine-
+	// sensitive; CI uses a loose value as a catastrophe guard.
+	NsTolerance float64
+	// AllocTolerance bounds allocs/op growth. Allocation counts are
+	// machine-independent, so this is the hard budget. Growth within ±1
+	// alloc/op is always tolerated (integer reporting jitter).
+	AllocTolerance float64
+}
+
+// Violation is one benchmark metric that exceeded its budget.
+type Violation struct {
+	Key    Key
+	Metric string
+	// Base and Fresh are the baseline and candidate values; Limit is the
+	// largest Fresh the budget allowed.
+	Base, Fresh, Limit float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (limit %.6g)", v.Key, v.Metric, v.Base, v.Fresh, v.Limit)
+}
+
+// Compare checks every series present in both baseline and fresh against
+// the budget, returning the violations (deterministically ordered) and the
+// number of series compared. Series missing from either side are skipped —
+// the caller decides whether zero matches is an error.
+func Compare(base, fresh []Record, b Budget) ([]Violation, int) {
+	bl, fl := Latest(base), Latest(fresh)
+	keys := make([]Key, 0, len(fl))
+	for k := range fl {
+		if _, ok := bl[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Procs < keys[j].Procs
+	})
+	var out []Violation
+	for _, k := range keys {
+		bres, fres := bl[k], fl[k]
+		out = appendViolation(out, k, "ns/op", bres, fres, b.NsTolerance, 0)
+		out = appendViolation(out, k, "allocs/op", bres, fres, b.AllocTolerance, 1)
+	}
+	return out, len(keys)
+}
+
+// appendViolation applies one metric budget: fail when fresh exceeds
+// base*(1+tol) by more than absSlack. Metrics absent on either side are
+// skipped (not every benchmark reports every metric).
+func appendViolation(out []Violation, k Key, metric string, base, fresh Result, tol, absSlack float64) []Violation {
+	if tol < 0 {
+		return out
+	}
+	bv, bok := base.Metrics[metric]
+	fv, fok := fresh.Metrics[metric]
+	if !bok || !fok {
+		return out
+	}
+	limit := bv*(1+tol) + absSlack
+	if fv > limit {
+		out = append(out, Violation{Key: k, Metric: metric, Base: bv, Fresh: fv, Limit: limit})
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package benchrecord
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBase = `{"label":"before","time":"2026-08-08T00:00:00Z","commit":"abc1234","gomaxprocs":1,"results":[{"name":"BenchmarkFleetTick100k","iters":2,"metrics":{"ns/op":400000000,"allocs/op":100000,"events/sec":225000}},{"name":"BenchmarkFleetTick1M","iters":1,"metrics":{"ns/op":9000000000,"allocs/op":1150000}}]}
+{"label":"before","time":"2026-08-08T01:00:00Z","commit":"abc1234","gomaxprocs":4,"results":[{"name":"BenchmarkFleetTick100k-4","iters":2,"metrics":{"ns/op":150000000,"allocs/op":100500}}]}
+`
+
+func mustParse(t *testing.T, s string) []Record {
+	t.Helper()
+	recs, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestParseAndLatest(t *testing.T) {
+	recs := mustParse(t, sampleBase)
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(recs))
+	}
+	if recs[0].Commit != "abc1234" || recs[1].GoMaxProcs != 4 {
+		t.Fatalf("record fields wrong: %+v", recs)
+	}
+	latest := Latest(recs)
+	// The -4 procs suffix is stripped; procs comes from the record.
+	if _, ok := latest[Key{"BenchmarkFleetTick100k", 4}]; !ok {
+		t.Fatalf("missing 4-procs series: %v", latest)
+	}
+	if _, ok := latest[Key{"BenchmarkFleetTick100k", 1}]; !ok {
+		t.Fatalf("missing 1-proc series: %v", latest)
+	}
+
+	// Last record wins for a re-run series.
+	rerun := sampleBase + `{"label":"again","time":"2026-08-08T02:00:00Z","commit":"abc1234","gomaxprocs":1,"results":[{"name":"BenchmarkFleetTick100k","iters":3,"metrics":{"ns/op":390000000,"allocs/op":99000}}]}` + "\n"
+	latest = Latest(mustParse(t, rerun))
+	if got := latest[Key{"BenchmarkFleetTick100k", 1}].Metrics["allocs/op"]; got != 99000 {
+		t.Fatalf("last record must win: allocs/op = %g, want 99000", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("{\"label\":\"ok\"}\nnot json\n")); err == nil {
+		t.Fatal("want error for malformed line")
+	}
+	recs := mustParse(t, "\n\n") // blank lines are fine
+	if len(recs) != 0 {
+		t.Fatalf("blank input parsed to %d records", len(recs))
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(sampleBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(recs))
+	}
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := mustParse(t, sampleBase)
+	budget := Budget{NsTolerance: 0.10, AllocTolerance: 0.10}
+
+	// Within budget: slightly slower, same allocs.
+	ok := `{"label":"fresh","time":"t","commit":"def","gomaxprocs":1,"results":[{"name":"BenchmarkFleetTick100k","iters":2,"metrics":{"ns/op":420000000,"allocs/op":100001}}]}`
+	viols, matched := Compare(base, mustParse(t, ok), budget)
+	if matched != 1 || len(viols) != 0 {
+		t.Fatalf("within-budget run flagged: matched=%d viols=%v", matched, viols)
+	}
+
+	// Over budget on both metrics.
+	bad := `{"label":"fresh","time":"t","commit":"def","gomaxprocs":1,"results":[{"name":"BenchmarkFleetTick100k","iters":2,"metrics":{"ns/op":480000000,"allocs/op":140000}},{"name":"BenchmarkFleetTick1M","iters":1,"metrics":{"ns/op":9100000000,"allocs/op":1150000}}]}`
+	viols, matched = Compare(base, mustParse(t, bad), budget)
+	if matched != 2 {
+		t.Fatalf("matched %d series, want 2", matched)
+	}
+	if len(viols) != 2 {
+		t.Fatalf("want 2 violations (ns + allocs on 100k), got %v", viols)
+	}
+	if viols[0].Metric != "ns/op" || viols[1].Metric != "allocs/op" {
+		t.Fatalf("violation order/metrics wrong: %v", viols)
+	}
+	if !strings.Contains(viols[0].String(), "BenchmarkFleetTick100k@1procs") {
+		t.Fatalf("violation string unhelpful: %s", viols[0])
+	}
+
+	// Negative tolerance disables a metric.
+	viols, _ = Compare(base, mustParse(t, bad), Budget{NsTolerance: -1, AllocTolerance: 0.10})
+	if len(viols) != 1 || viols[0].Metric != "allocs/op" {
+		t.Fatalf("disabled ns/op still checked: %v", viols)
+	}
+
+	// Different procs never match each other.
+	procs16 := `{"label":"fresh","time":"t","commit":"def","gomaxprocs":16,"results":[{"name":"BenchmarkFleetTick100k-16","iters":2,"metrics":{"ns/op":1,"allocs/op":1}}]}`
+	if _, matched := Compare(base, mustParse(t, procs16), budget); matched != 0 {
+		t.Fatalf("16-procs run matched a 1/4-procs baseline: %d", matched)
+	}
+
+	// ±1 alloc jitter is tolerated even at zero tolerance.
+	jbase := `{"label":"b","time":"t","commit":"x","gomaxprocs":1,"results":[{"name":"BenchmarkTiny","iters":1,"metrics":{"allocs/op":0}}]}`
+	jfresh := `{"label":"f","time":"t","commit":"y","gomaxprocs":1,"results":[{"name":"BenchmarkTiny","iters":1,"metrics":{"allocs/op":1}}]}`
+	if viols, _ := Compare(mustParse(t, jbase), mustParse(t, jfresh), Budget{AllocTolerance: 0}); len(viols) != 0 {
+		t.Fatalf("1-alloc jitter flagged: %v", viols)
+	}
+}
+
+func TestBareName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFleetTick100k-4":  "BenchmarkFleetTick100k",
+		"BenchmarkFleetTick100k-16": "BenchmarkFleetTick100k",
+		"BenchmarkFleetTick100k":    "BenchmarkFleetTick100k",
+		"BenchmarkFleetTick1M":      "BenchmarkFleetTick1M",
+		"Benchmark-x":               "Benchmark-x",
+	}
+	for in, want := range cases {
+		if got := bareName(in); got != want {
+			t.Fatalf("bareName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
@@ -25,6 +27,43 @@ type SessionSpec struct {
 	// LeaveAfterSegments truncates the session after this many segments;
 	// zero streams the whole catalogue.
 	LeaveAfterSegments int
+}
+
+// PlannerMode selects how a shard plans the sessions that fire at one
+// virtual instant.
+type PlannerMode int
+
+// Planner modes.
+const (
+	// PlannerBatched (default) pops each run of same-timestamp decision
+	// events as one batch and plans it with sim.StepBatch: sessions in
+	// bit-identical residual state share one controller solve. Results are
+	// bit-identical to PlannerScalar (see TestBatchedPlannerMatchesScalar).
+	PlannerBatched PlannerMode = iota
+	// PlannerScalar plans every session independently — the reference path.
+	PlannerScalar
+)
+
+// String names the mode for logs and flags.
+func (m PlannerMode) String() string {
+	switch m {
+	case PlannerBatched:
+		return "batched"
+	case PlannerScalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("PlannerMode(%d)", int(m))
+}
+
+// ParsePlanner maps a flag string to a PlannerMode.
+func ParsePlanner(s string) (PlannerMode, error) {
+	switch s {
+	case "batched":
+		return PlannerBatched, nil
+	case "scalar":
+		return PlannerScalar, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown planner %q (want batched or scalar)", s)
 }
 
 // Config tunes the fleet engine.
@@ -50,6 +89,12 @@ type Config struct {
 	ViewportUpdateSec float64
 	// Registry receives the fleet metrics; nil creates a private registry.
 	Registry *obs.Registry
+	// Planner selects batched (default) or per-session scalar planning.
+	Planner PlannerMode
+	// BatchNoQuant disables the quantized bucket hash in the batched
+	// planner's grouping (sim.BatchOptions.NoQuant). Diagnostic only:
+	// results are identical either way.
+	BatchNoQuant bool
 }
 
 // Ledger is the fleet-wide accounting roll-up. Integer fields are exact;
@@ -76,6 +121,14 @@ type Ledger struct {
 	// Events counts every processed event; EventsByKind splits it by Kind.
 	Events       int
 	EventsByKind [5]int
+	// BatchLeaders, BatchReplays, and BatchFallbacks decompose the batched
+	// planner's steps: full scalar plans run on behalf of a group, steps
+	// resolved by replaying a leader's plan, and steps that could not be
+	// fingerprinted. All zero under PlannerScalar. Leaders + Replays +
+	// Fallbacks equals the segment steps taken on the batched path.
+	BatchLeaders   int
+	BatchReplays   int
+	BatchFallbacks int
 }
 
 // add folds another ledger in (shard roll-up).
@@ -94,6 +147,9 @@ func (l *Ledger) add(o Ledger) {
 	for k := range l.EventsByKind {
 		l.EventsByKind[k] += o.EventsByKind[k]
 	}
+	l.BatchLeaders += o.BatchLeaders
+	l.BatchReplays += o.BatchReplays
+	l.BatchFallbacks += o.BatchFallbacks
 }
 
 // shard is one independent event queue plus the structure-of-arrays state
@@ -114,8 +170,60 @@ type shard struct {
 	vpEvent []ID
 	leave   []int32
 
+	// joins is the shard's join schedule, sorted by (time, spec order), and
+	// joinPos the next unjoined session. The whole wave is known at
+	// construction, so it never touches the heap: a million-session fleet
+	// starts with an empty heap instead of a million-entry one, and each
+	// join costs a cursor bump instead of an O(log n) pop. Joins order
+	// before heap events at the same timestamp — exactly the order the
+	// heap gave them when they were pushed first with the lowest ids.
+	joins   []joinEv
+	joinPos int
+
+	// arena bump-allocates session states in chunks, so a join costs 1/256th
+	// of an allocation instead of one. Chunks are reclaimed wholesale once
+	// every session living in them has left.
+	arena    []sim.State
+	arenaPos int
+
+	// Batched-planner scratch: the run of same-(time, kind) events being
+	// processed and the StepBatch workspace. Reused across runs.
+	scratch    *sim.BatchScratch
+	runMembers []runMember
+	runStates  []*sim.State
+	runInfos   []sim.StepInfo
+
 	led Ledger
 	err error
+}
+
+// runMember is one event of a same-(time, kind) run: its session/slot and,
+// for members that step, the index of their state in the batch (stepIdx < 0
+// marks a segment-complete member that leaves instead of stepping).
+type runMember struct {
+	session int
+	slot    int
+	stepIdx int32
+}
+
+// joinEv is one entry of a shard's static join schedule.
+type joinEv struct {
+	time    float64
+	session int
+}
+
+// stateChunk is the arena chunk size in sessions.
+const stateChunk = 256
+
+// allocState returns a fresh uninitialized State from the shard's arena.
+func (sh *shard) allocState() *sim.State {
+	if sh.arenaPos == len(sh.arena) {
+		sh.arena = make([]sim.State, stateChunk)
+		sh.arenaPos = 0
+	}
+	st := &sh.arena[sh.arenaPos]
+	sh.arenaPos++
+	return st
 }
 
 // Engine advances a fleet of sessions on per-shard virtual clocks.
@@ -143,6 +251,10 @@ type fleetMetrics struct {
 	events    [5]*obs.Counter
 	shardsG   *obs.Gauge
 	sessionsG *obs.Gauge
+
+	batchLeaders   *obs.Counter
+	batchReplays   *obs.Counter
+	batchFallbacks *obs.Counter
 }
 
 // New builds an engine over the given session population. Construction is
@@ -157,6 +269,9 @@ func New(cfg Config, specs []SessionSpec) (*Engine, error) {
 	}
 	if cfg.ViewportUpdateSec < 0 {
 		return nil, fmt.Errorf("fleet: negative viewport update interval %g", cfg.ViewportUpdateSec)
+	}
+	if cfg.Planner != PlannerBatched && cfg.Planner != PlannerScalar {
+		return nil, fmt.Errorf("fleet: unknown planner mode %d", int(cfg.Planner))
 	}
 	for i, spec := range specs {
 		if spec.JoinSec < 0 {
@@ -199,6 +314,9 @@ func New(cfg Config, specs []SessionSpec) (*Engine, error) {
 			vpEvent: make([]ID, n),
 			leave:   make([]int32, n),
 		}
+		if cfg.Planner == PlannerBatched {
+			sh.scratch = sim.NewBatchScratch(sim.BatchOptions{NoQuant: cfg.BatchNoQuant})
+		}
 		e.shards[si] = sh
 	}
 	for i, spec := range specs {
@@ -206,7 +324,22 @@ func New(cfg Config, specs []SessionSpec) (*Engine, error) {
 		slot := i / cfg.Shards
 		sh.global[slot] = i
 		sh.leave[slot] = int32(spec.LeaveAfterSegments)
-		sh.heap.Push(spec.JoinSec, KindJoin, i)
+		sh.joins = append(sh.joins, joinEv{time: spec.JoinSec, session: i})
+	}
+	for _, sh := range e.shards {
+		// Ordering by (time, session) equals a stable sort by time: appends
+		// ran in ascending session order, so this keeps the order the heap's
+		// push-sequence ids used to impose on equal join times.
+		slices.SortFunc(sh.joins, func(a, b joinEv) int {
+			if a.time != b.time {
+				return cmp.Compare(a.time, b.time)
+			}
+			return cmp.Compare(a.session, b.session)
+		})
+		// Steady state keeps at most two heap events per live session (the
+		// pending completion plus a stall or viewport tick); reserving that
+		// up front avoids append-doubling memmoves during the join wave.
+		sh.heap.Reserve(2 * len(sh.joins))
 	}
 	return e, nil
 }
@@ -228,6 +361,12 @@ func (e *Engine) registerMetrics() {
 	}
 	m.shardsG = e.reg.Gauge("fleet_shards", "Configured shard count.")
 	m.sessionsG = e.reg.Gauge("fleet_sessions_total", "Configured session count.")
+	m.batchLeaders = e.reg.Counter("fleet_batch_leaders_total",
+		"Batched-planner steps that ran a full plan on behalf of a group.")
+	m.batchReplays = e.reg.Counter("fleet_batch_replays_total",
+		"Batched-planner steps resolved by replaying a group leader's plan.")
+	m.batchFallbacks = e.reg.Counter("fleet_batch_fallbacks_total",
+		"Batched-planner steps that fell back to scalar planning.")
 }
 
 // Registry returns the registry carrying the fleet metrics.
@@ -264,6 +403,9 @@ func (e *Engine) workers() int {
 func (e *Engine) NextEventTime() (float64, bool) {
 	t, ok := math.Inf(1), false
 	for _, sh := range e.shards {
+		if j := sh.joinPos; j < len(sh.joins) && sh.joins[j].time < t {
+			t, ok = sh.joins[j].time, true
+		}
 		if st, sok := sh.heap.PeekTime(); sok && st < t {
 			t, ok = st, true
 		}
@@ -305,22 +447,48 @@ func (e *Engine) publish() {
 	for k := range m.events {
 		m.events[k].Add(float64(l.EventsByKind[k] - e.pub.EventsByKind[k]))
 	}
+	m.batchLeaders.Add(float64(l.BatchLeaders - e.pub.BatchLeaders))
+	m.batchReplays.Add(float64(l.BatchReplays - e.pub.BatchReplays))
+	m.batchFallbacks.Add(float64(l.BatchFallbacks - e.pub.BatchFallbacks))
 	m.shardsG.Set(float64(len(e.shards)))
 	m.sessionsG.Set(float64(len(e.specs)))
 	e.pub = l
 }
 
-// advance drains the shard's queue up to the time horizon.
+// advance drains the shard's queue up to the time horizon. With the batched
+// planner, runs of decision events sharing one virtual timestamp are popped
+// together and planned as one StepBatch; everything else (and everything
+// under PlannerScalar) takes the one-event path.
 func (sh *shard) advance(until float64) error {
 	if sh.err != nil {
 		return sh.err
 	}
+	batched := sh.scratch != nil
 	for {
-		t, ok := sh.heap.PeekTime()
-		if !ok || t > until {
+		// Next occurrence: the join cursor merges with the heap top. Joins win
+		// ties — they carried the lowest push-sequence ids back when they
+		// lived on the heap, so this keeps the old pop order exactly.
+		ev, hok := sh.heap.Peek()
+		if j := sh.joinPos; j < len(sh.joins) && (!hok || sh.joins[j].time <= ev.Time) {
+			ev = Event{Time: sh.joins[j].time, Kind: KindJoin, Session: sh.joins[j].session}
+		} else if !hok {
 			return nil
 		}
-		ev, _ := sh.heap.Pop()
+		if ev.Time > until {
+			return nil
+		}
+		if batched && (ev.Kind == KindSegmentComplete || ev.Kind == KindJoin) {
+			if err := sh.advanceRun(ev.Time, ev.Kind); err != nil {
+				sh.err = fmt.Errorf("fleet: %s run at t=%.3f: %w", ev.Kind, ev.Time, err)
+				return sh.err
+			}
+			continue
+		}
+		if ev.Kind == KindJoin {
+			sh.joinPos++
+		} else {
+			sh.heap.Pop()
+		}
 		sh.clock = ev.Time
 		sh.led.Events++
 		sh.led.EventsByKind[ev.Kind]++
@@ -331,6 +499,107 @@ func (sh *shard) advance(until float64) error {
 	}
 }
 
+// advanceRun processes the maximal run of queued events with timestamp t and
+// the given kind as one batch, in three phases whose combined heap traffic
+// reproduces the scalar path's pop/push sequence exactly:
+//
+//  1. Pop the whole run. Run members were all pushed before anything a
+//     member's handling could push at time t, so the scalar path would pop
+//     exactly this run first; popping it up front changes nothing. Joins
+//     bind their states here; completions classify into step vs leave.
+//  2. Plan every stepping member with one StepBatch call — this is where
+//     decision-identical sessions collapse onto shared work.
+//  3. Walk the run in pop order performing each member's pushes (leave,
+//     viewport tick, stall-resume, segment-complete) exactly as its scalar
+//     handler would have — same pushes, same order, so the heap's insertion
+//     sequence, and with it every future tie-break, is bit-identical.
+func (sh *shard) advanceRun(t float64, kind Kind) error {
+	sh.clock = t
+	sh.runMembers = sh.runMembers[:0]
+	sh.runStates = sh.runStates[:0]
+
+	// Phase 1: pop the run and bind/classify members. Joins drain from the
+	// static schedule cursor (all same-time joins precede any heap event at
+	// that time, so the run is exactly the cursor's same-time prefix);
+	// completions pop from the heap.
+	switch kind {
+	case KindJoin:
+		for sh.joinPos < len(sh.joins) && sh.joins[sh.joinPos].time == t {
+			session := sh.joins[sh.joinPos].session
+			sh.joinPos++
+			sh.led.Events++
+			sh.led.EventsByKind[KindJoin]++
+			slot := sh.slot(session)
+			spec := sh.eng.specs[session]
+			state := sh.allocState()
+			if err := sh.stepper.InitState(state, spec.User, spec.Net); err != nil {
+				return err
+			}
+			sh.states[slot] = state
+			sh.led.Joined++
+			sh.runMembers = append(sh.runMembers, runMember{
+				session: session, slot: slot, stepIdx: int32(len(sh.runStates)),
+			})
+			sh.runStates = append(sh.runStates, state)
+		}
+	case KindSegmentComplete:
+		for {
+			ev, ok := sh.heap.Peek()
+			if !ok || ev.Time != t || ev.Kind != kind {
+				break
+			}
+			sh.heap.Pop()
+			sh.led.Events++
+			sh.led.EventsByKind[kind]++
+			slot := sh.slot(ev.Session)
+			m := runMember{session: ev.Session, slot: slot, stepIdx: -1}
+			sh.led.Segments++
+			info := sh.pending[slot]
+			state := sh.states[slot]
+			if !info.Done && (sh.leave[slot] == 0 || state.Segments() < int(sh.leave[slot])) {
+				m.stepIdx = int32(len(sh.runStates))
+				sh.runStates = append(sh.runStates, state)
+			}
+			sh.runMembers = append(sh.runMembers, m)
+		}
+	}
+
+	// Phase 2: one batched plan for every stepping member.
+	if len(sh.runStates) > 0 {
+		if cap(sh.runInfos) < len(sh.runStates) {
+			sh.runInfos = make([]sim.StepInfo, len(sh.runStates))
+		}
+		sh.runInfos = sh.runInfos[:len(sh.runStates)]
+		stats, err := sh.stepper.StepBatch(sh.scratch, sh.runStates, sh.runInfos)
+		sh.led.BatchLeaders += stats.Leaders
+		sh.led.BatchReplays += stats.Replays
+		sh.led.BatchFallbacks += stats.Fallbacks
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: perform each member's pushes in pop order.
+	vp := sh.eng.cfg.ViewportUpdateSec
+	for _, m := range sh.runMembers {
+		if m.stepIdx < 0 {
+			sh.heap.Push(t, KindLeave, m.session)
+			continue
+		}
+		if kind == KindJoin && vp > 0 {
+			sh.vpEvent[m.slot] = sh.heap.PushCancellable(t+vp, KindViewportUpdate, m.session)
+		}
+		info := sh.runInfos[m.stepIdx]
+		sh.pending[m.slot] = info
+		done := t + info.WaitSec + info.DownloadSec
+		if info.StallSec > 0 {
+			sh.heap.Push(done, KindStallResume, m.session)
+		}
+		sh.heap.Push(done, KindSegmentComplete, m.session)
+	}
+	return nil
+}
+
 func (sh *shard) slot(session int) int { return session / len(sh.eng.shards) }
 
 func (sh *shard) handle(ev Event) error {
@@ -338,14 +607,14 @@ func (sh *shard) handle(ev Event) error {
 	switch ev.Kind {
 	case KindJoin:
 		spec := sh.eng.specs[ev.Session]
-		state, err := sh.stepper.NewState(spec.User, spec.Net)
-		if err != nil {
+		state := sh.allocState()
+		if err := sh.stepper.InitState(state, spec.User, spec.Net); err != nil {
 			return err
 		}
 		sh.states[slot] = state
 		sh.led.Joined++
 		if vp := sh.eng.cfg.ViewportUpdateSec; vp > 0 {
-			sh.vpEvent[slot] = sh.heap.Push(ev.Time+vp, KindViewportUpdate, ev.Session)
+			sh.vpEvent[slot] = sh.heap.PushCancellable(ev.Time+vp, KindViewportUpdate, ev.Session)
 		}
 		return sh.stepOnce(ev.Time, slot, ev.Session)
 
@@ -369,7 +638,7 @@ func (sh *shard) handle(ev Event) error {
 			return nil
 		}
 		sh.led.ViewportUpdates++
-		sh.vpEvent[slot] = sh.heap.Push(ev.Time+sh.eng.cfg.ViewportUpdateSec, KindViewportUpdate, ev.Session)
+		sh.vpEvent[slot] = sh.heap.PushCancellable(ev.Time+sh.eng.cfg.ViewportUpdateSec, KindViewportUpdate, ev.Session)
 		return nil
 
 	case KindLeave:

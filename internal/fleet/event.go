@@ -59,8 +59,8 @@ type Event struct {
 	id      uint64
 }
 
-// ID is a cancellation handle returned by Heap.Push. The zero ID is never
-// issued, so it can mean "no outstanding event".
+// ID is a cancellation handle returned by Heap.PushCancellable. The zero ID
+// is never issued, so it can mean "no outstanding event".
 type ID uint64
 
 // Heap is a min-heap of events ordered by (Time, insertion order). Ties on
@@ -68,19 +68,46 @@ type ID uint64
 // equal timestamps. Cancellation is lazy: cancelled IDs are dropped on Pop,
 // which keeps Cancel O(1) without sifting. Heap is not safe for concurrent
 // use; each shard owns one.
+//
+// Most fleet events (joins, segment completions, stalls, leaves) are never
+// cancelled, so the bookkeeping that makes cancellation possible is opt-in:
+// Push schedules an uncancellable event with no per-event map traffic, and
+// only PushCancellable (viewport ticks, which leave cancels) pays for a
+// pending-set entry.
 type Heap struct {
 	events    []Event
 	cancelled map[ID]struct{}
 	pending   map[ID]struct{}
 	nextID    uint64
+	live      int
 }
 
-// Push schedules an event and returns its cancellation handle.
-func (h *Heap) Push(t float64, kind Kind, session int) ID {
+// Reserve grows the heap's backing array to hold at least n events without
+// reallocating. Growing a fleet-sized heap by append-doubling memmoves tens
+// of megabytes; the engine knows the steady-state bound up front.
+func (h *Heap) Reserve(n int) {
+	if cap(h.events) >= n {
+		return
+	}
+	events := make([]Event, len(h.events), n)
+	copy(events, h.events)
+	h.events = events
+}
+
+// Push schedules an event that will never be cancelled. This is the hot
+// path: no cancellation bookkeeping is recorded, so Cancel does not work on
+// these events (it returns false).
+func (h *Heap) Push(t float64, kind Kind, session int) {
 	h.nextID++
 	ev := Event{Time: t, Kind: kind, Session: session, id: h.nextID}
 	h.events = append(h.events, ev)
 	h.up(len(h.events) - 1)
+	h.live++
+}
+
+// PushCancellable schedules an event and returns its cancellation handle.
+func (h *Heap) PushCancellable(t float64, kind Kind, session int) ID {
+	h.Push(t, kind, session)
 	if h.pending == nil {
 		h.pending = make(map[ID]struct{})
 	}
@@ -89,8 +116,8 @@ func (h *Heap) Push(t float64, kind Kind, session int) ID {
 }
 
 // Cancel removes a scheduled event by handle. It reports whether the handle
-// named a still-pending event; cancelling twice, or cancelling an event
-// already popped, returns false.
+// named a still-pending cancellable event; cancelling twice, or cancelling
+// an event already popped, returns false.
 func (h *Heap) Cancel(id ID) bool {
 	if _, ok := h.pending[id]; !ok {
 		return false
@@ -100,22 +127,32 @@ func (h *Heap) Cancel(id ID) bool {
 		h.cancelled = make(map[ID]struct{})
 	}
 	h.cancelled[id] = struct{}{}
+	h.live--
 	return true
 }
 
 // Len returns the number of live (scheduled, not cancelled) events.
-func (h *Heap) Len() int { return len(h.pending) }
+func (h *Heap) Len() int { return h.live }
 
 // PeekTime returns the timestamp of the earliest live event.
 func (h *Heap) PeekTime() (float64, bool) {
+	ev, ok := h.Peek()
+	return ev.Time, ok
+}
+
+// Peek returns the earliest live event without removing it.
+func (h *Heap) Peek() (Event, bool) {
 	for len(h.events) > 0 {
-		if _, dead := h.cancelled[ID(h.events[0].id)]; !dead {
-			return h.events[0].Time, true
+		if len(h.cancelled) > 0 {
+			if _, dead := h.cancelled[ID(h.events[0].id)]; dead {
+				delete(h.cancelled, ID(h.events[0].id))
+				h.drop()
+				continue
+			}
 		}
-		delete(h.cancelled, ID(h.events[0].id))
-		h.drop()
+		return h.events[0], true
 	}
-	return 0, false
+	return Event{}, false
 }
 
 // Pop removes and returns the earliest live event.
@@ -123,11 +160,16 @@ func (h *Heap) Pop() (Event, bool) {
 	for len(h.events) > 0 {
 		ev := h.events[0]
 		h.drop()
-		if _, dead := h.cancelled[ID(ev.id)]; dead {
-			delete(h.cancelled, ID(ev.id))
-			continue
+		if len(h.cancelled) > 0 {
+			if _, dead := h.cancelled[ID(ev.id)]; dead {
+				delete(h.cancelled, ID(ev.id))
+				continue
+			}
 		}
-		delete(h.pending, ID(ev.id))
+		if len(h.pending) > 0 {
+			delete(h.pending, ID(ev.id))
+		}
+		h.live--
 		return ev, true
 	}
 	return Event{}, false

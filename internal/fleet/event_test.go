@@ -4,10 +4,10 @@ import "testing"
 
 func TestHeapOrderingAndCancel(t *testing.T) {
 	var h Heap
-	a := h.Push(3, KindSegmentComplete, 0)
-	b := h.Push(1, KindJoin, 1)
-	c := h.Push(2, KindViewportUpdate, 2)
-	d := h.Push(1, KindStallResume, 3) // ties with b; b pushed first, pops first
+	h.Push(3, KindSegmentComplete, 0) // id 1
+	h.Push(1, KindJoin, 1)            // id 2
+	c := h.PushCancellable(2, KindViewportUpdate, 2)
+	h.Push(1, KindStallResume, 3) // ties with id 2; pushed later, pops later
 	if h.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", h.Len())
 	}
@@ -23,11 +23,18 @@ func TestHeapOrderingAndCancel(t *testing.T) {
 	if tm, ok := h.PeekTime(); !ok || tm != 1 {
 		t.Fatalf("PeekTime = %g,%v, want 1,true", tm, ok)
 	}
+	if ev, ok := h.Peek(); !ok || ev.Session != 1 || ev.Kind != KindJoin {
+		t.Fatalf("Peek = %+v,%v, want join of session 1", ev, ok)
+	}
 	wantSessions := []int{1, 3, 0}
 	for i, want := range wantSessions {
+		pk, pok := h.Peek()
 		ev, ok := h.Pop()
 		if !ok {
 			t.Fatalf("pop %d: heap empty", i)
+		}
+		if !pok || pk != ev {
+			t.Fatalf("pop %d: Peek %+v,%v disagrees with Pop %+v", i, pk, pok, ev)
 		}
 		if ev.Session != want {
 			t.Fatalf("pop %d: session %d, want %d", i, ev.Session, want)
@@ -36,8 +43,13 @@ func TestHeapOrderingAndCancel(t *testing.T) {
 	if _, ok := h.Pop(); ok {
 		t.Fatal("pop from drained heap succeeded")
 	}
-	if h.Cancel(a) || h.Cancel(b) || h.Cancel(d) {
-		t.Fatal("cancel of popped event succeeded")
+	if _, ok := h.Peek(); ok {
+		t.Fatal("peek at drained heap succeeded")
+	}
+	// Uncancellable events never accept their (internal) ids; popped
+	// cancellable and never-issued handles also refuse.
+	if h.Cancel(ID(1)) || h.Cancel(ID(2)) || h.Cancel(ID(4)) {
+		t.Fatal("cancel of uncancellable event succeeded")
 	}
 	if h.Cancel(0) || h.Cancel(ID(99)) {
 		t.Fatal("cancel of never-issued id succeeded")
@@ -45,23 +57,26 @@ func TestHeapOrderingAndCancel(t *testing.T) {
 }
 
 // FuzzEventHeapOrdering drives the heap through random interleavings of
-// push, cancel, and pop, checking against a flat reference model that (a)
-// every pop returns the minimum (time, push-order) among live events, (b)
-// cancelled events never surface, (c) no live event is lost, and (d) Cancel
-// reports exactly whether the handle was still pending.
+// plain push, cancellable push, cancel, and pop, checking against a flat
+// reference model that (a) every pop returns the minimum (time, push-order)
+// among live events, (b) cancelled events never surface, (c) no live event
+// is lost, (d) Cancel reports exactly whether the handle named a
+// still-pending cancellable event, and (e) Peek always agrees with Pop.
 func FuzzEventHeapOrdering(f *testing.F) {
 	f.Add([]byte{0, 10, 1, 0, 10, 2, 3, 0, 0, 2, 0, 0, 0, 5, 3})
-	f.Add([]byte{0, 1, 1, 0, 1, 2, 0, 1, 3, 2, 1, 0, 3, 0, 0, 3, 0, 0})
+	f.Add([]byte{1, 1, 1, 1, 1, 2, 0, 1, 3, 2, 1, 0, 3, 0, 0, 3, 0, 0})
 	f.Add([]byte{3, 0, 0, 2, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var h Heap
 		type rec struct {
-			time      float64
-			cancelled bool
-			popped    bool
+			time        float64
+			cancellable bool
+			cancelled   bool
+			popped      bool
 		}
 		recs := make(map[ID]*rec)
 		var ids []ID
+		var modelNext uint64 // mirrors the heap's internal push sequence
 		live := func() int {
 			n := 0
 			for _, r := range recs {
@@ -72,7 +87,11 @@ func FuzzEventHeapOrdering(f *testing.F) {
 			return n
 		}
 		checkPop := func() {
+			pk, pok := h.Peek()
 			ev, ok := h.Pop()
+			if pok != ok || (ok && pk != ev) {
+				t.Fatalf("Peek %+v,%v disagrees with Pop %+v,%v", pk, pok, ev, ok)
+			}
 			if !ok {
 				if live() != 0 {
 					t.Fatalf("pop reported empty with %d live events", live())
@@ -105,22 +124,31 @@ func FuzzEventHeapOrdering(f *testing.F) {
 		}
 		for i := 0; i+2 < len(data); i += 3 {
 			switch data[i] % 4 {
-			case 0, 1: // push (weighted: populated heaps find more bugs)
-				// Coarse timestamps so equal-time ties are common.
+			case 0: // plain push: no cancellation handle
 				tm := float64(data[i+1]%32) / 4
-				id := h.Push(tm, Kind(data[i+2]%5), int(data[i+2]))
-				recs[id] = &rec{time: tm}
+				h.Push(tm, Kind(data[i+2]%5), int(data[i+2]))
+				modelNext++
+				recs[ID(modelNext)] = &rec{time: tm}
+				ids = append(ids, ID(modelNext))
+			case 1: // cancellable push
+				tm := float64(data[i+1]%32) / 4
+				id := h.PushCancellable(tm, Kind(data[i+2]%5), int(data[i+2]))
+				modelNext++
+				if id != ID(modelNext) {
+					t.Fatalf("handle %d, model expects %d", id, modelNext)
+				}
+				recs[id] = &rec{time: tm, cancellable: true}
 				ids = append(ids, id)
-			case 2: // cancel a known handle (possibly already popped/cancelled)
+			case 2: // cancel a known handle (possibly uncancellable/popped/cancelled)
 				if len(ids) == 0 {
 					continue
 				}
 				id := ids[int(data[i+1])%len(ids)]
 				r := recs[id]
-				want := !r.cancelled && !r.popped
+				want := r.cancellable && !r.cancelled && !r.popped
 				if got := h.Cancel(id); got != want {
-					t.Fatalf("Cancel(%d) = %v, want %v (cancelled=%v popped=%v)",
-						id, got, want, r.cancelled, r.popped)
+					t.Fatalf("Cancel(%d) = %v, want %v (cancellable=%v cancelled=%v popped=%v)",
+						id, got, want, r.cancellable, r.cancelled, r.popped)
 				}
 				if want {
 					r.cancelled = true

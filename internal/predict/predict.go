@@ -6,6 +6,7 @@ package predict
 
 import (
 	"fmt"
+	"math"
 
 	"ptile360/internal/geom"
 	"ptile360/internal/mat"
@@ -149,18 +150,45 @@ func clampY(y float64) float64 {
 
 // Bandwidth estimates the throughput for upcoming downloads as the harmonic
 // mean of the last window per-segment throughput samples (Section IV-C).
+//
+// Small windows (≤ bandwidthInlineCap) are stored in the struct itself, so a
+// value embedded in bulk-allocated session state costs no separate heap
+// allocation. A Bandwidth must not be copied after Init/Observe: the samples
+// slice may alias the inline array.
 type Bandwidth struct {
 	window  int
 	samples []float64
+	inline  [8]float64
 }
+
+// bandwidthInlineCap is the largest window served by the inline array.
+const bandwidthInlineCap = 8
 
 // NewBandwidth returns an estimator over the given window size (the paper
 // uses the past several segments; 5 is the customary MPC setting).
 func NewBandwidth(window int) (*Bandwidth, error) {
-	if window <= 0 {
-		return nil, fmt.Errorf("predict: non-positive bandwidth window %d", window)
+	b := new(Bandwidth)
+	if err := b.Init(window); err != nil {
+		return nil, err
 	}
-	return &Bandwidth{window: window, samples: make([]float64, 0, window)}, nil
+	return b, nil
+}
+
+// Init (re)initializes a zero-valued or recycled estimator in place with the
+// given window, backing small windows with the inline array. Bulk allocators
+// (fleet session slabs) use this to avoid the per-session allocations
+// NewBandwidth would cost.
+func (b *Bandwidth) Init(window int) error {
+	if window <= 0 {
+		return fmt.Errorf("predict: non-positive bandwidth window %d", window)
+	}
+	b.window = window
+	if window <= bandwidthInlineCap {
+		b.samples = b.inline[:0]
+	} else {
+		b.samples = make([]float64, 0, window)
+	}
+	return nil
 }
 
 // Observe records a completed download's throughput in bits/s. The window is
@@ -191,3 +219,13 @@ func (b *Bandwidth) Estimate() (float64, error) {
 
 // Ready reports whether at least one sample has been observed.
 func (b *Bandwidth) Ready() bool { return len(b.samples) > 0 }
+
+// AppendStateBits implements StateBits: the window plus every sample, in
+// window order.
+func (b *Bandwidth) AppendStateBits(dst []uint64) []uint64 {
+	dst = append(dst, uint64(EstimatorHarmonic), uint64(b.window), uint64(len(b.samples)))
+	for _, s := range b.samples {
+		dst = append(dst, math.Float64bits(s))
+	}
+	return dst
+}

@@ -273,6 +273,13 @@ type session struct {
 	planBufs   []segmentPlan
 	optBufs    [][]abr.OptionMeta
 	horizonBuf []abr.SegmentMeta
+	// decCache, when set by a batch step, memoizes MPC decisions across the
+	// group leaders of one planning tick (see batch.go); nil on the scalar
+	// path.
+	decCache *abr.DecisionCache
+	// rec, when set, receives the step's delta record for follower replay
+	// (see batch.go); nil on the scalar path.
+	rec        *stepDelta
 	xs, ys     []float64
 	fm         float64
 	tWall      float64

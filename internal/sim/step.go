@@ -42,6 +42,10 @@ type Stepper struct {
 	// same viewer trace (they are read-only), so a fleet replaying a trace
 	// pool pays the XYSeries allocation once per trace, not per session.
 	xyCache map[*headtrace.Trace]xySeries
+	// netSeen remembers bandwidth traces that already passed Validate, so a
+	// fleet joining many sessions onto a shared trace scans it once, not
+	// once per join. Traces are immutable by contract after first use.
+	netSeen map[*lte.Trace]struct{}
 }
 
 type xySeries struct{ xs, ys []float64 }
@@ -54,6 +58,12 @@ type State struct {
 	user *headtrace.Trace
 	net  *lte.Trace
 	bw   predict.Estimator
+	// bwStore is the in-struct home of the default harmonic estimator, so a
+	// bulk-allocated State (fleet slabs) costs no separate estimator
+	// allocation; bw points at it then. Because bwStore's window may alias
+	// its own inline array, a State must not be copied by value after
+	// InitState.
+	bwStore predict.Bandwidth
 	// xs, ys alias the stepper's shared per-trace series (read-only).
 	xs, ys []float64
 
@@ -173,6 +183,7 @@ func NewStepper(cat *Catalog, cfg Config) (*Stepper, error) {
 		},
 		estKind: estKind,
 		xyCache: make(map[*headtrace.Trace]xySeries),
+		netSeen: make(map[*lte.Trace]struct{}),
 	}
 	// Shared FoV coverage LUT (nil on grids too large for a TileSet — the
 	// planners then keep the direct FoVTiles paths) and the reusable
@@ -210,24 +221,46 @@ func (st *Stepper) xySeriesFor(user *headtrace.Trace) xySeries {
 // seeding the bandwidth estimator with the trace's initial probe exactly as
 // Run does.
 func (st *Stepper) NewState(user *headtrace.Trace, net *lte.Trace) (*State, error) {
-	if user == nil || len(user.Samples) == 0 {
-		return nil, fmt.Errorf("sim: empty user trace")
-	}
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	bw, err := predict.NewEstimator(st.estKind, st.s.cfg.BandwidthWindow)
-	if err != nil {
-		return nil, err
-	}
-	xy := st.xySeriesFor(user)
-	state := &State{user: user, net: net, bw: bw, xs: xy.xs, ys: xy.ys}
-	// Seed the bandwidth estimator with an initial probe (the paper's
-	// startup phase downloads segment metadata).
-	if err := state.bw.Observe(net.At(0)); err != nil {
+	state := new(State)
+	if err := st.InitState(state, user, net); err != nil {
 		return nil, err
 	}
 	return state, nil
+}
+
+// InitState initializes a caller-allocated State in place — the bulk form of
+// NewState for engines that slab-allocate session state. state's previous
+// contents are discarded. With the default harmonic estimator and a window
+// that fits its inline storage, initialization performs no heap allocation
+// beyond the once-per-trace series cache.
+func (st *Stepper) InitState(state *State, user *headtrace.Trace, net *lte.Trace) error {
+	if user == nil || len(user.Samples) == 0 {
+		return fmt.Errorf("sim: empty user trace")
+	}
+	if _, ok := st.netSeen[net]; !ok {
+		if err := net.Validate(); err != nil {
+			return err
+		}
+		st.netSeen[net] = struct{}{}
+	}
+	*state = State{user: user, net: net}
+	if st.estKind == predict.EstimatorHarmonic {
+		if err := state.bwStore.Init(st.s.cfg.BandwidthWindow); err != nil {
+			return err
+		}
+		state.bw = &state.bwStore
+	} else {
+		bw, err := predict.NewEstimator(st.estKind, st.s.cfg.BandwidthWindow)
+		if err != nil {
+			return err
+		}
+		state.bw = bw
+	}
+	xy := st.xySeriesFor(user)
+	state.xs, state.ys = xy.xs, xy.ys
+	// Seed the bandwidth estimator with an initial probe (the paper's
+	// startup phase downloads segment metadata).
+	return state.bw.Observe(net.At(0))
 }
 
 // attach points the shared session workspace at one session's state.
@@ -298,14 +331,17 @@ func (s *session) step(state *State) (StepInfo, error) {
 		if err != nil {
 			return info, err
 		}
+		// DecideCached with a nil cache is exactly Decide; a batch step
+		// installs a per-tick cache so group leaders with bit-identical
+		// (buffer, rate, horizon) inputs share one DP solve.
 		if s.cfg.UseQoEMPC {
 			prevQ := s.prevQ0
 			if !s.hasPrevQ0 {
 				prevQ = bestQuality(seg.options)
 			}
-			decision, err = s.qoeMPC.Decide(s.buffer, rateEst, prevQ, horizon)
+			decision, err = s.qoeMPC.DecideCached(s.decCache, s.buffer, rateEst, prevQ, horizon)
 		} else {
-			decision, err = s.mpc.Decide(s.buffer, rateEst, horizon)
+			decision, err = s.mpc.DecideCached(s.decCache, s.buffer, rateEst, horizon)
 		}
 		if err != nil {
 			return info, err
@@ -331,9 +367,11 @@ func (s *session) step(state *State) (StepInfo, error) {
 	s.prevChoice = chosen.Option
 	s.hasPrev = true
 
-	// Download against the bandwidth trace.
+	// Download against the bandwidth trace. The trace was validated when the
+	// state was bound to it (InitState), so the per-call re-validation scan
+	// is skipped here.
 	bufferAtRequest := s.buffer
-	dl, err := s.net.DownloadTime(chosen.SizeBits, s.tWall)
+	dl, err := s.net.DownloadTimeTrusted(chosen.SizeBits, s.tWall)
 	if err != nil {
 		return info, err
 	}
@@ -396,7 +434,8 @@ func (s *session) step(state *State) (StepInfo, error) {
 	state.bits += chosen.SizeBits
 	state.qualitySum += float64(chosen.Quality)
 	state.frameRateSum += chosen.FrameRate
-	if !seg.fallback && (s.cfg.Scheme == SchemePtile || s.cfg.Scheme == SchemeOurs) {
+	fromPtile := !seg.fallback && (s.cfg.Scheme == SchemePtile || s.cfg.Scheme == SchemeOurs)
+	if fromPtile {
 		state.ptileSegments++
 	}
 	if s.cfg.RecordSegments {
@@ -411,7 +450,7 @@ func (s *session) step(state *State) (StepInfo, error) {
 			Q:             bd.Q,
 			StallSec:      bd.StallSec,
 			EnergyMJ:      e.Total(),
-			FromPtile:     !seg.fallback && (s.cfg.Scheme == SchemePtile || s.cfg.Scheme == SchemeOurs),
+			FromPtile:     fromPtile,
 			Emergency:     decision.Emergency,
 		})
 	}
@@ -423,6 +462,26 @@ func (s *session) step(state *State) (StepInfo, error) {
 	info.WallSec = s.tWall
 	info.BufferSec = s.buffer
 	info.Done = state.nextSeg >= len(s.cat.Content)
+
+	// Batch leaders capture the step's computed values so decision-identical
+	// followers replay the same mutations without re-planning (batch.go).
+	if s.rec != nil {
+		*s.rec = stepDelta{
+			info:         info,
+			chosen:       chosen,
+			emergency:    decision.Emergency,
+			downloadSec:  dl,
+			measuredRate: measuredRate,
+			energy:       e,
+			q0:           q0,
+			hit:          hit,
+			fromPtile:    fromPtile,
+			bd:           bd,
+		}
+		if s.cfg.RecordSegments {
+			s.rec.trace = state.perSegment[len(state.perSegment)-1]
+		}
+	}
 	return info, nil
 }
 
