@@ -6,9 +6,11 @@
 //
 //	go run ./cmd/benchbudget -baseline BENCH_2026-08-08.json -fresh /tmp/bench-fresh.json
 //
-// Benchmarks are matched by (name, GOMAXPROCS); series present on only one
-// side are ignored (use -allow-unmatched to also tolerate zero matches,
-// e.g. while bootstrapping a new baseline file). Tolerances are fractions
+// Benchmarks are matched by (name, GOMAXPROCS). Fresh series absent from
+// the baseline — freshly added benchmarks — are reported as NEW and skipped,
+// never failed: they pick up a budget once a BENCH_*.json containing them is
+// committed. Baseline-only series are ignored (use -allow-unmatched to also
+// tolerate zero matches, e.g. while bootstrapping a new baseline file). Tolerances are fractions
 // of the baseline value; a negative tolerance disables that metric.
 // allocs/op is the hard, machine-independent budget — ns/op defaults loose
 // because wall time shifts between machines.
@@ -65,6 +67,11 @@ func run() int {
 	})
 	fmt.Fprintf(os.Stderr, "benchbudget: %d series compared against %s (ns-tol %.2f, alloc-tol %.2f)\n",
 		matched, *baseline, *nsTol, *allocTol)
+	// New benchmarks have no budget yet: report them so the skip is visible,
+	// then let them through — the next committed baseline picks them up.
+	for _, k := range benchrecord.Unmatched(base, cand) {
+		fmt.Fprintf(os.Stderr, "  NEW  %s — not in baseline, skipped (baselines on next BENCH_*.json)\n", k)
+	}
 	if matched == 0 && !*allowUnmatched {
 		fmt.Fprintln(os.Stderr, "benchbudget: no benchmark series matched the baseline — "+
 			"check the regex/GOMAXPROCS, or pass -allow-unmatched when bootstrapping")

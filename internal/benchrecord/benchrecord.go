@@ -160,6 +160,28 @@ func Compare(base, fresh []Record, b Budget) ([]Violation, int) {
 	return out, len(keys)
 }
 
+// Unmatched returns the fresh series that have no baseline counterpart,
+// deterministically ordered. These are new benchmarks (or a changed
+// GOMAXPROCS): the gate reports them so their absence from the comparison is
+// visible, but they cannot fail a budget they were never given — the next
+// committed BENCH_*.json baselines them.
+func Unmatched(base, fresh []Record) []Key {
+	bl, fl := Latest(base), Latest(fresh)
+	var keys []Key
+	for k := range fl {
+		if _, ok := bl[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Procs < keys[j].Procs
+	})
+	return keys
+}
+
 // appendViolation applies one metric budget: fail when fresh exceeds
 // base*(1+tol) by more than absSlack. Metrics absent on either side are
 // skipped (not every benchmark reports every metric).

@@ -119,6 +119,30 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestUnmatched(t *testing.T) {
+	base := mustParse(t, sampleBase)
+	// One matched series, one brand-new benchmark, one known benchmark at a
+	// new GOMAXPROCS — the latter two are unmatched, in sorted order.
+	fresh := `{"label":"f","time":"t","commit":"def","gomaxprocs":1,"results":[{"name":"BenchmarkFleetTick100k","iters":2,"metrics":{"ns/op":1}},{"name":"BenchmarkDBSCANGrid","iters":5,"metrics":{"ns/op":1}}]}
+{"label":"f","time":"t","commit":"def","gomaxprocs":16,"results":[{"name":"BenchmarkFleetTick100k-16","iters":2,"metrics":{"ns/op":1}}]}`
+	got := Unmatched(base, mustParse(t, fresh))
+	want := []Key{
+		{Name: "BenchmarkDBSCANGrid", Procs: 1},
+		{Name: "BenchmarkFleetTick100k", Procs: 16},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Unmatched = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Unmatched[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := len(Unmatched(base, base)); n != 0 {
+		t.Fatalf("self-comparison reported %d unmatched series", n)
+	}
+}
+
 func TestBareName(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkFleetTick100k-4":  "BenchmarkFleetTick100k",

@@ -36,6 +36,18 @@ func DBSCAN(points []geom.Point, eps float64, minPts int) (clusters []Cluster, n
 			}
 		}
 	}
+	clusters, noise = dbscanExpand(neighbors, minPts)
+	return clusters, noise, nil
+}
+
+// dbscanExpand is the label-propagation phase of DBSCAN, shared by the naive
+// and grid-indexed paths: given per-point neighbour lists (ascending index
+// order — BFS order, and with it the final labelling, depends on it), mark
+// core points and grow the density-connected components. The output is a
+// pure function of the neighbour lists, which is what makes DBSCANGrid
+// bit-identical to DBSCAN: identical lists in, identical clusters out.
+func dbscanExpand(neighbors [][]int, minPts int) (clusters []Cluster, noise []int) {
+	n := len(neighbors)
 	// Core points have ≥ minPts neighbours (standard DBSCAN counts the point
 	// itself; we follow the original formulation: |N_eps(p)| ≥ minPts with p
 	// included).
@@ -108,5 +120,5 @@ func DBSCAN(points []geom.Point, eps float64, minPts int) (clusters []Cluster, n
 		return clusters[i].Members[0] < clusters[j].Members[0]
 	})
 	sort.Ints(noise)
-	return clusters, noise, nil
+	return clusters, noise
 }

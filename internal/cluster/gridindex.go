@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"ptile360/internal/geom"
+)
+
+// This file is the spatial index behind DBSCANGrid: viewport centers are
+// bucketed into a quantized yaw/pitch cell grid whose cell edge is at least
+// eps, so every eps-neighbour of a point lies in the 3×3 cell block around
+// it (columns wrap at the panorama seam, rows clamp at the poles). A
+// neighbour query then scans ≤9 cells instead of the whole point set,
+// dropping neighbour-list construction from O(n²) to O(n·k) for windows
+// whose points spread over more than a few cells.
+//
+// Bit-identity with the naive path is a structural property, not a tuning
+// outcome: cells only ever over-approximate the candidate set (merged or
+// clamped cells add candidates, never hide one), every candidate is
+// confirmed with the same geom.Dist(points[i], points[j]) call in the same
+// (i, j) argument order the naive double loop used, and the accepted
+// neighbours are ordered into the ascending index order the naive loop
+// produces. Identical neighbour lists drive the shared dbscanExpand, so the
+// clustering is identical bit for bit (FuzzDBSCANGridVsNaive pins this).
+
+// maxGridCells caps the cell grid edge so a tiny eps cannot demand an
+// absurd cell count; cells merely become finer than eps requires, which
+// keeps candidate sets small without affecting correctness.
+const maxGridCells = 1024
+
+// cellIndex is the CSR-layout spatial hash: point indices bucketed by cell,
+// all lists sharing one backing array.
+type cellIndex struct {
+	cols, rows   int
+	cellW, cellH float64
+	start        []int32 // len cols*rows+1; cell c owns points[start[c]:start[c+1]]
+	points       []int32
+	cellOf       []int32 // cell of each input point
+}
+
+// cellGridFor sizes the cell grid for a neighbour radius eps. The cell edge
+// must be ≥ eps so the 3×3 block bounds the neighbourhood; a non-finite or
+// NaN eps degenerates to a single cell (every pair becomes a candidate and
+// the distance check decides, exactly as the naive loop would).
+func cellGridFor(eps float64) (cols, rows int, cellW, cellH float64) {
+	cols, rows = 1, 1
+	if !math.IsNaN(eps) && !math.IsInf(eps, 0) {
+		if c := int(360 / eps); c > 1 {
+			cols = min(c, maxGridCells)
+		}
+		if r := int(180 / eps); r > 1 {
+			rows = min(r, maxGridCells)
+		}
+	}
+	return cols, rows, 360 / float64(cols), 180 / float64(rows)
+}
+
+// cellAt quantizes a point. X wraps through NormalizeYaw into [0, 360); Y is
+// clamped into [0, rows-1] — out-of-panorama pitches share the boundary
+// rows, which merges cells (more candidates) but never separates true
+// neighbours. Non-finite coordinates land in cell 0; their distance to
+// everything is NaN or huge, so the confirm step discards them exactly as
+// the naive path does.
+func (ix *cellIndex) cellAt(p geom.Point) int32 {
+	col, row := 0, 0
+	if x := geom.NormalizeYaw(p.X); x >= 0 && x < 360 {
+		col = int(x / ix.cellW)
+		if col >= ix.cols {
+			col = ix.cols - 1
+		}
+	}
+	if y := p.Y; y == y { // not NaN
+		switch {
+		case y >= 180:
+			row = ix.rows - 1
+		case y > 0:
+			row = int(y / ix.cellH)
+			if row >= ix.rows {
+				row = ix.rows - 1
+			}
+		}
+	}
+	return int32(row*ix.cols + col)
+}
+
+// buildCellIndex buckets every point in two passes over the cell array
+// (count, then fill), so the whole index is three allocations.
+func buildCellIndex(points []geom.Point, eps float64) *cellIndex {
+	ix := &cellIndex{}
+	ix.cols, ix.rows, ix.cellW, ix.cellH = cellGridFor(eps)
+	nCells := ix.cols * ix.rows
+	ix.start = make([]int32, nCells+1)
+	ix.cellOf = make([]int32, len(points))
+	for i, p := range points {
+		c := ix.cellAt(p)
+		ix.cellOf[i] = c
+		ix.start[c+1]++
+	}
+	for c := 0; c < nCells; c++ {
+		ix.start[c+1] += ix.start[c]
+	}
+	ix.points = make([]int32, len(points))
+	fill := make([]int32, nCells)
+	copy(fill, ix.start[:nCells])
+	for i := range points {
+		c := ix.cellOf[i]
+		ix.points[fill[c]] = int32(i)
+		fill[c]++
+	}
+	return ix
+}
+
+// neighborCells appends the distinct cells of the 3×3 block around cell c to
+// dst: rows clamp (the panorama has no vertical wrap), columns wrap modulo
+// the grid width. Grids narrower than three columns would visit a column
+// twice, so duplicates are skipped.
+func (ix *cellIndex) neighborCells(c int32, dst []int32) []int32 {
+	row, col := int(c)/ix.cols, int(c)%ix.cols
+	dst = dst[:0]
+	rLo, rHi := row-1, row+1
+	if rLo < 0 {
+		rLo = 0
+	}
+	if rHi >= ix.rows {
+		rHi = ix.rows - 1
+	}
+	for r := rLo; r <= rHi; r++ {
+		for dc := -1; dc <= 1; dc++ {
+			cc := col + dc
+			if cc < 0 {
+				cc += ix.cols
+			} else if cc >= ix.cols {
+				cc -= ix.cols
+			}
+			cell := int32(r*ix.cols + cc)
+			dup := false
+			for _, seen := range dst {
+				if seen == cell {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, cell)
+			}
+		}
+	}
+	return dst
+}
+
+// gridNeighborLists builds the per-point eps-neighbour lists through the
+// cell index, in the ascending index order the naive double loop produces.
+// All lists share one backing array (subslices of a grown backing stay valid
+// after reallocation because finished lists are never written again).
+//
+// Ordering costs no sort: the CSR fill pass visits points in index order, so
+// each cell's run of ix.points is already ascending. The confirmed
+// neighbours are collected per cell (≤9 ascending sections) and merged with
+// one linear ≤9-way merge — O(k) cheap integer compares instead of
+// O(k log k) general sorting, which is what keeps the dense-window case from
+// drowning the index's saved distance checks.
+func gridNeighborLists(points []geom.Point, eps float64) [][]int {
+	n := len(points)
+	ix := buildCellIndex(points, eps)
+	neighbors := make([][]int, n)
+	backing := make([]int, 0, n)
+	var cells [9]int32
+	var cand, merged []int
+	var bounds [10]int
+	for i := 0; i < n; i++ {
+		cand = cand[:0]
+		ns := 0
+		for _, c := range ix.neighborCells(ix.cellOf[i], cells[:0]) {
+			before := len(cand)
+			for _, j := range ix.points[ix.start[c]:ix.start[c+1]] {
+				if int(j) != i && geom.Dist(points[i], points[int(j)]) <= eps {
+					cand = append(cand, int(j))
+				}
+			}
+			if len(cand) > before {
+				bounds[ns] = before
+				ns++
+				bounds[ns] = len(cand)
+			}
+		}
+		out := cand
+		if ns > 1 {
+			if cap(merged) < len(cand) {
+				merged = make([]int, len(cand))
+			}
+			out = mergeRuns(cand, merged[:len(cand)], bounds[:ns+1])
+		}
+		start := len(backing)
+		backing = append(backing, out...)
+		neighbors[i] = backing[start:len(backing):len(backing)]
+	}
+	return neighbors
+}
+
+// mergeRuns merges the adjacent ascending runs a[bounds[0]:bounds[1]],
+// a[bounds[1]:bounds[2]], ... into one ascending slice by bottom-up pairwise
+// two-way merges (ceil(log2 runs) passes over the data — cheaper than both
+// general sorting and a flat k-way head scan). scratch must have len(a);
+// the result aliases a or scratch, whichever holds the final pass. bounds is
+// overwritten.
+func mergeRuns(a, scratch []int, bounds []int) []int {
+	src, dst := a, scratch
+	for len(bounds) > 2 {
+		nb := 1
+		for s := 0; s+2 < len(bounds); s += 2 {
+			lo, mid, hi := bounds[s], bounds[s+1], bounds[s+2]
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if src[i] <= src[j] {
+					dst[k] = src[i]
+					i++
+				} else {
+					dst[k] = src[j]
+					j++
+				}
+				k++
+			}
+			copy(dst[k:hi], src[i:mid])
+			copy(dst[k+mid-i:hi], src[j:hi])
+			bounds[nb] = hi
+			nb++
+		}
+		if len(bounds)%2 == 0 {
+			// Odd run count: the trailing run has no partner this pass.
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			bounds[nb] = hi
+			nb++
+		}
+		bounds = bounds[:nb]
+		src, dst = dst, src
+	}
+	return src[bounds[0]:bounds[len(bounds)-1]]
+}
+
+// DBSCANGrid is DBSCAN with grid-indexed neighbour queries: identical
+// output, O(n·k) neighbour construction instead of O(n²). It accepts and
+// validates exactly the same parameters.
+func DBSCANGrid(points []geom.Point, eps float64, minPts int) (clusters []Cluster, noise []int, err error) {
+	if eps <= 0 {
+		return nil, nil, fmt.Errorf("cluster: non-positive eps %g", eps)
+	}
+	if minPts < 1 {
+		return nil, nil, fmt.Errorf("cluster: minPts %d below 1", minPts)
+	}
+	if len(points) == 0 {
+		return nil, nil, nil
+	}
+	clusters, noise = dbscanExpand(gridNeighborLists(points, eps), minPts)
+	return clusters, noise, nil
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+)
+
+// requireIdentical asserts the grid-indexed path reproduces the naive path
+// exactly: same error disposition, same clusters (members in the same
+// order), same noise list.
+func requireIdentical(t *testing.T, points []geom.Point, eps float64, minPts int) {
+	t.Helper()
+	wantC, wantN, wantErr := DBSCAN(points, eps, minPts)
+	gotC, gotN, gotErr := DBSCANGrid(points, eps, minPts)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("eps=%g minPts=%d: error mismatch: naive %v, grid %v", eps, minPts, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		return
+	}
+	if !reflect.DeepEqual(gotC, wantC) {
+		t.Fatalf("eps=%g minPts=%d n=%d: clusters differ:\nnaive %v\ngrid  %v",
+			eps, minPts, len(points), wantC, gotC)
+	}
+	if !reflect.DeepEqual(gotN, wantN) {
+		t.Fatalf("eps=%g minPts=%d n=%d: noise differs:\nnaive %v\ngrid  %v",
+			eps, minPts, len(points), wantN, gotN)
+	}
+}
+
+// TestDBSCANGridEdgeCases is the table of degenerate and wraparound inputs
+// the grid index must not get wrong: empty input, everything-noise
+// (minPts > n), rejected eps values, exact duplicates, pole pile-ups, and
+// neighbourhoods straddling the 0°/360° seam. Every case is asserted
+// identical between the naive and grid-indexed paths, and the cases with a
+// known answer also pin that answer.
+func TestDBSCANGridEdgeCases(t *testing.T) {
+	seam := []geom.Point{
+		{X: 359.5, Y: 90}, {X: 0.5, Y: 90}, {X: 1.5, Y: 90}, // one chain across the seam
+		{X: 180, Y: 90}, // far away
+	}
+	dup := []geom.Point{
+		{X: 10, Y: 10}, {X: 10, Y: 10}, {X: 10, Y: 10}, {X: 300, Y: 170},
+	}
+	poles := []geom.Point{
+		{X: 10, Y: 0.2}, {X: 120, Y: 0.1}, {X: 250, Y: 0.3}, // same pitch, spread yaw: far apart in panorama metric
+		{X: 42, Y: 179.9}, {X: 43, Y: 179.8},
+	}
+	cases := []struct {
+		name   string
+		points []geom.Point
+		eps    float64
+		minPts int
+		// wantClusters < 0 skips the shape assertion (identity still checked).
+		wantClusters, wantNoise int
+		wantErr                 bool
+	}{
+		{name: "empty", points: nil, eps: 5, minPts: 2, wantClusters: 0, wantNoise: 0},
+		{name: "all-noise-minPts-exceeds-n", points: dup[:3], eps: 5, minPts: 4, wantClusters: 0, wantNoise: 3},
+		{name: "eps-zero-rejected", points: dup, eps: 0, minPts: 2, wantErr: true},
+		{name: "eps-negative-rejected", points: dup, eps: -3, minPts: 2, wantErr: true},
+		{name: "minPts-zero-rejected", points: dup, eps: 5, minPts: 0, wantErr: true},
+		{name: "duplicate-points", points: dup, eps: 1, minPts: 3, wantClusters: 1, wantNoise: 1},
+		{name: "seam-chain", points: seam, eps: 1.2, minPts: 2, wantClusters: 1, wantNoise: 1},
+		{name: "pole-neighborhood", points: poles, eps: 2, minPts: 2, wantClusters: 1, wantNoise: 3},
+		{name: "eps-larger-than-panorama", points: poles, eps: 500, minPts: 2, wantClusters: 1, wantNoise: 0},
+		{name: "eps-below-cell-floor", points: seam[:3], eps: 1e-6, minPts: 1, wantClusters: 3, wantNoise: 0},
+		{name: "single-point-minPts-1", points: dup[:1], eps: 5, minPts: 1, wantClusters: 1, wantNoise: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			requireIdentical(t, tc.points, tc.eps, tc.minPts)
+			clusters, noise, err := DBSCANGrid(tc.points, tc.eps, tc.minPts)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("expected an error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(clusters) != tc.wantClusters || len(noise) != tc.wantNoise {
+				t.Fatalf("got %d clusters / %d noise, want %d / %d (clusters %v noise %v)",
+					len(clusters), len(noise), tc.wantClusters, tc.wantNoise, clusters, noise)
+			}
+		})
+	}
+}
+
+// TestDBSCANGridMatchesNaiveRandom sweeps seeded random point clouds across
+// eps/minPts regimes — dense blobs, sparse noise, seam- and pole-hugging
+// distributions — and asserts bit-identical output.
+func TestDBSCANGridMatchesNaiveRandom(t *testing.T) {
+	type regime struct {
+		name string
+		gen  func(rng *stats.RNG, n int) []geom.Point
+	}
+	regimes := []regime{
+		{"uniform", func(rng *stats.RNG, n int) []geom.Point {
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Point{X: rng.Uniform(0, 360), Y: rng.Uniform(0, 180)}
+			}
+			return pts
+		}},
+		{"blobs", func(rng *stats.RNG, n int) []geom.Point {
+			centers := []geom.Point{{X: 5, Y: 90}, {X: 355, Y: 88}, {X: 180, Y: 30}, {X: 90, Y: 170}}
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				c := centers[rng.Intn(len(centers))]
+				pts[i] = geom.Point{
+					X: geom.NormalizeYaw(c.X + rng.Normal(0, 4)),
+					Y: math.Min(180, math.Max(0, c.Y+rng.Normal(0, 4))),
+				}
+			}
+			return pts
+		}},
+		{"seam-band", func(rng *stats.RNG, n int) []geom.Point {
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Point{X: geom.NormalizeYaw(rng.Uniform(-6, 6)), Y: rng.Uniform(80, 100)}
+			}
+			return pts
+		}},
+		{"poles", func(rng *stats.RNG, n int) []geom.Point {
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				y := rng.Uniform(0, 3)
+				if rng.Intn(2) == 0 {
+					y = 180 - y
+				}
+				pts[i] = geom.Point{X: rng.Uniform(0, 360), Y: y}
+			}
+			return pts
+		}},
+	}
+	for _, rg := range regimes {
+		t.Run(rg.name, func(t *testing.T) {
+			rng := stats.NewRNG(7)
+			for _, n := range []int{1, 2, 17, 120, 400} {
+				pts := rg.gen(rng, n)
+				for _, eps := range []float64{0.5, 11.25, 45, 200} {
+					for _, minPts := range []int{1, 2, 5, n + 1} {
+						requireIdentical(t, pts, eps, minPts)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzDBSCANGridVsNaive is the differential fuzz target pinning the grid
+// index to the naive O(n²) reference: arbitrary byte strings decode into a
+// point set (including out-of-range and non-finite coordinates), an eps and
+// a minPts, and both paths must agree exactly.
+func FuzzDBSCANGridVsNaive(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0xc0, 0x01, 0x3f, 0xfe})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		// Header: eps selector and minPts; remainder decodes to points.
+		epsChoices := []float64{0.25, 1, 11.25, 45, 179, 500, math.Inf(1), math.NaN()}
+		eps := epsChoices[int(data[0])%len(epsChoices)]
+		minPts := int(data[1])%8 + 1
+		body := data[2:]
+		var pts []geom.Point
+		for len(body) >= 4 && len(pts) < 256 {
+			// Two fixed-point coordinates per point; every fourth point gets
+			// pushed out of the canonical ranges to probe the clamping paths.
+			u := binary.LittleEndian.Uint16(body)
+			v := binary.LittleEndian.Uint16(body[2:])
+			p := geom.Point{
+				X: float64(u) * 360 / 65536,
+				Y: float64(v) * 180 / 65536,
+			}
+			switch len(pts) % 8 {
+			case 3:
+				p.X -= 720
+			case 5:
+				p.Y = -p.Y
+			case 7:
+				p.Y += 180
+			}
+			pts = append(pts, p)
+			body = body[4:]
+		}
+		wantC, wantN, wantErr := DBSCAN(pts, eps, minPts)
+		gotC, gotN, gotErr := DBSCANGrid(pts, eps, minPts)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: naive %v, grid %v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(gotC, wantC) {
+			t.Fatalf("clusters differ (eps=%g minPts=%d, %d points):\nnaive %v\ngrid  %v",
+				eps, minPts, len(pts), wantC, gotC)
+		}
+		if !reflect.DeepEqual(gotN, wantN) {
+			t.Fatalf("noise differs (eps=%g minPts=%d, %d points):\nnaive %v\ngrid  %v",
+				eps, minPts, len(pts), wantN, gotN)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+)
+
+// DefaultWindowCap bounds a per-segment window when StreamConfig.WindowCap is
+// zero. 512 points keeps a window at ~8 KB while staying an order of
+// magnitude above the paper's 48-user offline population, so the reservoir
+// is a faithful sample of the viewing distribution.
+const DefaultWindowCap = 512
+
+// StreamConfig parameterizes a Stream.
+type StreamConfig struct {
+	// Eps and MinPts are the DBSCAN parameters applied to every window.
+	Eps    float64
+	MinPts int
+	// WindowCap bounds the number of viewport reports retained per segment
+	// (0 → DefaultWindowCap). Beyond the cap, reservoir sampling (Algorithm
+	// R) keeps a uniform sample of the segment's whole report stream, so a
+	// burst of late reports cannot evict the long-run distribution.
+	WindowCap int
+	// Seed drives the reservoir's deterministic RNG: the same report
+	// sequence always yields the same windows and therefore the same
+	// clusters.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c StreamConfig) Validate() error {
+	if c.Eps <= 0 {
+		return fmt.Errorf("cluster: non-positive eps %g", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("cluster: minPts %d below 1", c.MinPts)
+	}
+	if c.WindowCap < 0 {
+		return fmt.Errorf("cluster: negative window cap %d", c.WindowCap)
+	}
+	return nil
+}
+
+// StreamStats counts the work a Stream has done.
+type StreamStats struct {
+	// Reports is the number of viewport reports offered to Add.
+	Reports int64
+	// Evictions is the number of retained points replaced by reservoir
+	// sampling after a window filled.
+	Evictions int64
+	// Drops is the number of reports the reservoir declined (window full,
+	// sample not selected); Evictions + Drops count every post-fill report.
+	Drops int64
+	// Reclusters is the number of windows actually re-clustered; CacheHits
+	// counts Cluster calls answered from a clean window's cached result.
+	Reclusters int64
+	CacheHits  int64
+}
+
+// segmentWindow is the bounded point window for one segment plus its cached
+// clustering.
+type segmentWindow struct {
+	points   []geom.Point
+	seen     int64 // reports ever offered to this window
+	rng      *stats.RNG
+	dirty    bool
+	clusters []Cluster
+	noise    []int
+}
+
+// Stream is the incremental windowed clustering mode: per-segment sliding
+// windows of viewport reports, re-clustered lazily and only when dirty, with
+// reservoir caps bounding memory per segment.
+//
+// Concurrency contract: Add and the mutating accessors must not run
+// concurrently with each other. Cluster calls on *distinct* segments may run
+// concurrently (ptilelive re-clusters dirty windows with parallel.ForEach);
+// the shared stats counters are atomic for exactly that reason.
+type Stream struct {
+	cfg     StreamConfig
+	cap     int
+	rng     *stats.RNG
+	windows map[int]*segmentWindow
+
+	reports    atomic.Int64
+	evictions  atomic.Int64
+	drops      atomic.Int64
+	reclusters atomic.Int64
+	cacheHits  atomic.Int64
+}
+
+// NewStream returns an empty stream for the given configuration.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	capPts := cfg.WindowCap
+	if capPts == 0 {
+		capPts = DefaultWindowCap
+	}
+	return &Stream{
+		cfg:     cfg,
+		cap:     capPts,
+		rng:     stats.NewRNG(cfg.Seed),
+		windows: make(map[int]*segmentWindow),
+	}, nil
+}
+
+// Add offers one viewport report for a segment. While the window is below
+// its cap the point is retained outright; afterwards Algorithm R keeps each
+// of the segment's seen reports in the window with equal probability.
+func (s *Stream) Add(segment int, p geom.Point) {
+	s.reports.Add(1)
+	w := s.windows[segment]
+	if w == nil {
+		// Forking the per-window RNG off the stream RNG keeps windows
+		// decorrelated while the whole stream stays a pure function of
+		// (Seed, report sequence).
+		w = &segmentWindow{rng: s.rng.Fork()}
+		s.windows[segment] = w
+	}
+	w.seen++
+	if len(w.points) < s.cap {
+		w.points = append(w.points, p)
+		w.dirty = true
+		return
+	}
+	if j := w.rng.Intn(int(w.seen)); j < s.cap {
+		w.points[j] = p
+		w.dirty = true
+		s.evictions.Add(1)
+		return
+	}
+	s.drops.Add(1)
+}
+
+// Segments returns every segment with a window, ascending.
+func (s *Stream) Segments() []int {
+	out := make([]int, 0, len(s.windows))
+	for seg := range s.windows {
+		out = append(out, seg)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DirtySegments returns the segments whose window changed since it was last
+// clustered, ascending.
+func (s *Stream) DirtySegments() []int {
+	var out []int
+	for seg, w := range s.windows {
+		if w.dirty {
+			out = append(out, seg)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Window returns a copy of the segment's retained points. Cluster results
+// obtained without an intervening Add index into exactly this point set.
+func (s *Stream) Window(segment int) []geom.Point {
+	w := s.windows[segment]
+	if w == nil {
+		return nil
+	}
+	out := make([]geom.Point, len(w.points))
+	copy(out, w.points)
+	return out
+}
+
+// Cluster returns the DBSCAN clustering of the segment's window, running the
+// grid-indexed pass only if the window is dirty; clean windows answer from
+// cache. The bool reports whether the segment has a window at all. Cluster
+// member indices refer to the window's point order (see Window).
+func (s *Stream) Cluster(segment int) (clusters []Cluster, noise []int, ok bool) {
+	w := s.windows[segment]
+	if w == nil {
+		return nil, nil, false
+	}
+	if !w.dirty {
+		s.cacheHits.Add(1)
+		return w.clusters, w.noise, true
+	}
+	// eps/minPts were validated at construction and the window is non-empty
+	// whenever it exists, so DBSCANGrid cannot fail here.
+	cl, no, err := DBSCANGrid(w.points, s.cfg.Eps, s.cfg.MinPts)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: stream window %d: %v", segment, err))
+	}
+	w.clusters, w.noise, w.dirty = cl, no, false
+	s.reclusters.Add(1)
+	return w.clusters, w.noise, true
+}
+
+// Stats returns a snapshot of the stream's counters.
+func (s *Stream) Stats() StreamStats {
+	return StreamStats{
+		Reports:    s.reports.Load(),
+		Evictions:  s.evictions.Load(),
+		Drops:      s.drops.Load(),
+		Reclusters: s.reclusters.Load(),
+		CacheHits:  s.cacheHits.Load(),
+	}
+}

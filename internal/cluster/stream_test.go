@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ptile360/internal/geom"
+	"ptile360/internal/stats"
+)
+
+func TestStreamConfigValidate(t *testing.T) {
+	good := StreamConfig{Eps: 11.25, MinPts: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []StreamConfig{
+		{Eps: 0, MinPts: 2},
+		{Eps: -1, MinPts: 2},
+		{Eps: 5, MinPts: 0},
+		{Eps: 5, MinPts: 2, WindowCap: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v should be rejected", bad)
+		}
+		if _, err := NewStream(bad); err == nil {
+			t.Fatalf("NewStream(%+v) should fail", bad)
+		}
+	}
+}
+
+// TestStreamMatchesBatch: below the cap, clustering a stream window must be
+// identical to clustering the same points in one batch call.
+func TestStreamMatchesBatch(t *testing.T) {
+	s, err := NewStream(StreamConfig{Eps: 11.25, MinPts: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(9)
+	perSeg := map[int][]geom.Point{}
+	for i := 0; i < 300; i++ {
+		seg := rng.Intn(4)
+		p := geom.Point{X: rng.Uniform(0, 360), Y: rng.Uniform(0, 180)}
+		s.Add(seg, p)
+		perSeg[seg] = append(perSeg[seg], p)
+	}
+	if got := s.Segments(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("Segments() = %v", got)
+	}
+	for seg, pts := range perSeg {
+		wantC, wantN, err := DBSCAN(pts, 11.25, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, gotN, ok := s.Cluster(seg)
+		if !ok {
+			t.Fatalf("segment %d missing", seg)
+		}
+		if !reflect.DeepEqual(gotC, wantC) || !reflect.DeepEqual(gotN, wantN) {
+			t.Fatalf("segment %d: stream clustering differs from batch", seg)
+		}
+		if win := s.Window(seg); !reflect.DeepEqual(win, pts) {
+			t.Fatalf("segment %d: window differs from inserted points", seg)
+		}
+	}
+	if _, _, ok := s.Cluster(99); ok {
+		t.Fatal("unknown segment should report ok=false")
+	}
+}
+
+// TestStreamDirtyTracking: Cluster re-runs only after an Add dirtied the
+// window, and answers from cache otherwise.
+func TestStreamDirtyTracking(t *testing.T) {
+	s, err := NewStream(StreamConfig{Eps: 5, MinPts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(0, geom.Point{X: 10, Y: 90})
+	s.Add(1, geom.Point{X: 20, Y: 90})
+	if got := s.DirtySegments(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("DirtySegments() = %v", got)
+	}
+	s.Cluster(0)
+	if got := s.DirtySegments(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("after clustering 0, DirtySegments() = %v", got)
+	}
+	s.Cluster(0) // cache hit
+	s.Cluster(1)
+	st := s.Stats()
+	if st.Reclusters != 2 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 2 reclusters / 1 cache hit", st)
+	}
+	s.Add(0, geom.Point{X: 11, Y: 90})
+	if got := s.DirtySegments(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("after re-add, DirtySegments() = %v", got)
+	}
+	cl, _, _ := s.Cluster(0)
+	if len(cl) != 1 || len(cl[0].Members) != 2 {
+		t.Fatalf("recluster after add: %v", cl)
+	}
+}
+
+// TestStreamReservoirCap: the window never exceeds its cap, the counters
+// account for every report, and the reservoir keeps a mix of early and late
+// reports rather than degenerating to pure FIFO or pure freeze.
+func TestStreamReservoirCap(t *testing.T) {
+	const capPts, total = 64, 10000
+	s, err := NewStream(StreamConfig{Eps: 5, MinPts: 2, WindowCap: capPts, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		// Encode arrival order into X so retained points reveal their epoch.
+		s.Add(7, geom.Point{X: float64(i%3600) / 10, Y: float64(i) / total * 180})
+	}
+	win := s.Window(7)
+	if len(win) != capPts {
+		t.Fatalf("window len %d, want cap %d", len(win), capPts)
+	}
+	st := s.Stats()
+	if st.Reports != total {
+		t.Fatalf("Reports = %d, want %d", st.Reports, total)
+	}
+	if got := st.Evictions + st.Drops; got != total-capPts {
+		t.Fatalf("Evictions+Drops = %d, want %d", got, total-capPts)
+	}
+	if st.Evictions == 0 || st.Drops == 0 {
+		t.Fatalf("reservoir should both evict and drop at n>>cap: %+v", st)
+	}
+	var early, late int
+	for _, p := range win {
+		// Y encodes arrival epoch (0→180 over the run).
+		if p.Y < 90 {
+			early++
+		} else {
+			late++
+		}
+	}
+	if early == 0 || late == 0 {
+		t.Fatalf("reservoir lost an epoch entirely: early=%d late=%d", early, late)
+	}
+}
+
+// TestStreamDeterminism: identical seeds and report sequences yield
+// bit-identical windows and clusterings; a different seed diverges once the
+// reservoir starts sampling.
+func TestStreamDeterminism(t *testing.T) {
+	feed := func(seed int64) (*Stream, []geom.Point) {
+		s, err := NewStream(StreamConfig{Eps: 20, MinPts: 2, WindowCap: 32, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(5)
+		for i := 0; i < 500; i++ {
+			s.Add(0, geom.Point{X: rng.Uniform(0, 360), Y: rng.Uniform(0, 180)})
+		}
+		return s, s.Window(0)
+	}
+	a, winA := feed(42)
+	b, winB := feed(42)
+	if !reflect.DeepEqual(winA, winB) {
+		t.Fatal("same seed, same reports: windows differ")
+	}
+	ca, na, _ := a.Cluster(0)
+	cb, nb, _ := b.Cluster(0)
+	if !reflect.DeepEqual(ca, cb) || !reflect.DeepEqual(na, nb) {
+		t.Fatal("same seed, same reports: clusterings differ")
+	}
+	_, winC := feed(43)
+	if reflect.DeepEqual(winA, winC) {
+		t.Fatal("different seeds should sample different reservoirs")
+	}
+}
+
+// TestStreamConcurrentCluster: Cluster on distinct segments may run
+// concurrently (the ptilelive rebuild pattern); run with -race.
+func TestStreamConcurrentCluster(t *testing.T) {
+	s, err := NewStream(StreamConfig{Eps: 15, MinPts: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(8)
+	const segs = 16
+	for i := 0; i < 2000; i++ {
+		s.Add(i%segs, geom.Point{X: rng.Uniform(0, 360), Y: rng.Uniform(0, 180)})
+	}
+	var wg sync.WaitGroup
+	for seg := 0; seg < segs; seg++ {
+		wg.Add(1)
+		go func(seg int) {
+			defer wg.Done()
+			if _, _, ok := s.Cluster(seg); !ok {
+				t.Errorf("segment %d missing", seg)
+			}
+		}(seg)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Reclusters != segs {
+		t.Fatalf("Reclusters = %d, want %d", st.Reclusters, segs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 
+	"ptile360/internal/geom"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
 	"ptile360/internal/obs"
@@ -95,6 +96,13 @@ type Config struct {
 	// planner's grouping (sim.BatchOptions.NoQuant). Diagnostic only:
 	// results are identical either way.
 	BatchNoQuant bool
+	// ViewportSink, when set, receives one viewport report per completed
+	// segment download: the session's trace viewing center for the segment
+	// it just finished. This is the fleet-side feed of the online Ptile
+	// pipeline (ptilelive.Pipeline.Ingest). Shards invoke it concurrently,
+	// so the sink must be safe for concurrent use; it runs inline on the
+	// event loop and must be cheap. Simulation results are unaffected.
+	ViewportSink func(session, segment int, center geom.Point)
 }
 
 // Ledger is the fleet-wide accounting roll-up. Integer fields are exact;
@@ -556,6 +564,7 @@ func (sh *shard) advanceRun(t float64, kind Kind) error {
 			sh.led.Segments++
 			info := sh.pending[slot]
 			state := sh.states[slot]
+			sh.reportViewport(ev.Session, state)
 			if !info.Done && (sh.leave[slot] == 0 || state.Segments() < int(sh.leave[slot])) {
 				m.stepIdx = int32(len(sh.runStates))
 				sh.runStates = append(sh.runStates, state)
@@ -602,6 +611,24 @@ func (sh *shard) advanceRun(t float64, kind Kind) error {
 
 func (sh *shard) slot(session int) int { return session / len(sh.eng.shards) }
 
+// reportViewport feeds the just-completed segment's trace viewing center to
+// the configured ViewportSink (a no-op without one).
+func (sh *shard) reportViewport(session int, state *sim.State) {
+	sink := sh.eng.cfg.ViewportSink
+	if sink == nil || state == nil {
+		return
+	}
+	seg := state.Segments() - 1
+	if seg < 0 {
+		return
+	}
+	c, err := sh.eng.specs[session].User.ViewingCenter(seg, sh.eng.cfg.Catalog.SegmentSec)
+	if err != nil {
+		return
+	}
+	sink(session, seg, c)
+}
+
 func (sh *shard) handle(ev Event) error {
 	slot := sh.slot(ev.Session)
 	switch ev.Kind {
@@ -622,6 +649,7 @@ func (sh *shard) handle(ev Event) error {
 		sh.led.Segments++
 		info := sh.pending[slot]
 		state := sh.states[slot]
+		sh.reportViewport(ev.Session, state)
 		if info.Done || (sh.leave[slot] > 0 && state.Segments() >= int(sh.leave[slot])) {
 			sh.heap.Push(ev.Time, KindLeave, ev.Session)
 			return nil

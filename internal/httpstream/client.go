@@ -151,6 +151,9 @@ type SegmentRecord struct {
 	// transmission and decode terms (render is the remainder).
 	TxEnergyMJ     float64
 	DecodeEnergyMJ float64
+	// ViewCenter is the predicted viewport center the segment was fetched
+	// for — the viewport report the online Ptile pipeline clusters.
+	ViewCenter geom.Point
 }
 
 // SessionReport summarizes a client streaming run.
@@ -459,7 +462,7 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 
 		// Download over HTTP with retries and the degradation ladder,
 		// pacing reads against the shaping trace.
-		out, err := c.downloadResilient(ctx, videoID, seg, degradeLadder(options, decision.Chosen), ptIdx, center, &virtual)
+		out, err := c.downloadResilient(ctx, videoID, seg, man.CatalogVersion, degradeLadder(options, decision.Chosen), ptIdx, center, &virtual)
 		if span != nil {
 			span.Stage("download")
 		}
@@ -487,6 +490,7 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 				BufferSec:            bufferBefore,
 				StallSec:             stall,
 				BestPerceivedQuality: bestQ,
+				ViewCenter:           center,
 			}
 			report.Segments = append(report.Segments, rec)
 			report.TotalRetries += out.retries
@@ -537,6 +541,7 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 			Retries:              out.retries,
 			DegradeSteps:         out.degradeSteps,
 			StallSec:             stall,
+			ViewCenter:           center,
 		}
 		report.Segments = append(report.Segments, rec)
 		report.TotalBytes += out.bytes
@@ -683,7 +688,7 @@ type downloadOutcome struct {
 // budget, and when every rung is exhausted the segment is abandoned rather
 // than failing the session. Only context cancellation and permanent (4xx)
 // errors propagate.
-func (c *Client) downloadResilient(ctx context.Context, videoID, seg int, ladder []abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (downloadOutcome, error) {
+func (c *Client) downloadResilient(ctx context.Context, videoID, seg int, cv int64, ladder []abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (downloadOutcome, error) {
 	var out downloadOutcome
 	var lastErr error
 	for rung, opt := range ladder {
@@ -693,7 +698,7 @@ func (c *Client) downloadResilient(ctx context.Context, videoID, seg int, ladder
 					return out, fmt.Errorf("httpstream: segment %d: %w", seg, err)
 				}
 			}
-			nBytes, elapsed, err := c.downloadOnce(ctx, videoID, seg, opt, ptIdx, center, virtual)
+			nBytes, elapsed, err := c.downloadOnce(ctx, videoID, seg, cv, opt, ptIdx, center, virtual)
 			if err == nil {
 				out.bytes, out.elapsed, out.used, out.degradeSteps = nBytes, elapsed, opt, rung
 				return out, nil
@@ -720,10 +725,16 @@ func (c *Client) downloadResilient(ctx context.Context, videoID, seg int, ladder
 // trace, returning the byte count and the (virtual) elapsed seconds. On
 // failure the partial byte count and elapsed time are still returned so the
 // caller can account the waste.
-func (c *Client) downloadOnce(ctx context.Context, videoID, seg int, chosen abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (int64, float64, error) {
+func (c *Client) downloadOnce(ctx context.Context, videoID, seg int, cv int64, chosen abr.OptionMeta, ptIdx int, center geom.Point, virtual *float64) (int64, float64, error) {
 	u := fmt.Sprintf("%s/segment?video=%d&seg=%d&q=%d&f=%s",
 		c.cfg.BaseURL, videoID, seg, int(chosen.Quality),
 		strconv.FormatFloat(chosen.FrameRate, 'f', -1, 64))
+	if cv > 0 {
+		// Pin the session to the catalogue generation its manifest was cut
+		// from: hot swaps must not change the Ptile geometry under a
+		// session mid-stream.
+		u += fmt.Sprintf("&cv=%d", cv)
+	}
 	if ptIdx >= 0 {
 		u += fmt.Sprintf("&ptile=%d", ptIdx)
 	} else {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"ptile360/internal/geom"
 	"ptile360/internal/ptile"
@@ -48,15 +50,51 @@ type Manifest struct {
 	SourceFPS  float64           `json:"source_fps"`
 	GridRows   int               `json:"grid_rows"`
 	GridCols   int               `json:"grid_cols"`
+	// CatalogVersion is the catalog set the manifest was cut from. Clients
+	// pin their segment requests to it (the cv query parameter) so an
+	// in-flight session keeps streaming the catalogue it started on across
+	// hot swaps.
+	CatalogVersion int64 `json:"catalog_version,omitempty"`
+}
+
+// maxCatalogHistory bounds how many superseded catalog versions stay
+// resolvable after hot swaps; requests pinned to an evicted version get
+// 410 Gone and must refetch the manifest.
+const maxCatalogHistory = 8
+
+// catalogSet is one immutable published catalogue generation. Readers load
+// it with a single atomic pointer read — no lock anywhere on the request
+// hot path — and resolve pinned versions through the history map, which is
+// never mutated after publication.
+type catalogSet struct {
+	version  int64
+	catalogs map[int]*sim.Catalog
+	// history resolves still-supported older versions (most recent
+	// maxCatalogHistory generations).
+	history map[int64]map[int]*sim.Catalog
+}
+
+// resolve returns the catalogue map for a pinned version (version 0 means
+// "current").
+func (cs *catalogSet) resolve(version int64) (map[int]*sim.Catalog, bool) {
+	if version == 0 || version == cs.version {
+		return cs.catalogs, true
+	}
+	m, ok := cs.history[version]
+	return m, ok
 }
 
 // Server serves manifests and segments for a set of prepared catalogues.
+// The active catalogue generation sits behind an atomic pointer so
+// SwapCatalog can publish a new one with zero downtime: requests in flight
+// (and sessions pinned via cv) keep reading the generation they started on.
 type Server struct {
-	mux      *http.ServeMux
-	catalogs map[int]*sim.Catalog
-	enc      video.EncoderConfig
-	frames   []float64
-	inst     *serverObs // nil until Instrument
+	mux    *http.ServeMux
+	cats   atomic.Pointer[catalogSet]
+	swapMu sync.Mutex // serializes writers; readers never take it
+	enc    video.EncoderConfig
+	frames []float64
+	inst   *serverObs // nil until Instrument
 }
 
 // NewServer builds a server over the given catalogues. frameRates lists the
@@ -72,11 +110,11 @@ func NewServer(catalogs map[int]*sim.Catalog, enc video.EncoderConfig, frameRate
 		return nil, fmt.Errorf("httpstream: no frame rates")
 	}
 	s := &Server{
-		mux:      http.NewServeMux(),
-		catalogs: catalogs,
-		enc:      enc,
-		frames:   frameRates,
+		mux:    http.NewServeMux(),
+		enc:    enc,
+		frames: frameRates,
 	}
+	s.cats.Store(&catalogSet{version: 1, catalogs: catalogs})
 	s.mux.HandleFunc("/manifest", s.handleManifest)
 	s.mux.HandleFunc("/segment", s.handleSegment)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -95,33 +133,87 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) catalogFor(w http.ResponseWriter, r *http.Request) (*sim.Catalog, bool) {
-	id, err := strconv.Atoi(r.URL.Query().Get("video"))
+// SwapCatalog atomically publishes a new catalogue for one video and
+// returns the new generation's version. Every other video keeps its current
+// catalogue; the superseded generation stays resolvable for pinned sessions
+// until it ages out of the bounded history. Concurrent swaps serialize on
+// swapMu; readers are wait-free (one atomic load per request).
+func (s *Server) SwapCatalog(cat *sim.Catalog) int64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	old := s.cats.Load()
+	next := &catalogSet{
+		version:  old.version + 1,
+		catalogs: make(map[int]*sim.Catalog, len(old.catalogs)+1),
+		history:  make(map[int64]map[int]*sim.Catalog, len(old.history)+1),
+	}
+	for id, c := range old.catalogs {
+		next.catalogs[id] = c
+	}
+	next.catalogs[cat.Video.ID] = cat
+	for v, m := range old.history {
+		if v > next.version-maxCatalogHistory {
+			next.history[v] = m
+		}
+	}
+	if old.version > next.version-maxCatalogHistory {
+		next.history[old.version] = old.catalogs
+	}
+	s.cats.Store(next)
+	return next.version
+}
+
+// CatalogVersion returns the currently published generation.
+func (s *Server) CatalogVersion() int64 { return s.cats.Load().version }
+
+// catalogFor resolves the request's catalogue: the video parameter selects
+// the video, and the optional cv parameter pins the catalogue generation a
+// session started on. An evicted generation answers 410 Gone — the signal
+// to refetch the manifest.
+func (s *Server) catalogFor(w http.ResponseWriter, r *http.Request) (*sim.Catalog, int64, bool) {
+	qy := r.URL.Query()
+	id, err := strconv.Atoi(qy.Get("video"))
 	if err != nil || id < 0 {
 		http.Error(w, "bad or missing video parameter", http.StatusBadRequest)
-		return nil, false
+		return nil, 0, false
 	}
-	cat, ok := s.catalogs[id]
+	set := s.cats.Load()
+	version := set.version
+	if cvs := qy.Get("cv"); cvs != "" {
+		v, err := strconv.ParseInt(cvs, 10, 64)
+		if err != nil || v < 1 {
+			http.Error(w, "bad catalog version", http.StatusBadRequest)
+			return nil, 0, false
+		}
+		version = v
+	}
+	catalogs, ok := set.resolve(version)
+	if !ok {
+		http.Error(w, fmt.Sprintf("catalog version %d no longer served", version), http.StatusGone)
+		return nil, 0, false
+	}
+	cat, ok := catalogs[id]
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown video %d", id), http.StatusNotFound)
-		return nil, false
+		return nil, 0, false
 	}
-	return cat, true
+	return cat, version, true
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
-	cat, ok := s.catalogFor(w, r)
+	cat, version, ok := s.catalogFor(w, r)
 	if !ok {
 		return
 	}
 	m := Manifest{
-		VideoID:    cat.Video.ID,
-		SegmentSec: cat.SegmentSec,
-		Qualities:  int(video.MaxQuality),
-		FrameRates: s.frames,
-		SourceFPS:  s.enc.FrameRate,
-		GridRows:   4,
-		GridCols:   8,
+		VideoID:        cat.Video.ID,
+		SegmentSec:     cat.SegmentSec,
+		Qualities:      int(video.MaxQuality),
+		FrameRates:     s.frames,
+		SourceFPS:      s.enc.FrameRate,
+		GridRows:       4,
+		GridCols:       8,
+		CatalogVersion: version,
 	}
 	for seg := range cat.Content {
 		sm := SegmentMetaJSON{SI: cat.Content[seg].SI, TI: cat.Content[seg].TI}
@@ -142,11 +234,13 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 //	video, seg           — segment address
 //	q                    — quality level 1..5
 //	f                    — frame rate (0 → source rate)
+//	cv                   — catalogue generation the session is pinned to
+//	                       (absent → current; evicted → 410)
 //	ptile                — Ptile index within the segment; when present the
 //	                       response is the Ptile (plus background blocks),
 //	                       otherwise the conventional tile set is served.
 func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
-	cat, ok := s.catalogFor(w, r)
+	cat, _, ok := s.catalogFor(w, r)
 	if !ok {
 		return
 	}

@@ -52,6 +52,11 @@ type TelemetryRecord struct {
 	Abandoned    bool `json:"abandoned,omitempty"`
 	// BufferSec is the buffer level when the download started.
 	BufferSec float64 `json:"buffer_sec"`
+	// ViewX/ViewY are the predicted viewport center the segment was fetched
+	// for (panorama degrees) — the viewport report internal/ptilelive
+	// clusters into online Ptiles.
+	ViewX float64 `json:"view_x"`
+	ViewY float64 `json:"view_y"`
 }
 
 // telemetryFrom converts one segment's accounting into the wire record.
@@ -75,6 +80,8 @@ func telemetryFrom(session string, videoID int, segmentSec float64, rec SegmentR
 		DegradeSteps:   rec.DegradeSteps,
 		Abandoned:      rec.Abandoned,
 		BufferSec:      rec.BufferSec,
+		ViewX:          rec.ViewCenter.X,
+		ViewY:          rec.ViewCenter.Y,
 	}
 	if segmentSec > 0 {
 		tr.BitrateMbps = float64(rec.Bytes) * 8 / segmentSec / 1e6

@@ -111,14 +111,27 @@ func (r SegmentResult) CoverageFraction() float64 {
 	return float64(r.CoveredUsers) / float64(r.TotalUsers)
 }
 
-// BuildSegment clusters the per-segment viewing centers and constructs the
-// Ptiles for one video segment.
+// BuildSegment clusters the per-segment viewing centers with Algorithm 1 and
+// constructs the Ptiles for one video segment.
 func BuildSegment(centers []geom.Point, cfg Config) (SegmentResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return SegmentResult{}, err
 	}
 	clusters, err := cluster.ViewingCenters(centers, cfg.Params)
 	if err != nil {
+		return SegmentResult{}, err
+	}
+	return BuildSegmentClusters(centers, clusters, cfg)
+}
+
+// BuildSegmentClusters constructs the Ptiles for one segment from an already
+// computed clustering of the viewing centers (cluster member indices refer
+// into centers). This is the hook the online pipeline uses: ptilelive
+// clusters its sliding windows incrementally (cluster.Stream over the
+// grid-indexed DBSCAN) and hands the result here, so the geometric Ptile
+// construction is shared verbatim between the offline and online paths.
+func BuildSegmentClusters(centers []geom.Point, clusters []cluster.Cluster, cfg Config) (SegmentResult, error) {
+	if err := cfg.Validate(); err != nil {
 		return SegmentResult{}, err
 	}
 	lut := geom.FoVLUTFor(cfg.Grid, cfg.FoVDeg, cfg.FoVDeg)
