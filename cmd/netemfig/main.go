@@ -1,0 +1,102 @@
+// Command netemfig regenerates the packet-level robustness figure: MPC
+// QoE/energy/stall under the segment-level fluid bandwidth model versus the
+// packet-level network emulator, for the harmonic-mean and delay-gradient
+// estimators, across the adversarial link profiles. It writes one JSON row
+// per (profile, model, estimator) cell to stdout (the NETEM_*.jsonl
+// artifact) and renders the human-readable table to stderr.
+//
+// Usage:
+//
+//	netemfig -scale quick > NETEM_$(date +%F).jsonl
+//	netemfig -net netem:bufferbloat,capacity=8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"ptile360/internal/experiments"
+)
+
+type row struct {
+	Video       int     `json:"video"`
+	Users       int     `json:"users"`
+	Profile     string  `json:"profile"`
+	Model       string  `json:"model"`
+	Estimator   string  `json:"estimator"`
+	QoE         float64 `json:"qoe"`
+	EnergyJ     float64 `json:"energy_j"`
+	StallSec    float64 `json:"stall_sec"`
+	Stalls      int     `json:"stalls"`
+	Packets     int     `json:"packets"`
+	Retransmits int     `json:"retransmits"`
+	DropsTail   int     `json:"drops_tail"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		scaleName = flag.String("scale", "quick", "workload scale: full or quick")
+		videoID   = flag.Int("video", 8, "Table III video ID")
+		netSpec   = flag.String("net", "", "restrict to one profile: netem:<profile[,key=val...]> (empty sweeps the defaults)")
+	)
+	flag.Parse()
+
+	if *netSpec != "" {
+		spec, ok := strings.CutPrefix(*netSpec, "netem:")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "netemfig: bad -net value %q: want netem:<profile[,key=val...]>\n", *netSpec)
+			return 2
+		}
+		if err := experiments.SetNetemProfile(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "netemfig: %v\n", err)
+			return 2
+		}
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiments.FullScale()
+	case "quick":
+		scale = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "netemfig: unknown scale %q (full, quick)\n", *scaleName)
+		return 2
+	}
+
+	res, err := experiments.NetemFig(*videoID, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netemfig: %v\n", err)
+		return 1
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range res.Rows {
+		if err := enc.Encode(row{
+			Video: res.Video, Users: res.Users,
+			Profile: r.Profile, Model: r.Model, Estimator: r.Estimator,
+			QoE: r.MeanQoE, EnergyJ: r.EnergyJ, StallSec: r.StallSec, Stalls: r.Stalls,
+			Packets: r.Packets, Retransmits: r.Retransmits, DropsTail: r.DropsTail,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "netemfig: %v\n", err)
+			return 1
+		}
+	}
+
+	table := res.Render()
+	fmt.Fprintln(os.Stderr, table.Title)
+	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(table.Columns, "\t"))
+	for _, cells := range table.Rows {
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	tw.Flush()
+	return 0
+}

@@ -23,13 +23,16 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"ptile360/internal/faultinject"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
+	"ptile360/internal/netem"
 	"ptile360/internal/obs"
+	"ptile360/internal/ptilelive"
 	"ptile360/internal/resilience"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
@@ -59,6 +62,8 @@ func run() int {
 		rate         = flag.Float64("rate", 0, "per-client requests/second (0 disables rate limiting)")
 		burst        = flag.Float64("burst", 50, "per-client token-bucket burst (with -rate)")
 		drainWait    = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+		rebuildEvery = flag.Duration("rebuild-interval", 0, "regenerate online Ptiles from served viewport reports and hot-swap the catalogue on this period (0 disables)")
+		paceMbps     = flag.Float64("pace-mbps", 0, "paced sender: throttle segment bodies to this rate in Mbit/s instead of bursting (0 disables)")
 	)
 	flag.Parse()
 
@@ -118,6 +123,54 @@ func run() int {
 		return 1
 	}
 	srv.Instrument(reg, logger)
+
+	if *paceMbps > 0 {
+		if err := srv.SetPacing(*paceMbps*1e6, netem.NewPacerMetrics(reg)); err != nil {
+			logger.Error("bad pacing rate", "pace_mbps", *paceMbps, "err", err)
+			return 2
+		}
+		logger.Info("paced sender active", "pace_mbps", *paceMbps)
+	}
+
+	// The online Ptile pipeline regenerates Ptiles from the viewport centers
+	// of served segments and hot-swaps the catalogue on a timer. The loop
+	// goroutine is joined on shutdown so the drain is clean.
+	var rebuildWG sync.WaitGroup
+	rebuildCtx, stopRebuild := context.WithCancel(context.Background())
+	defer stopRebuild()
+	if *rebuildEvery > 0 {
+		lcfg, err := ptilelive.DefaultConfig()
+		if err != nil {
+			logger.Error("online pipeline config invalid", "err", err)
+			return 1
+		}
+		lcfg.Registry = reg
+		pipeline, err := ptilelive.New(lcfg)
+		if err != nil {
+			logger.Error("online pipeline construction failed", "err", err)
+			return 1
+		}
+		srv.SetViewportSink(pipeline.IngestTelemetry)
+		rebuildWG.Add(1)
+		go func() {
+			defer rebuildWG.Done()
+			err := pipeline.Loop(rebuildCtx, *rebuildEvery, func(videoID int, b ptilelive.Build) {
+				base, ok := catalogs[videoID]
+				if !ok {
+					return
+				}
+				v := srv.SwapCatalog(pipeline.ApplyToCatalog(base))
+				logger.Info("online catalogue published", "video", videoID,
+					"build_version", b.Version, "catalog_version", v, "ptiles", b.Ptiles())
+			}, func(videoID int, err error) {
+				logger.Error("online rebuild failed", "video", videoID, "err", err)
+			})
+			if err != nil {
+				logger.Error("rebuild loop failed", "err", err)
+			}
+		}()
+		logger.Info("online rebuild loop active", "interval", *rebuildEvery)
+	}
 
 	// Fault injection (when enabled) sits *inside* the protection chain, so
 	// shed requests never consume fault budget and the breaker observes the
@@ -179,6 +232,8 @@ func run() int {
 	logger.Info("serving", "videos", len(catalogs), "addr", *addr,
 		"max_inflight", *maxInFlight, "max_queue", *maxQueue, "rate_per_sec", *rate)
 	err = resilience.Serve(ctx, httpServer, nil, chain, *drainWait)
+	stopRebuild()
+	rebuildWG.Wait()
 	logger.Info("final outcome ledger")
 	os.Stderr.WriteString(chain.Snapshot().String() + "\n")
 	if err != nil {

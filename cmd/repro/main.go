@@ -41,6 +41,7 @@ func run() int {
 		list         = flag.Bool("list", false, "list available experiments and exit")
 		csvDir       = flag.String("csvdir", "", "also write each table as CSV into this directory")
 		workers      = flag.Int("workers", 0, "worker-pool cap for the experiment engine (0 = GOMAXPROCS); outputs are identical for any value")
+		netSpec      = flag.String("net", "", "restrict the netem experiment to one packet-level profile: netem:<profile[,key=val...]> (empty sweeps the default profiles)")
 		metricsAddr  = flag.String("metrics-addr", "", "ops listener address for /metrics, /debug/pprof, /debug/vars during the run (empty disables)")
 		runJSON      = flag.String("run-json", "", "write a JSON run summary (experiments, tables, wall time) to this file")
 		summaryEvery = flag.Duration("summary-every", 30*time.Second, "log a sweep progress summary at this interval (0 disables)")
@@ -67,6 +68,18 @@ func run() int {
 	}
 
 	ptile360.SetMaxWorkers(*workers)
+
+	if *netSpec != "" {
+		spec, ok := strings.CutPrefix(*netSpec, "netem:")
+		if !ok {
+			logger.Error("bad -net value: want netem:<profile[,key=val...]>", "net", *netSpec)
+			return 2
+		}
+		if err := ptile360.SetNetemProfile(spec); err != nil {
+			logger.Error("bad netem profile", "net", spec, "err", err)
+			return 2
+		}
+	}
 
 	reg := obs.Default()
 	ptile360.RegisterExperimentMetrics(reg)

@@ -19,14 +19,17 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"ptile360/internal/faultinject"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/httpstream"
 	"ptile360/internal/lte"
+	"ptile360/internal/netem"
 	"ptile360/internal/obs"
 	"ptile360/internal/power"
+	"ptile360/internal/predict"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
 )
@@ -41,6 +44,9 @@ func run() int {
 		videoID      = flag.Int("video", 8, "Table III video ID")
 		segments     = flag.Int("segments", 30, "number of segments to stream (0 = all)")
 		shaped       = flag.Bool("shaped", false, "pace downloads against the LTE trace 2")
+		netSpec      = flag.String("net", "off", "packet-level network model: off, or netem:<profile[,key=val...]> (profiles: "+strings.Join(netem.ProfileNames(), ", ")+")")
+		netPace      = flag.Float64("net-pace", 0, "netem paced-sender factor: transmit at factor x segment bitrate instead of bursting (0 disables; with -net)")
+		estimator    = flag.String("estimator", "harmonic", "bandwidth estimator: harmonic, last-sample, ewma, moving-average, delay-gradient")
 		compress     = flag.Float64("compress", 20, "time compression for shaping")
 		useMPC       = flag.Bool("mpc", true, "use the energy-minimizing MPC controller")
 		seed         = flag.Int64("seed", 7, "viewer seed")
@@ -125,6 +131,12 @@ func run() int {
 		rp.MaxAttempts = *retries
 		cfg.Retry = rp
 	}
+	kind, err := predict.ParseEstimatorKind(*estimator)
+	if err != nil {
+		logger.Error("bad estimator", "err", err)
+		return 2
+	}
+	cfg.Estimator = kind
 	if *shaped {
 		_, tr2, err := lte.StandardTraces(400, 99)
 		if err != nil {
@@ -132,6 +144,38 @@ func run() int {
 			return 1
 		}
 		cfg.Shape = tr2
+	}
+	if *netSpec != "" && *netSpec != "off" {
+		if *shaped {
+			logger.Error("-shaped and -net are mutually exclusive bandwidth models")
+			return 2
+		}
+		spec, ok := strings.CutPrefix(*netSpec, "netem:")
+		if !ok {
+			logger.Error("bad -net value: want off or netem:<profile>", "net", *netSpec)
+			return 2
+		}
+		prof, err := netem.ParseProfile(spec)
+		if err != nil {
+			logger.Error("bad netem profile", "net", spec, "err", err)
+			return 2
+		}
+		pn, err := netem.NewSessionNet(netem.SessionConfig{
+			Profile: prof,
+			Seed:    *seed,
+			// The catalogue serves 1 s segments (the paper's L); the paced
+			// sending rate is PaceFactor x sizeBits/L.
+			SegmentSec: 1,
+			PaceFactor: *netPace,
+			Metrics:    netem.NewMetrics(reg, prof.Name),
+		})
+		if err != nil {
+			logger.Error("netem path construction failed", "err", err)
+			return 1
+		}
+		cfg.Net = pn
+		logger.Info("packet-level network emulation active",
+			"profile", prof.Name, "estimator", kind.String(), "pace_factor", *netPace)
 	}
 	var injector *faultinject.Transport
 	profile, err := faultinject.Named(*faults)

@@ -16,6 +16,7 @@ import (
 	"ptile360/internal/geom"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
+	"ptile360/internal/netem"
 	"ptile360/internal/obs"
 	"ptile360/internal/power"
 	"ptile360/internal/predict"
@@ -33,6 +34,18 @@ type ClientConfig struct {
 	// Shape optionally paces downloads to an LTE trace. Nil means
 	// unshaped (full local throughput).
 	Shape *lte.Trace
+	// Net routes downloads through the in-process packet-level network
+	// emulator instead of the segment-level Shape trace: each segment body
+	// is read from the server at local speed, then charged the emulated
+	// transfer time (packetization, queueing, loss, retransmission) and the
+	// per-packet timing is fed to a PacketObserver estimator. Mutually
+	// exclusive with Shape.
+	Net *netem.SessionNet
+	// Estimator selects the bandwidth-estimator family. The zero value
+	// means the paper's harmonic mean over a 5-sample window. The
+	// delay-gradient kind additionally consumes packet timing when Net is
+	// set.
+	Estimator predict.EstimatorKind
 	// TimeCompression divides the shaping sleep times: 10 means the session
 	// runs 10× faster than real time while preserving per-segment
 	// throughput accounting. Zero means 1.
@@ -95,6 +108,9 @@ func (c ClientConfig) Validate() error {
 	}
 	if c.TimeCompression < 0 {
 		return fmt.Errorf("httpstream: negative time compression %g", c.TimeCompression)
+	}
+	if c.Shape != nil && c.Net != nil {
+		return fmt.Errorf("httpstream: Shape and Net are mutually exclusive bandwidth models")
 	}
 	if c.MaxSegments < 0 {
 		return fmt.Errorf("httpstream: negative segment cap %d", c.MaxSegments)
@@ -376,7 +392,11 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 		n = c.cfg.MaxSegments
 	}
 
-	bw, err := predict.NewBandwidth(5)
+	kind := c.cfg.Estimator
+	if kind == 0 {
+		kind = predict.EstimatorHarmonic
+	}
+	bw, err := predict.NewEstimator(kind, 5)
 	if err != nil {
 		return nil, err
 	}
@@ -504,6 +524,15 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 
 		chosen := out.used
 		throughput := float64(out.bytes*8) / out.elapsed
+		if c.cfg.Net != nil {
+			// Feed the successful attempt's wire timing to the estimator
+			// before the segment-level sample, mirroring arrival order.
+			if po, ok := bw.(predict.PacketObserver); ok {
+				for _, ps := range c.cfg.Net.Packets() {
+					po.ObservePacket(ps.SendSec, ps.RecvSec, ps.Bytes)
+				}
+			}
+		}
 		if err := bw.Observe(throughput); err != nil {
 			return nil, err
 		}
@@ -789,7 +818,23 @@ func (c *Client) downloadOnce(ctx context.Context, videoID, seg int, cv int64, c
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	if c.cfg.Shape != nil {
+	switch {
+	case c.cfg.Net != nil && nBytes > 0:
+		// The body was read at local speed; charge the emulated wire time
+		// instead, and advance the session's virtual clock so back-to-back
+		// segments see the link schedule at the right offsets.
+		dur, derr := c.cfg.Net.Download(float64(nBytes*8), *virtual)
+		if derr != nil {
+			return nBytes, elapsed, fmt.Errorf("httpstream: segment %d: %w", seg, derr)
+		}
+		*virtual += dur
+		compression := c.cfg.TimeCompression
+		if compression == 0 {
+			compression = 1
+		}
+		time.Sleep(time.Duration(dur / compression * float64(time.Second)))
+		elapsed = dur
+	case c.cfg.Shape != nil:
 		// Under shaping, the virtual elapsed time is authoritative.
 		elapsed = float64(nBytes*8) / c.cfg.Shape.At(*virtual)
 	}

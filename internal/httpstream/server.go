@@ -11,12 +11,14 @@ package httpstream
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"ptile360/internal/geom"
+	"ptile360/internal/netem"
 	"ptile360/internal/ptile"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
@@ -95,7 +97,22 @@ type Server struct {
 	enc    video.EncoderConfig
 	frames []float64
 	inst   *serverObs // nil until Instrument
+	pacing atomic.Pointer[pacingState]
+	sink   atomic.Pointer[ViewportSink]
 }
+
+// pacingState is one published paced-sender configuration; swapped
+// atomically so in-flight requests see a consistent (rate, metrics) pair.
+type pacingState struct {
+	rateBps float64
+	metrics *netem.PacerMetrics
+}
+
+// ViewportSink receives one viewport report per served segment: the video,
+// segment index, and the panorama-degree center the client fetched for. The
+// online Ptile pipeline (internal/ptilelive) ingests exactly this shape. It
+// is called on the request goroutine; keep it fast.
+type ViewportSink func(video, segment int, x, y float64)
 
 // NewServer builds a server over the given catalogues. frameRates lists the
 // Ptile frame-rate versions available for download.
@@ -165,6 +182,42 @@ func (s *Server) SwapCatalog(cat *sim.Catalog) int64 {
 
 // CatalogVersion returns the currently published generation.
 func (s *Server) CatalogVersion() int64 { return s.cats.Load().version }
+
+// SetPacing throttles segment payload writes to rateBps bits/s through the
+// interval-budget pacer (netem.PacedWriter): bodies leave in MTU-sized
+// quanta at the target rate instead of one burst, which keeps a shared
+// bottleneck queue shallow. rateBps 0 restores unpaced writes. m optionally
+// publishes the pacing_* instruments; nil is silent.
+func (s *Server) SetPacing(rateBps float64, m *netem.PacerMetrics) error {
+	if rateBps == 0 {
+		s.pacing.Store(nil)
+		return nil
+	}
+	// Construct a probe writer up front so a bad rate fails here, not per
+	// request.
+	if _, err := netem.NewPacer(rateBps, 0); err != nil {
+		return err
+	}
+	s.pacing.Store(&pacingState{rateBps: rateBps, metrics: m})
+	return nil
+}
+
+// SetViewportSink publishes the per-segment viewport report callback; nil
+// disables reporting.
+func (s *Server) SetViewportSink(sink ViewportSink) {
+	if sink == nil {
+		s.sink.Store(nil)
+		return
+	}
+	s.sink.Store(&sink)
+}
+
+// report forwards one served segment's viewport center to the sink, if set.
+func (s *Server) report(video, segment int, x, y float64) {
+	if p := s.sink.Load(); p != nil {
+		(*p)(video, segment, x, y)
+	}
+}
 
 // catalogFor resolves the request's catalogue: the video parameter selects
 // the video, and the optional cv parameter pins the catalogue generation a
@@ -286,6 +339,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		pt := cat.Ptiles[seg][idx]
+		s.report(cat.Video.ID, seg, pt.Rect.X0+pt.Rect.W/2, pt.Rect.Y0+pt.Rect.H/2)
 		bits, err = s.enc.TileBits(video.TileSpec{
 			Rect: pt.Rect, Quality: quality, FrameRate: f, Kind: video.KindPtile,
 		}, cat.SegmentSec, sc)
@@ -314,6 +368,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		center := geom.Point{X: cx, Y: cy}
+		s.report(cat.Video.ID, seg, cx, cy)
 		// The shared FoV LUT answers membership with a bitset; the map is
 		// only needed if the grid cannot carry tile masks.
 		var fovSet geom.TileSet
@@ -354,12 +409,19 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(nBytes, 10))
-	writePayload(w, nBytes)
+	var dst io.Writer = w
+	if ps := s.pacing.Load(); ps != nil {
+		pw, err := netem.NewPacedWriter(w, ps.rateBps, nil, nil, ps.metrics)
+		if err == nil {
+			dst = pw
+		}
+	}
+	writePayload(dst, nBytes)
 }
 
 // writePayload streams nBytes of deterministic filler without allocating the
 // whole body.
-func writePayload(w http.ResponseWriter, nBytes int64) {
+func writePayload(w io.Writer, nBytes int64) {
 	var chunk [8192]byte
 	for i := range chunk {
 		chunk[i] = byte(i)

@@ -1,0 +1,62 @@
+package netem
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseProfile hammers the profile spec parser: any input must either
+// fail cleanly or yield a profile that validates, compiles, and drives a
+// link without panics, NaNs, or time going backwards.
+func FuzzParseProfile(f *testing.F) {
+	f.Add("ideal")
+	f.Add("stable,capacity=10,rtt=20,queue=64,loss=0.01,cross=2")
+	f.Add("bufferbloat,mtu=576")
+	f.Add("suddendrop,repeat=120")
+	f.Add("crossflow, capacity = 1e3 ,rtt=1e-9")
+	f.Add("stable,capacity=")
+	f.Add("stable,loss=nan")
+	f.Add(",,,=,==")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseProfile(%q) returned invalid profile: %v", spec, err)
+		}
+		s := p.compile()
+		prev := 0.0
+		for _, ts := range []float64{0, 0.05, 1, 17.3, 1e4} {
+			pr := s.at(ts)
+			if err := pr.Validate(); err != nil {
+				t.Fatalf("compiled params invalid at %g: %v", ts, err)
+			}
+			nb := s.nextBoundary(prev)
+			if !math.IsInf(nb, 1) && nb <= prev {
+				t.Fatalf("boundary %g not after %g", nb, prev)
+			}
+		}
+		link, err := NewLink(p)
+		if err != nil {
+			t.Fatalf("NewLink on validated profile: %v", err)
+		}
+		last := 0.0
+		for i := 0; i < 8; i++ {
+			at := float64(i) * 0.25
+			served, dropped := link.Send(1200, at)
+			if dropped {
+				continue
+			}
+			if math.IsNaN(served) {
+				t.Fatalf("NaN service time at %g", at)
+			}
+			if !math.IsInf(served, 1) && served < last {
+				t.Fatalf("service time went backwards: %g after %g", served, last)
+			}
+			if !math.IsInf(served, 1) {
+				last = served
+			}
+		}
+	})
+}

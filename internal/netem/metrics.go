@@ -1,0 +1,60 @@
+package netem
+
+import "ptile360/internal/obs"
+
+// Metrics bundles the netem_* instruments. All hooks are nil-safe so the
+// pure virtual-time paths (sim, repro) can run without a registry.
+type Metrics struct {
+	Packets     *obs.Counter   // netem_packets_total
+	DropsTail   *obs.Counter   // netem_drops_total{reason="droptail"}
+	DropsLoss   *obs.Counter   // netem_drops_total{reason="loss"}
+	Retransmits *obs.Counter   // netem_retransmits_total
+	QueueDelay  *obs.Histogram // netem_queue_delay_seconds
+	Downloads   *obs.Counter   // netem_downloads_total
+}
+
+// NewMetrics registers the netem instruments on reg, labelled with the
+// profile name so multiple emulated links stay distinguishable.
+func NewMetrics(reg *obs.Registry, profile string) *Metrics {
+	pl := obs.L("profile", profile)
+	return &Metrics{
+		Packets:     reg.Counter("netem_packets_total", "Packets delivered over the emulated link.", pl),
+		DropsTail:   reg.Counter("netem_drops_total", "Packets lost on the emulated link.", pl, obs.L("reason", "droptail")),
+		DropsLoss:   reg.Counter("netem_drops_total", "Packets lost on the emulated link.", pl, obs.L("reason", "loss")),
+		Retransmits: reg.Counter("netem_retransmits_total", "Packet retransmissions on the emulated link.", pl),
+		QueueDelay:  reg.Histogram("netem_queue_delay_seconds", "Per-packet bottleneck queueing delay.", []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}, pl),
+		Downloads:   reg.Counter("netem_downloads_total", "Segment downloads completed over the emulated link.", pl),
+	}
+}
+
+func (m *Metrics) packet(queueDelaySec float64) {
+	if m == nil {
+		return
+	}
+	m.Packets.Inc()
+	m.QueueDelay.Observe(queueDelaySec)
+}
+
+func (m *Metrics) dropTail() {
+	if m != nil {
+		m.DropsTail.Inc()
+	}
+}
+
+func (m *Metrics) dropLoss() {
+	if m != nil {
+		m.DropsLoss.Inc()
+	}
+}
+
+func (m *Metrics) retransmit() {
+	if m != nil {
+		m.Retransmits.Inc()
+	}
+}
+
+func (m *Metrics) download() {
+	if m != nil {
+		m.Downloads.Inc()
+	}
+}

@@ -1,0 +1,221 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// allEstimatorKinds lists every registered kind for table-driven suites.
+var allEstimatorKinds = []EstimatorKind{
+	EstimatorHarmonic, EstimatorLastSample, EstimatorEWMA,
+	EstimatorMovingAverage, EstimatorDelayGradient,
+}
+
+// TestObservePoisonRejected pins the hardening contract for every
+// estimator kind: zero/negative/NaN/±Inf observations return an error and
+// leave the estimate bit-identical, and absurd finite samples clamp
+// instead of dominating the window.
+func TestObservePoisonRejected(t *testing.T) {
+	poisons := []float64{0, -1, -1e9, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, kind := range allEstimatorKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			e, err := NewEstimator(kind, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []float64{8e6, 12e6, 10e6} {
+				if err := e.Observe(r); err != nil {
+					t.Fatalf("good sample %g rejected: %v", r, err)
+				}
+			}
+			before, err := e.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range poisons {
+				if err := e.Observe(p); err == nil {
+					t.Fatalf("poison sample %g accepted", p)
+				}
+				after, err := e.Estimate()
+				if err != nil {
+					t.Fatalf("estimate broken after rejected %g: %v", p, err)
+				}
+				if math.Float64bits(after) != math.Float64bits(before) {
+					t.Fatalf("rejected sample %g changed estimate: %g -> %g", p, before, after)
+				}
+			}
+			// A finite but absurd sample clamps; the estimate stays finite
+			// and within the sane ceiling.
+			if err := e.Observe(1e300); err != nil {
+				t.Fatalf("clampable sample rejected: %v", err)
+			}
+			got, err := e.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(got) || math.IsInf(got, 0) || got > maxSaneRateBps {
+				t.Fatalf("estimate %g escaped the sane ceiling after clamp", got)
+			}
+		})
+	}
+}
+
+// TestObservePoisonOnFreshEstimator checks the window stays empty when the
+// first-ever sample is poison.
+func TestObservePoisonOnFreshEstimator(t *testing.T) {
+	for _, kind := range allEstimatorKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			e, err := NewEstimator(kind, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Observe(math.NaN()); err == nil {
+				t.Fatal("NaN accepted as first sample")
+			}
+			if e.Ready() {
+				t.Fatal("estimator became ready from a rejected sample")
+			}
+			if _, err := e.Estimate(); err == nil {
+				t.Fatal("estimate available after only a rejected sample")
+			}
+		})
+	}
+}
+
+// feedSteady feeds packets of a download where the queueing delay stays
+// flat: send and recv advance in lockstep.
+func feedSteady(e *DelayGradient, start float64, groups int) {
+	for g := 0; g < groups; g++ {
+		base := start + float64(g)*0.010
+		for k := 0; k < 3; k++ {
+			ts := base + float64(k)*0.001
+			e.ObservePacket(ts, ts+0.020, 1500)
+		}
+	}
+}
+
+// feedBloat feeds packets whose one-way delay grows linearly — a standing
+// queue building under the flow.
+func feedBloat(e *DelayGradient, start float64, groups int) {
+	delay := 0.020
+	for g := 0; g < groups; g++ {
+		base := start + float64(g)*0.010
+		for k := 0; k < 3; k++ {
+			ts := base + float64(k)*0.001
+			e.ObservePacket(ts, ts+delay, 1500)
+		}
+		delay += 0.008 // ~0.8 s/s slope, far above threshold
+	}
+}
+
+func TestDelayGradientSteadyProbesUp(t *testing.T) {
+	e := NewDelayGradient()
+	if err := e.Observe(10e6); err != nil {
+		t.Fatal(err)
+	}
+	feedSteady(e, 1, 30)
+	if err := e.Observe(10e6); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Estimate()
+	if got <= 10e6 || got > probeCap*10e6 {
+		t.Fatalf("steady link estimate %g, want a bounded probe above 10e6", got)
+	}
+}
+
+func TestDelayGradientDetectsBufferbloat(t *testing.T) {
+	e := NewDelayGradient()
+	if err := e.Observe(24e6); err != nil {
+		t.Fatal(err)
+	}
+	feedBloat(e, 1, 30)
+	if err := e.Observe(24e6); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Estimate()
+	want := drainBeta * 24e6
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("bloated link estimate %g, want AIMD backoff to %g", got, want)
+	}
+	// The latch clears: a following clean segment probes again.
+	feedSteady(e, 10, 30)
+	if err := e.Observe(24e6); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := e.Estimate()
+	if got2 <= got {
+		t.Fatalf("estimate did not recover after overuse cleared: %g -> %g", got, got2)
+	}
+}
+
+func TestDelayGradientIgnoresBadPackets(t *testing.T) {
+	e := NewDelayGradient()
+	e.ObservePacket(math.NaN(), 1, 100)
+	e.ObservePacket(1, math.Inf(1), 100)
+	e.ObservePacket(1, 2, 0)
+	e.ObservePacket(1, 2, -5)
+	if err := e.Observe(5e6); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate()
+	if err != nil || math.IsNaN(got) {
+		t.Fatalf("bad packets poisoned the estimator: %g, %v", got, err)
+	}
+}
+
+// TestDelayGradientStateBitsDeterminism pins the fingerprint contract:
+// identical feeds produce identical words, and the words change when the
+// observable state changes.
+func TestDelayGradientStateBitsDeterminism(t *testing.T) {
+	mk := func() *DelayGradient {
+		e := NewDelayGradient()
+		e.Observe(10e6)
+		feedBloat(e, 1, 12)
+		return e
+	}
+	a, b := mk(), mk()
+	wa := a.AppendStateBits(nil)
+	wb := b.AppendStateBits(nil)
+	if len(wa) != len(wb) {
+		t.Fatalf("word counts diverge: %d vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("word %d diverges: %x vs %x", i, wa[i], wb[i])
+		}
+	}
+	if wa[0] != uint64(EstimatorDelayGradient) {
+		t.Fatalf("first word %d, want kind %d", wa[0], EstimatorDelayGradient)
+	}
+	// Advancing one copy must change the fingerprint.
+	feedBloat(a, 5, 3)
+	wa2 := a.AppendStateBits(nil)
+	same := len(wa2) == len(wb)
+	if same {
+		for i := range wa2 {
+			if wa2[i] != wb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("fingerprint unchanged after new packet groups")
+	}
+}
+
+func TestEstimatorKindDelayGradientRegistered(t *testing.T) {
+	if EstimatorDelayGradient.String() != "delay-gradient" {
+		t.Fatalf("String() = %q", EstimatorDelayGradient.String())
+	}
+	e, err := NewEstimator(EstimatorDelayGradient, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*DelayGradient); !ok {
+		t.Fatalf("NewEstimator returned %T", e)
+	}
+	if _, ok := e.(PacketObserver); !ok {
+		t.Fatal("delay-gradient estimator does not expose PacketObserver")
+	}
+}

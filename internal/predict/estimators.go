@@ -46,6 +46,29 @@ var (
 	_ StateBits = (*MovingAverage)(nil)
 )
 
+// maxSaneRateBps caps believable throughput samples at 10 Tbit/s. Samples
+// beyond it (a miscomputed elapsed time, a cosmic-ray divisor) clamp rather
+// than blow the estimate out for the whole window.
+const maxSaneRateBps = 1e13
+
+// sanitizeRate validates one throughput observation. NaN, ±Inf, and
+// non-positive samples are rejected — a poisoned sample must never enter an
+// estimator window, where a single NaN would stick the estimate at NaN for
+// the rest of the session. Finite but absurd samples clamp to
+// maxSaneRateBps.
+func sanitizeRate(rateBps float64) (float64, error) {
+	if math.IsNaN(rateBps) || math.IsInf(rateBps, 0) {
+		return 0, fmt.Errorf("predict: non-finite throughput %g", rateBps)
+	}
+	if rateBps <= 0 {
+		return 0, fmt.Errorf("predict: non-positive throughput %g", rateBps)
+	}
+	if rateBps > maxSaneRateBps {
+		return maxSaneRateBps, nil
+	}
+	return rateBps, nil
+}
+
 // LastSample predicts the most recent throughput — the naive baseline that
 // chases every fluctuation.
 type LastSample struct {
@@ -58,10 +81,11 @@ func NewLastSample() *LastSample { return &LastSample{} }
 
 // Observe implements Estimator.
 func (e *LastSample) Observe(rateBps float64) error {
-	if rateBps <= 0 {
-		return fmt.Errorf("predict: non-positive throughput %g", rateBps)
+	r, err := sanitizeRate(rateBps)
+	if err != nil {
+		return err
 	}
-	e.last, e.ready = rateBps, true
+	e.last, e.ready = r, true
 	return nil
 }
 
@@ -104,14 +128,15 @@ func NewEWMA(alpha float64) (*EWMA, error) {
 
 // Observe implements Estimator.
 func (e *EWMA) Observe(rateBps float64) error {
-	if rateBps <= 0 {
-		return fmt.Errorf("predict: non-positive throughput %g", rateBps)
+	r, err := sanitizeRate(rateBps)
+	if err != nil {
+		return err
 	}
 	if !e.ready {
-		e.value, e.ready = rateBps, true
+		e.value, e.ready = r, true
 		return nil
 	}
-	e.value = e.alpha*rateBps + (1-e.alpha)*e.value
+	e.value = e.alpha*r + (1-e.alpha)*e.value
 	return nil
 }
 
@@ -155,15 +180,16 @@ func NewMovingAverage(window int) (*MovingAverage, error) {
 // Observe implements Estimator. Like Bandwidth, the full window shifts in
 // place so steady-state observation allocates nothing.
 func (e *MovingAverage) Observe(rateBps float64) error {
-	if rateBps <= 0 {
-		return fmt.Errorf("predict: non-positive throughput %g", rateBps)
+	r, err := sanitizeRate(rateBps)
+	if err != nil {
+		return err
 	}
 	if len(e.samples) < e.window {
-		e.samples = append(e.samples, rateBps)
+		e.samples = append(e.samples, r)
 		return nil
 	}
 	copy(e.samples, e.samples[1:])
-	e.samples[e.window-1] = rateBps
+	e.samples[e.window-1] = r
 	return nil
 }
 
@@ -200,6 +226,10 @@ const (
 	EstimatorEWMA
 	// EstimatorMovingAverage averages arithmetically over the window.
 	EstimatorMovingAverage
+	// EstimatorDelayGradient is the GCC-style arrival-group delay-gradient
+	// estimator (delaygradient.go); it additionally consumes packet timing
+	// via PacketObserver when the network path provides it.
+	EstimatorDelayGradient
 )
 
 // String implements fmt.Stringer.
@@ -213,8 +243,29 @@ func (k EstimatorKind) String() string {
 		return "ewma"
 	case EstimatorMovingAverage:
 		return "moving-average"
+	case EstimatorDelayGradient:
+		return "delay-gradient"
 	default:
 		return fmt.Sprintf("EstimatorKind(%d)", int(k))
+	}
+}
+
+// ParseEstimatorKind maps a kind name (as produced by String) back to the
+// kind. The empty string means the paper's harmonic-mean default.
+func ParseEstimatorKind(name string) (EstimatorKind, error) {
+	switch name {
+	case "", "harmonic":
+		return EstimatorHarmonic, nil
+	case "last-sample":
+		return EstimatorLastSample, nil
+	case "ewma":
+		return EstimatorEWMA, nil
+	case "moving-average":
+		return EstimatorMovingAverage, nil
+	case "delay-gradient":
+		return EstimatorDelayGradient, nil
+	default:
+		return 0, fmt.Errorf("predict: unknown estimator %q (harmonic, last-sample, ewma, moving-average, delay-gradient)", name)
 	}
 }
 
@@ -230,6 +281,8 @@ func NewEstimator(kind EstimatorKind, window int) (Estimator, error) {
 		return NewEWMA(0.3)
 	case EstimatorMovingAverage:
 		return NewMovingAverage(window)
+	case EstimatorDelayGradient:
+		return NewDelayGradient(), nil
 	default:
 		return nil, fmt.Errorf("predict: unknown estimator kind %d", int(kind))
 	}

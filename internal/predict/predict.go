@@ -195,15 +195,16 @@ func (b *Bandwidth) Init(window int) error {
 // a fixed-capacity buffer shifted in place (oldest-first order preserved for
 // the harmonic-mean sum), so steady-state observation allocates nothing.
 func (b *Bandwidth) Observe(rateBps float64) error {
-	if rateBps <= 0 {
-		return fmt.Errorf("predict: non-positive throughput %g", rateBps)
+	r, err := sanitizeRate(rateBps)
+	if err != nil {
+		return err
 	}
 	if len(b.samples) < b.window {
-		b.samples = append(b.samples, rateBps)
+		b.samples = append(b.samples, r)
 		return nil
 	}
 	copy(b.samples, b.samples[1:])
-	b.samples[b.window-1] = rateBps
+	b.samples[b.window-1] = r
 	return nil
 }
 

@@ -1,0 +1,45 @@
+package ptilelive
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Loop runs Rebuild for every video the pipeline has seen once per interval
+// tick, until ctx is cancelled. For each rebuild whose version advanced past
+// the last one this loop published, publish is invoked with the fresh Build
+// (nil publish just rebuilds); onErr receives per-video rebuild failures
+// (nil drops them). Both callbacks run on the loop goroutine.
+//
+// Loop blocks; run it in a goroutine and cancel ctx to stop it. It returns
+// nil on cancellation — a timed shutdown is the normal exit — and an error
+// only for an invalid interval.
+func (p *Pipeline) Loop(ctx context.Context, interval time.Duration, publish func(video int, b Build), onErr func(video int, err error)) error {
+	if interval <= 0 {
+		return fmt.Errorf("ptilelive: non-positive rebuild interval %v", interval)
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	published := make(map[int]int64)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		for _, v := range p.Videos() {
+			b, err := p.Rebuild(v)
+			if err != nil {
+				if onErr != nil {
+					onErr(v, err)
+				}
+				continue
+			}
+			if publish != nil && b.Version > published[v] {
+				publish(v, b)
+				published[v] = b.Version
+			}
+		}
+	}
+}

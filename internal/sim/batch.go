@@ -143,6 +143,12 @@ func appendSigWords(dst []uint64, state *State) (_ []uint64, ok bool) {
 	if batchFingerprintDisabled {
 		return dst, false
 	}
+	// Packet-level sessions carry per-session link state (queue backlog,
+	// loss RNG) outside the fingerprint; batchKey's net pointer is nil for
+	// all of them, so two distinct links would collide. Scalar-only.
+	if state.pnet != nil {
+		return dst, false
+	}
 	sb, fits := state.bw.(predict.StateBits)
 	if !fits {
 		return dst, false

@@ -7,6 +7,7 @@ import (
 	"ptile360/internal/geom"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
+	"ptile360/internal/netem"
 	"ptile360/internal/power"
 	"ptile360/internal/predict"
 	"ptile360/internal/qoe"
@@ -262,6 +263,7 @@ type session struct {
 	cat        *Catalog
 	user       *headtrace.Trace
 	net        *lte.Trace
+	pnet       *netem.SessionNet
 	pm         power.Model
 	mpc        *abr.EnergyMPC
 	qoeMPC     *abr.QoEMPC
@@ -311,6 +313,40 @@ func Run(cat *Catalog, user *headtrace.Trace, net *lte.Trace, cfg Config) (*Resu
 		return nil, err
 	}
 	state, err := st.NewState(user, net)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		info, err := st.Step(state)
+		if err != nil {
+			return nil, err
+		}
+		if info.Done {
+			break
+		}
+	}
+	return st.Finish(state)
+}
+
+// RunNetem is Run over the packet-level emulated network path: downloads
+// resolve through pn's droptail link schedule instead of a per-second
+// trace, and delay-aware estimators receive packet timing. pn must be
+// fresh (its link clock starts at the session origin).
+func RunNetem(cat *Catalog, user *headtrace.Trace, pn *netem.SessionNet, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cat == nil || len(cat.Content) == 0 {
+		return nil, fmt.Errorf("sim: empty catalogue")
+	}
+	if user == nil || len(user.Samples) == 0 {
+		return nil, fmt.Errorf("sim: empty user trace")
+	}
+	st, err := NewStepper(cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	state, err := st.NewStateNetem(user, pn)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"ptile360/internal/geom"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
+	"ptile360/internal/netem"
 	"ptile360/internal/power"
 	"ptile360/internal/predict"
 	"ptile360/internal/qoe"
@@ -57,6 +58,14 @@ type xySeries struct{ xs, ys []float64 }
 type State struct {
 	user *headtrace.Trace
 	net  *lte.Trace
+	// pnet, when set (InitStateNetem), replaces net with the packet-level
+	// emulated path: downloads resolve through the droptail-queue link and
+	// the estimator additionally receives per-packet timing when it
+	// implements predict.PacketObserver. A SessionNet carries mutable
+	// cross-download queue state, so netem-backed sessions are excluded
+	// from StepBatch fingerprint grouping (each session's link history is
+	// unique).
+	pnet *netem.SessionNet
 	bw   predict.Estimator
 	// bwStore is the in-struct home of the default harmonic estimator, so a
 	// bulk-allocated State (fleet slabs) costs no separate estimator
@@ -263,9 +272,51 @@ func (st *Stepper) InitState(state *State, user *headtrace.Trace, net *lte.Trace
 	return state.bw.Observe(net.At(0))
 }
 
+// NewStateNetem is NewState over the packet-level network path instead of a
+// segment-granularity trace: downloads go through pn's emulated droptail
+// link, and estimators that implement predict.PacketObserver receive every
+// delivered packet's timing before the segment-level Observe. pn carries
+// the session's link state and must not be shared between states.
+func (st *Stepper) NewStateNetem(user *headtrace.Trace, pn *netem.SessionNet) (*State, error) {
+	state := new(State)
+	if err := st.InitStateNetem(state, user, pn); err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+// InitStateNetem initializes a caller-allocated State in place over the
+// packet-level path — the bulk form of NewStateNetem.
+func (st *Stepper) InitStateNetem(state *State, user *headtrace.Trace, pn *netem.SessionNet) error {
+	if user == nil || len(user.Samples) == 0 {
+		return fmt.Errorf("sim: empty user trace")
+	}
+	if pn == nil {
+		return fmt.Errorf("sim: nil netem session path")
+	}
+	*state = State{user: user, pnet: pn}
+	if st.estKind == predict.EstimatorHarmonic {
+		if err := state.bwStore.Init(st.s.cfg.BandwidthWindow); err != nil {
+			return err
+		}
+		state.bw = &state.bwStore
+	} else {
+		bw, err := predict.NewEstimator(st.estKind, st.s.cfg.BandwidthWindow)
+		if err != nil {
+			return err
+		}
+		state.bw = bw
+	}
+	xy := st.xySeriesFor(user)
+	state.xs, state.ys = xy.xs, xy.ys
+	// Seed with the link's advertised rate at t=0, mirroring InitState's
+	// net.At(0) probe.
+	return state.bw.Observe(pn.RateAt(0))
+}
+
 // attach points the shared session workspace at one session's state.
 func (s *session) attach(state *State) {
-	s.user, s.net, s.bw = state.user, state.net, state.bw
+	s.user, s.net, s.pnet, s.bw = state.user, state.net, state.pnet, state.bw
 	s.xs, s.ys = state.xs, state.ys
 	s.tWall, s.buffer = state.tWall, state.buffer
 	s.prevQ0, s.hasPrevQ0 = state.prevQ0, state.hasPrevQ0
@@ -277,7 +328,7 @@ func (s *session) detach(state *State) {
 	state.tWall, state.buffer = s.tWall, s.buffer
 	state.prevQ0, state.hasPrevQ0 = s.prevQ0, s.hasPrevQ0
 	state.prevChoice, state.hasPrev = s.prevChoice, s.hasPrev
-	s.user, s.net, s.bw = nil, nil, nil
+	s.user, s.net, s.pnet, s.bw = nil, nil, nil, nil
 	s.xs, s.ys = nil, nil
 }
 
@@ -367,18 +418,36 @@ func (s *session) step(state *State) (StepInfo, error) {
 	s.prevChoice = chosen.Option
 	s.hasPrev = true
 
-	// Download against the bandwidth trace. The trace was validated when the
-	// state was bound to it (InitState), so the per-call re-validation scan
-	// is skipped here.
+	// Download against the bandwidth model. The packet-level path (netem)
+	// resolves the transfer through the emulated droptail link and feeds
+	// packet timing to delay-aware estimators; the segment-level path
+	// integrates the trace, validated when the state was bound (InitState).
 	bufferAtRequest := s.buffer
-	dl, err := s.net.DownloadTimeTrusted(chosen.SizeBits, s.tWall)
-	if err != nil {
-		return info, err
+	var dl float64
+	if s.pnet != nil {
+		dl, err = s.pnet.Download(chosen.SizeBits, s.tWall)
+		if err != nil {
+			return info, err
+		}
+		if po, ok := s.bw.(predict.PacketObserver); ok {
+			for _, ps := range s.pnet.Packets() {
+				po.ObservePacket(ps.SendSec, ps.RecvSec, ps.Bytes)
+			}
+		}
+	} else {
+		dl, err = s.net.DownloadTimeTrusted(chosen.SizeBits, s.tWall)
+		if err != nil {
+			return info, err
+		}
 	}
 	s.tWall += dl
 	measuredRate := chosen.SizeBits / dl
 	if dl <= 0 {
-		measuredRate = s.net.At(s.tWall)
+		if s.pnet != nil {
+			measuredRate = s.pnet.RateAt(s.tWall)
+		} else {
+			measuredRate = s.net.At(s.tWall)
+		}
 	}
 	if err := s.bw.Observe(measuredRate); err != nil {
 		return info, err

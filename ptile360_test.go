@@ -106,8 +106,8 @@ func TestTraceAccess(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(names))
+	if len(names) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(names))
 	}
 	for _, want := range []string{"table1", "table2", "table3", "fig1", "fig2a", "fig2b", "fig2c",
 		"fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",

@@ -23,6 +23,10 @@ func QuickScale() Scale { return experiments.QuickScale() }
 // deterministic regardless of the setting.
 func SetMaxWorkers(n int) int { return experiments.SetMaxWorkers(n) }
 
+// SetNetemProfile restricts the "netem" experiment to a single profile spec
+// ("name[,key=val,...]"); the empty string restores the default sweep.
+func SetNetemProfile(spec string) error { return experiments.SetNetemProfile(spec) }
+
 // ExperimentNames lists the table/figure identifiers accepted by
 // RunExperiment, in presentation order.
 func ExperimentNames() []string {
@@ -176,6 +180,13 @@ var registry = map[string]func(Scale) ([]Table, error){
 			return nil, err
 		}
 		return comp.RenderQoE(), nil
+	},
+	"netem": func(s Scale) ([]Table, error) {
+		r, err := experiments.NetemFig(8, s)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Render()}, nil
 	},
 }
 
