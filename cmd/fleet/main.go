@@ -90,19 +90,21 @@ func autoShards(procs, sessions int) int {
 
 func run() int {
 	var (
-		sessions    = flag.Int("sessions", 10000, "concurrent viewer sessions to simulate")
-		shards      = flag.Int("shards", 0, "independent event queues (bounds parallelism and planning-scratch copies); 0 sizes automatically from GOMAXPROCS and the session count")
-		workers     = flag.Int("workers", 0, "goroutines advancing shards (0 = one per shard)")
-		duration    = flag.Float64("duration", 0, "virtual seconds to simulate (0 = run every session to completion)")
-		metricsAddr = flag.String("metrics-addr", "", "ops listener address for /metrics, /debug/pprof, /debug/vars (empty disables)")
-		videoID     = flag.Int("video", 2, "Table III video ID every session streams")
-		users       = flag.Int("users", 14, "distinct viewers to generate (sessions cycle the eval pool)")
-		seed        = flag.Int64("seed", 42, "random seed")
-		scheme      = flag.String("scheme", "Ptile", "streaming scheme (Ctile, Ftile, Nontile, Ptile, Ours)")
-		netProfile  = flag.String("net", "walking", "LTE mobility profile: stationary, walking, driving")
-		vpUpdate    = flag.Float64("viewport-update", 0.5, "virtual seconds between head-pose refresh events (0 disables)")
-		plannerStr  = flag.String("planner", "batched", "fleet planner: batched (share work across decision-identical sessions) or scalar (plan every session independently)")
-		logCfg      = obs.LogFlags(nil)
+		sessions     = flag.Int("sessions", 10000, "concurrent viewer sessions to simulate")
+		shards       = flag.Int("shards", 0, "independent event queues (bounds parallelism and planning-scratch copies); 0 sizes automatically from GOMAXPROCS and the session count")
+		workers      = flag.Int("workers", 0, "goroutines advancing shards (0 = one per shard)")
+		duration     = flag.Float64("duration", 0, "virtual seconds to simulate (0 = run every session to completion)")
+		metricsAddr  = flag.String("metrics-addr", "", "ops listener address for /metrics, /debug/pprof, /debug/vars (empty disables)")
+		videoID      = flag.Int("video", 2, "Table III video ID every session streams")
+		users        = flag.Int("users", 14, "distinct viewers to generate (sessions cycle the eval pool)")
+		seed         = flag.Int64("seed", 42, "random seed")
+		scheme       = flag.String("scheme", "Ptile", "streaming scheme (Ctile, Ftile, Nontile, Ptile, Ours)")
+		netProfile   = flag.String("net", "walking", "LTE mobility profile: stationary, walking, driving")
+		vpUpdate     = flag.Float64("viewport-update", 0.5, "virtual seconds between head-pose refresh events (0 disables)")
+		plannerStr   = flag.String("planner", "batched", "fleet planner: batched (share work across decision-identical sessions) or scalar (plan every session independently)")
+		tsdbEvery    = flag.Duration("tsdb-interval", time.Second, "in-process TSDB sampling period backing /debug/tsdb and the /slo burn-rate engine (0 disables both)")
+		flightSample = flag.Int("flight-sample", 0, "flight recorder samples 1-in-N sessions; dumps surface at /debug/flight (0 disables)")
+		logCfg       = obs.LogFlags(nil)
 	)
 	flag.Parse()
 
@@ -203,6 +205,10 @@ func run() int {
 
 	reg := obs.NewRegistry()
 	obs.RegisterGoMetrics(reg)
+	var flight *obs.FlightRecorder
+	if *flightSample > 0 {
+		flight = obs.NewFlightRecorder(obs.FlightConfig{SampleEvery: *flightSample, Registry: reg})
+	}
 	eng, err := fleet.New(fleet.Config{
 		Catalog:           cat,
 		Sim:               cfg,
@@ -211,14 +217,68 @@ func run() int {
 		ViewportUpdateSec: *vpUpdate,
 		Registry:          reg,
 		Planner:           planner,
+		Flight:            flight,
 	}, specs)
 	if err != nil {
 		logger.Error("engine construction failed", "err", err)
 		return 1
 	}
 
+	// In-process TSDB plus QoE/energy SLO burn-rate objectives over the
+	// fleet counters; a burning objective triggers flight dumps for every
+	// sampled session.
+	var db *obs.TSDB
+	var slos *obs.SLOEngine
+	if *tsdbEvery > 0 {
+		db = obs.NewTSDB(reg, obs.TSDBConfig{Resolutions: []obs.Resolution{
+			{Step: *tsdbEvery, Slots: 120},
+			{Step: 10 * *tsdbEvery, Slots: 90},
+			{Step: 60 * *tsdbEvery, Slots: 60},
+		}})
+		slos, err = obs.NewSLOEngine(db, reg, []obs.Objective{
+			{
+				Name:        "stall",
+				Description: "Rebuffering seconds per completed segment.",
+				Kind:        obs.SLOQuotient,
+				Num:         []obs.Selector{obs.Sel("fleet_stall_seconds_total")},
+				Den:         []obs.Selector{obs.Sel("fleet_segments_total")},
+				Budget:      0.05,
+				Windows:     obs.BurnWindows(*tsdbEvery),
+			},
+			{
+				Name:        "energy",
+				Description: "Modeled energy (mJ) per completed segment.",
+				Kind:        obs.SLOQuotient,
+				Num:         []obs.Selector{obs.Sel("fleet_energy_mj_total")},
+				Den:         []obs.Selector{obs.Sel("fleet_segments_total")},
+				Budget:      2000,
+				Windows:     obs.BurnWindows(*tsdbEvery),
+			},
+		})
+		if err != nil {
+			logger.Error("slo engine invalid", "err", err)
+			return 2
+		}
+		slos.OnBurn(func(name string) {
+			logger.Warn("slo burning", "slo", name)
+			if flight != nil {
+				flight.TriggerAll("slo:" + name)
+			}
+		})
+		db.Start()
+		defer db.Stop()
+	}
+
 	if *metricsAddr != "" {
-		ops, err := obs.StartOps(*metricsAddr, reg, logger)
+		mux := obs.NewOpsMux(reg)
+		if db != nil {
+			mux.Handle("/debug/tsdb", db.Handler())
+			mux.Handle("/slo", slos.Handler())
+		}
+		if flight != nil {
+			mux.Handle("/debug/flight", flight.Handler())
+		}
+		ops, err := obs.StartOpsMux(*metricsAddr, mux, logger)
 		if err != nil {
 			logger.Error("ops listener failed", "addr", *metricsAddr, "err", err)
 			return 1

@@ -64,6 +64,9 @@ func run() int {
 		drainWait    = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 		rebuildEvery = flag.Duration("rebuild-interval", 0, "regenerate online Ptiles from served viewport reports and hot-swap the catalogue on this period (0 disables)")
 		paceMbps     = flag.Float64("pace-mbps", 0, "paced sender: throttle segment bodies to this rate in Mbit/s instead of bursting (0 disables)")
+		tsdbEvery    = flag.Duration("tsdb-interval", time.Second, "in-process TSDB sampling period backing /debug/tsdb and the /slo burn-rate engine (0 disables both)")
+		flightSample = flag.Int("flight-sample", 16, "flight recorder samples 1-in-N sessions; dumps surface at /debug/flight (0 disables)")
+		spanRing     = flag.Int("span-ring", 0, "per-tracer recent-span ring size (0 keeps the default)")
 	)
 	flag.Parse()
 
@@ -138,6 +141,7 @@ func run() int {
 	var rebuildWG sync.WaitGroup
 	rebuildCtx, stopRebuild := context.WithCancel(context.Background())
 	defer stopRebuild()
+	var pipeline *ptilelive.Pipeline
 	if *rebuildEvery > 0 {
 		lcfg, err := ptilelive.DefaultConfig()
 		if err != nil {
@@ -145,7 +149,7 @@ func run() int {
 			return 1
 		}
 		lcfg.Registry = reg
-		pipeline, err := ptilelive.New(lcfg)
+		pipeline, err = ptilelive.New(lcfg)
 		if err != nil {
 			logger.Error("online pipeline construction failed", "err", err)
 			return 1
@@ -207,12 +211,92 @@ func run() int {
 		return 2
 	}
 
+	if *spanRing > 0 {
+		srv.Tracer().SetRingSize(*spanRing)
+		chain.Tracer().SetRingSize(*spanRing)
+	}
+
+	// Anomaly flight recorder: sampled sessions dump their black box on SLO
+	// burn (hooked below); dumps are served as JSONL at /debug/flight.
+	var flight *obs.FlightRecorder
+	if *flightSample > 0 {
+		flight = obs.NewFlightRecorder(obs.FlightConfig{SampleEvery: *flightSample, Registry: reg})
+	}
+
+	// In-process TSDB over the registry plus the SLO burn-rate engine:
+	// availability (5xx ratio) and request latency objectives evaluated with
+	// multi-window multi-burn-rate alerting on every sample tick.
+	var db *obs.TSDB
+	var slos *obs.SLOEngine
+	if *tsdbEvery > 0 {
+		db = obs.NewTSDB(reg, obs.TSDBConfig{Resolutions: []obs.Resolution{
+			{Step: *tsdbEvery, Slots: 120},
+			{Step: 10 * *tsdbEvery, Slots: 90},
+			{Step: 60 * *tsdbEvery, Slots: 60},
+		}})
+		slos, err = obs.NewSLOEngine(db, reg, []obs.Objective{
+			{
+				Name:        "availability",
+				Description: "Non-5xx responses across all serving paths.",
+				Kind:        obs.SLOEventRatio,
+				Target:      0.99,
+				Bad:         []obs.Selector{obs.Sel("httpstream_requests_total", obs.L("code", "5*"))},
+				Total:       []obs.Selector{obs.Sel("httpstream_requests_total")},
+				Windows:     obs.BurnWindows(*tsdbEvery),
+			},
+			{
+				Name:         "latency",
+				Description:  "Requests served under 500 ms.",
+				Kind:         obs.SLOLatency,
+				Target:       0.95,
+				Latency:      obs.Sel("httpstream_request_seconds"),
+				ThresholdSec: 0.5,
+				Windows:      obs.BurnWindows(*tsdbEvery),
+			},
+		})
+		if err != nil {
+			logger.Error("slo engine invalid", "err", err)
+			return 2
+		}
+		slos.OnBurn(func(name string) {
+			logger.Warn("slo burning", "slo", name)
+			if flight != nil {
+				flight.TriggerAll("slo:" + name)
+			}
+		})
+		db.Start()
+		defer db.Stop()
+	}
+
+	// /healthz reports the live catalogue generation and, with the online
+	// pipeline active, how stale its last rebuild is.
+	health := obs.NewHealth()
+	health.Set("catalog_version", func() any { return srv.CatalogVersion() })
+	if pipeline != nil {
+		p := pipeline
+		health.Set("rebuild_age_seconds", func() any {
+			age := p.RebuildAge()
+			if age < 0 {
+				return -1.0
+			}
+			return age.Seconds()
+		})
+	}
+
 	// The ops endpoint listens separately so a scrape answers even while
 	// the serving listener is saturated or draining.
 	if *metricsAddr != "" {
-		mux := obs.NewOpsMux(reg)
+		mux := obs.NewOpsMuxWith(reg, health)
 		mux.Handle("/debug/spans/server", srv.Tracer().Handler())
 		mux.Handle("/debug/spans/resilience", chain.Tracer().Handler())
+		mux.Handle("/debug/spans", obs.NewSpanHub(srv.Tracer(), chain.Tracer()).Handler())
+		if db != nil {
+			mux.Handle("/debug/tsdb", db.Handler())
+			mux.Handle("/slo", slos.Handler())
+		}
+		if flight != nil {
+			mux.Handle("/debug/flight", flight.Handler())
+		}
 		ops, err := obs.StartOpsMux(*metricsAddr, mux, logger)
 		if err != nil {
 			logger.Error("ops listener failed", "addr", *metricsAddr, "err", err)
@@ -221,9 +305,16 @@ func run() int {
 		defer ops.Close()
 	}
 
+	// The flight middleware wraps the whole chain so shed 503s and breaker
+	// rejections land in the black box alongside served segments.
+	var serveHandler http.Handler = chain
+	if flight != nil {
+		serveHandler = httpstream.FlightMiddleware(flight, chain)
+	}
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           chain,
+		Handler:           serveHandler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}

@@ -57,6 +57,7 @@ func run() int {
 		retries      = flag.Int("retries", 0, "attempts per quality rung (0 = default policy)")
 		telemetryOut = flag.String("telemetry", "-", "write per-segment JSON telemetry records to this file (\"-\" = stdout, empty disables)")
 		sessionOut   = flag.String("session-json", "", "write the full session report as JSON to this file")
+		flightOut    = flag.String("flight", "", "record the session in a flight recorder and write its anomaly dumps as JSONL to this file (\"-\" = stderr, empty disables)")
 		summaryEvery = flag.Int("summary-every", 10, "log a session summary every N segments (0 disables)")
 		logCfg       = obs.LogFlags(nil)
 	)
@@ -109,6 +110,13 @@ func run() int {
 		RetrySeed:       *faultSeed,
 		ClientID:        fmt.Sprintf("stream-%d", *seed),
 		Metrics:         reg,
+	}
+	// Flight recorder: SampleEvery 1 so this single session is always
+	// recorded; dumps (abandon, stall burst) are written after the run.
+	var flight *obs.FlightRecorder
+	if *flightOut != "" {
+		flight = obs.NewFlightRecorder(obs.FlightConfig{SampleEvery: 1, Registry: reg})
+		cfg.Flight = flight
 	}
 	enc := json.NewEncoder(telemetryW)
 	if telemetryW == nil {
@@ -238,6 +246,23 @@ func run() int {
 			return 1
 		}
 		logger.Info("wrote CSV", "path", *csvOut)
+	}
+	if flight != nil {
+		var w io.Writer = os.Stderr
+		if *flightOut != "-" {
+			f, err := os.Create(*flightOut)
+			if err != nil {
+				logger.Error("flight file", "path", *flightOut, "err", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := flight.WriteJSONL(w); err != nil {
+			logger.Error("flight dump failed", "err", err)
+			return 1
+		}
+		logger.Info("wrote flight dumps", "path", *flightOut, "dumps", len(flight.Dumps()))
 	}
 	return 0
 }

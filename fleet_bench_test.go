@@ -14,10 +14,12 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"ptile360/internal/fleet"
 	"ptile360/internal/headtrace"
 	"ptile360/internal/lte"
+	"ptile360/internal/obs"
 	"ptile360/internal/power"
 	"ptile360/internal/sim"
 	"ptile360/internal/video"
@@ -86,6 +88,12 @@ func buildFleetBenchFixture() (*fleetBenchFixture, error) {
 }
 
 func newFleetBenchEngine(b *testing.B, fx *fleetBenchFixture, sessions int, planner fleet.PlannerMode) *fleet.Engine {
+	return newFleetBenchEngineCfg(b, fx, sessions, fleet.Config{Planner: planner})
+}
+
+// newFleetBenchEngineCfg builds the bench engine from a caller-shaped config;
+// Catalog, Sim, and Shards are filled from the fixture.
+func newFleetBenchEngineCfg(b *testing.B, fx *fleetBenchFixture, sessions int, cfg fleet.Config) *fleet.Engine {
 	b.Helper()
 	specs := make([]fleet.SessionSpec, sessions)
 	for i := range specs {
@@ -95,12 +103,10 @@ func newFleetBenchEngine(b *testing.B, fx *fleetBenchFixture, sessions int, plan
 			JoinSec: 0.25 * float64(i%13),
 		}
 	}
-	eng, err := fleet.New(fleet.Config{
-		Catalog: fx.cat,
-		Sim:     fx.cfg,
-		Shards:  runtime.GOMAXPROCS(0),
-		Planner: planner,
-	}, specs)
+	cfg.Catalog = fx.cat
+	cfg.Sim = fx.cfg
+	cfg.Shards = runtime.GOMAXPROCS(0)
+	eng, err := fleet.New(cfg, specs)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -137,6 +143,66 @@ func benchmarkFleetTick(b *testing.B, sessions int, planner fleet.PlannerMode) {
 func BenchmarkFleetTick10k(b *testing.B)  { benchmarkFleetTick(b, 10_000, fleet.PlannerBatched) }
 func BenchmarkFleetTick100k(b *testing.B) { benchmarkFleetTick(b, 100_000, fleet.PlannerBatched) }
 func BenchmarkFleetTick1M(b *testing.B)   { benchmarkFleetTick(b, 1_000_000, fleet.PlannerBatched) }
+
+// BenchmarkFleetTickObserved is BenchmarkFleetTick10k with the second
+// observability tier on: the fleet metrics registry is sampled into an
+// in-process TSDB once per virtual second, a quotient SLO is evaluated on
+// every sample, and a 1-in-64 flight-recorder gate black-boxes sessions.
+// The delta against BenchmarkFleetTick10k is the observability overhead on
+// the fleet hot path — it must not disturb the steady-state alloc budget.
+func BenchmarkFleetTickObserved(b *testing.B) {
+	fx := fleetBenchFixtureOnce(b)
+	newObserved := func() (*fleet.Engine, *obs.TSDB) {
+		reg := obs.NewRegistry()
+		flight := obs.NewFlightRecorder(obs.FlightConfig{SampleEvery: 64, Registry: reg})
+		db := obs.NewTSDB(reg, obs.TSDBConfig{Resolutions: []obs.Resolution{
+			{Step: time.Second, Slots: 120},
+			{Step: 10 * time.Second, Slots: 90},
+		}})
+		if _, err := obs.NewSLOEngine(db, reg, []obs.Objective{{
+			Name:    "stall",
+			Kind:    obs.SLOQuotient,
+			Num:     []obs.Selector{obs.Sel("fleet_stall_seconds_total")},
+			Den:     []obs.Selector{obs.Sel("fleet_segments_total")},
+			Budget:  0.05,
+			Windows: obs.BurnWindows(time.Second),
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		eng := newFleetBenchEngineCfg(b, fx, 10_000, fleet.Config{
+			Planner:  fleet.PlannerBatched,
+			Registry: reg,
+			Flight:   flight,
+		})
+		return eng, db
+	}
+	eng, db := newObserved()
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := 0.0
+	events := 0
+	epoch := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, ok := eng.NextEventTime(); !ok {
+			b.StopTimer()
+			events += eng.Ledger().Events
+			eng, db = newObserved()
+			horizon = 0
+			b.StartTimer()
+		}
+		horizon++
+		if err := eng.Advance(horizon); err != nil {
+			b.Fatal(err)
+		}
+		// One TSDB sample (and SLO evaluation) per virtual second, driven
+		// on the bench clock so the sampling cost is inside the measurement.
+		db.Sample(epoch.Add(time.Duration(horizon * float64(time.Second))))
+	}
+	b.StopTimer()
+	events += eng.Ledger().Events
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
 
 // BenchmarkFleetTick100kScalar is the per-session reference planner at the
 // 100k scale — the before/after denominator for the batched planner's

@@ -103,6 +103,12 @@ type Config struct {
 	// so the sink must be safe for concurrent use; it runs inline on the
 	// event loop and must be cheap. Simulation results are unaffected.
 	ViewportSink func(session, segment int, center geom.Point)
+	// Flight, when set, black-boxes 1-in-SampleEvery sessions (the
+	// recorder's SessionN gate): join/download/stall/leave events land in
+	// per-session rings that dump on anomaly triggers. Unsampled sessions
+	// and nil recorders cost one nil check per event, preserving the
+	// steady-state allocation budget.
+	Flight *obs.FlightRecorder
 }
 
 // Ledger is the fleet-wide accounting roll-up. Integer fields are exact;
@@ -177,6 +183,9 @@ type shard struct {
 	pending []sim.StepInfo
 	vpEvent []ID
 	leave   []int32
+	// flight is the per-slot black-box column, nil when Config.Flight is
+	// unset; unsampled slots hold nil sessions.
+	flight []*obs.FlightSession
 
 	// joins is the shard's join schedule, sorted by (time, spec order), and
 	// joinPos the next unjoined session. The whole wave is known at
@@ -321,6 +330,9 @@ func New(cfg Config, specs []SessionSpec) (*Engine, error) {
 			pending: make([]sim.StepInfo, n),
 			vpEvent: make([]ID, n),
 			leave:   make([]int32, n),
+		}
+		if cfg.Flight != nil {
+			sh.flight = make([]*obs.FlightSession, n)
 		}
 		if cfg.Planner == PlannerBatched {
 			sh.scratch = sim.NewBatchScratch(sim.BatchOptions{NoQuant: cfg.BatchNoQuant})
@@ -545,6 +557,7 @@ func (sh *shard) advanceRun(t float64, kind Kind) error {
 			}
 			sh.states[slot] = state
 			sh.led.Joined++
+			sh.flightJoin(t, slot, session)
 			sh.runMembers = append(sh.runMembers, runMember{
 				session: session, slot: slot, stepIdx: int32(len(sh.runStates)),
 			})
@@ -565,6 +578,7 @@ func (sh *shard) advanceRun(t float64, kind Kind) error {
 			info := sh.pending[slot]
 			state := sh.states[slot]
 			sh.reportViewport(ev.Session, state)
+			sh.flightDownload(t, slot, state, info)
 			if !info.Done && (sh.leave[slot] == 0 || state.Segments() < int(sh.leave[slot])) {
 				m.stepIdx = int32(len(sh.runStates))
 				sh.runStates = append(sh.runStates, state)
@@ -611,6 +625,34 @@ func (sh *shard) advanceRun(t float64, kind Kind) error {
 
 func (sh *shard) slot(session int) int { return session / len(sh.eng.shards) }
 
+// flightJoin passes a joining session through the flight recorder's sampling
+// gate and records its join event. A no-op without Config.Flight.
+func (sh *shard) flightJoin(t float64, slot, session int) {
+	if sh.flight == nil {
+		return
+	}
+	fsess := sh.eng.cfg.Flight.SessionN(session)
+	sh.flight[slot] = fsess
+	if fsess != nil {
+		fsess.Record(obs.FlightEvent{TimeSec: t, Kind: obs.FlightJoin, Seg: -1})
+	}
+}
+
+// flightDownload records one completed segment download into the session's
+// black box: v1 = download seconds, v2 = stall seconds, v3 = the session's
+// bandwidth estimate (bps). A no-op for unsampled sessions.
+func (sh *shard) flightDownload(t float64, slot int, state *sim.State, info sim.StepInfo) {
+	if sh.flight == nil {
+		return
+	}
+	fsess := sh.flight[slot]
+	if fsess == nil || state == nil {
+		return
+	}
+	fsess.Record(obs.FlightEvent{TimeSec: t, Kind: obs.FlightDownload,
+		Seg: int32(info.Segment), V1: info.DownloadSec, V2: info.StallSec, V3: state.EstimateBps()})
+}
+
 // reportViewport feeds the just-completed segment's trace viewing center to
 // the configured ViewportSink (a no-op without one).
 func (sh *shard) reportViewport(session int, state *sim.State) {
@@ -640,6 +682,7 @@ func (sh *shard) handle(ev Event) error {
 		}
 		sh.states[slot] = state
 		sh.led.Joined++
+		sh.flightJoin(ev.Time, slot, ev.Session)
 		if vp := sh.eng.cfg.ViewportUpdateSec; vp > 0 {
 			sh.vpEvent[slot] = sh.heap.PushCancellable(ev.Time+vp, KindViewportUpdate, ev.Session)
 		}
@@ -650,6 +693,7 @@ func (sh *shard) handle(ev Event) error {
 		info := sh.pending[slot]
 		state := sh.states[slot]
 		sh.reportViewport(ev.Session, state)
+		sh.flightDownload(ev.Time, slot, state, info)
 		if info.Done || (sh.leave[slot] > 0 && state.Segments() >= int(sh.leave[slot])) {
 			sh.heap.Push(ev.Time, KindLeave, ev.Session)
 			return nil
@@ -659,6 +703,12 @@ func (sh *shard) handle(ev Event) error {
 	case KindStallResume:
 		sh.led.Stalls++
 		sh.led.StallSec += sh.pending[slot].StallSec
+		if sh.flight != nil {
+			if fsess := sh.flight[slot]; fsess != nil {
+				fsess.Record(obs.FlightEvent{TimeSec: ev.Time, Kind: obs.FlightStall,
+					Seg: int32(sh.pending[slot].Segment), V1: sh.pending[slot].StallSec})
+			}
+		}
 		return nil
 
 	case KindViewportUpdate:
@@ -684,6 +734,14 @@ func (sh *shard) handle(ev Event) error {
 		if sh.vpEvent[slot] != 0 {
 			sh.heap.Cancel(sh.vpEvent[slot])
 			sh.vpEvent[slot] = 0
+		}
+		if sh.flight != nil {
+			if fsess := sh.flight[slot]; fsess != nil {
+				fsess.Record(obs.FlightEvent{TimeSec: ev.Time, Kind: obs.FlightLeave, Seg: -1,
+					V1: res.Energy.Total(), V2: res.QoE.MeanQ})
+				fsess.Close()
+				sh.flight[slot] = nil
+			}
 		}
 		sh.states[slot] = nil
 		return nil

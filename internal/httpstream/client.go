@@ -89,6 +89,11 @@ type ClientConfig struct {
 	// latency histograms (client_segments_total, client_stall_seconds_total,
 	// client_qoe_loss, client_segment_stage_seconds, ...).
 	Metrics *obs.Registry
+	// Flight, when set, black-boxes the session: a sampled per-session ring
+	// of segment events that dumps on anomaly triggers (abandon, stall
+	// burst, SLO burn). Sessions the recorder does not sample pay one nil
+	// check per segment.
+	Flight *obs.FlightRecorder
 }
 
 // Validate reports whether the configuration is usable.
@@ -278,6 +283,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}, nil
 }
 
+// Tracer returns the client's per-segment span recorder (nil without
+// Metrics) for stitching cross-tier traces in a SpanHub.
+func (c *Client) Tracer() *obs.Tracer {
+	if c.obs == nil {
+		return nil
+	}
+	return c.obs.tracer
+}
+
 // jitter draws a uniform jitter sample under the client lock.
 func (c *Client) jitter() float64 {
 	c.mu.Lock()
@@ -319,6 +333,11 @@ func (c *Client) get(ctx context.Context, rawURL string) (*http.Response, error)
 	}
 	if c.cfg.ClientID != "" {
 		req.Header.Set("X-Client-Id", c.cfg.ClientID)
+	}
+	// Propagate the segment span's trace across the wire so the router,
+	// resilience chain, and server stitch their spans under the same trace.
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		tc.SetHeader(req.Header)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -405,13 +424,31 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 	buffer := 0.0
 	virtual := 0.0 // virtual wall-clock (seconds) for trace shaping
 
+	// Open the session's flight-recorder ring (nil when unsampled or the
+	// recorder is absent — every Record below is then one branch).
+	var fs *obs.FlightSession
+	if c.cfg.Flight != nil {
+		id := c.cfg.ClientID
+		if id == "" {
+			id = fmt.Sprintf("video-%d", videoID)
+		}
+		fs = c.cfg.Flight.Session(id)
+		defer fs.Close()
+		fs.Record(obs.FlightEvent{Kind: obs.FlightJoin, Seg: -1})
+	}
+
 	for seg := 0; seg < n; seg++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("httpstream: session cancelled at segment %d: %w", seg, err)
 		}
 		var span *obs.Span
+		segCtx := ctx
 		if c.obs != nil {
 			span = c.obs.tracer.Start(fmt.Sprintf("%s/seg%d", c.cfg.ClientID, seg))
+			// Mint a fresh trace per segment and re-parent the context so
+			// every download attempt carries it across the wire.
+			span.WithTrace(obs.TraceContext{})
+			segCtx = obs.WithTraceContext(ctx, span.TraceContext())
 		}
 		// Viewport prediction from played history.
 		played := float64(seg)*man.SegmentSec - buffer
@@ -482,7 +519,7 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 
 		// Download over HTTP with retries and the degradation ladder,
 		// pacing reads against the shaping trace.
-		out, err := c.downloadResilient(ctx, videoID, seg, man.CatalogVersion, degradeLadder(options, decision.Chosen), ptIdx, center, &virtual)
+		out, err := c.downloadResilient(segCtx, videoID, seg, man.CatalogVersion, degradeLadder(options, decision.Chosen), ptIdx, center, &virtual)
 		if span != nil {
 			span.Stage("download")
 		}
@@ -518,6 +555,11 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 			report.Stalls++
 			report.TotalStallSec += stall
 			report.TotalQoELoss += 1
+			if fs != nil {
+				now := float64(seg) * man.SegmentSec
+				fs.Record(obs.FlightEvent{TimeSec: now, Kind: obs.FlightStall, Seg: int32(seg), V1: stall})
+				fs.Record(obs.FlightEvent{TimeSec: now, Kind: obs.FlightAbandon, Seg: int32(seg), V2: stall, V3: 1})
+			}
 			c.emitTelemetry(videoID, man.SegmentSec, rec, span)
 			continue
 		}
@@ -589,7 +631,21 @@ func (c *Client) StreamContext(ctx context.Context, videoID int, viewer *headtra
 		if bestQ > 0 {
 			report.TotalQoELoss += (bestQ - rec.PerceivedQuality) / bestQ
 		}
+		if fs != nil {
+			now := float64(seg) * man.SegmentSec
+			if stall > 0 {
+				fs.Record(obs.FlightEvent{TimeSec: now, Kind: obs.FlightStall, Seg: int32(seg), V1: stall})
+			}
+			loss := 0.0
+			if bestQ > 0 {
+				loss = (bestQ - rec.PerceivedQuality) / bestQ
+			}
+			fs.Record(obs.FlightEvent{TimeSec: now, Kind: obs.FlightDownload, Seg: int32(seg), V1: float64(rec.Bytes), V2: stall, V3: loss})
+		}
 		c.emitTelemetry(videoID, man.SegmentSec, rec, span)
+	}
+	if fs != nil {
+		fs.Record(obs.FlightEvent{TimeSec: float64(n) * man.SegmentSec, Kind: obs.FlightLeave, Seg: int32(n)})
 	}
 	return report, nil
 }

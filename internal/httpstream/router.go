@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"ptile360/internal/obs"
 )
@@ -138,6 +139,8 @@ type RouterConfig struct {
 	KeyFunc func(*http.Request) string
 	// Registry receives the router metrics; nil creates a private registry.
 	Registry *obs.Registry
+	// SpanRing resizes the router tracer's recent-spans ring (0 → 128).
+	SpanRing int
 }
 
 // TierLedger is the router's fleet-wide outcome roll-up, read from the same
@@ -174,6 +177,8 @@ type Router struct {
 	unrouted  *obs.Counter
 	version   *obs.Gauge
 	perShard  map[string]*obs.Counter
+	tracer    *obs.Tracer
+	latency   *obs.Histogram
 }
 
 // NewRouter builds the tier over an initial shard set.
@@ -199,6 +204,11 @@ func NewRouter(cfg RouterConfig, shards ...Shard) (*Router, error) {
 	rt.shardReqs = reg.Counter("router_shard_requests_total", "Requests that reached a shard handler.")
 	rt.unrouted = reg.Counter("router_unrouted_total", "Requests refused because no shard was live.")
 	rt.version = reg.Gauge("router_catalog_version", "Current catalogue version (edge-cache epoch).")
+	rt.tracer = obs.NewTracer(reg, "router_request")
+	if cfg.SpanRing > 0 {
+		rt.tracer.SetRingSize(cfg.SpanRing)
+	}
+	rt.latency = reg.Histogram("router_request_seconds", "Sharded-tier request latency at the router.", nil)
 	reg.GaugeFunc("router_shards", "Live shard count.", func() float64 {
 		rt.mu.RLock()
 		defer rt.mu.RUnlock()
@@ -224,6 +234,10 @@ func DefaultRingKey(r *http.Request) string {
 
 // Registry returns the registry carrying the router metrics.
 func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Tracer returns the router's request tracer for /debug/spans mounting and
+// SpanHub stitching.
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
 
 // AddShard inserts a replica and rebalances the ring (only keys the new
 // shard now owns move to it).
@@ -292,11 +306,30 @@ func (rt *Router) Ledger() TierLedger {
 // directly.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.requests.Inc()
+	// Join (or start) the cross-tier trace: the router adopts the client's
+	// trace id from the propagation headers, minting one for untraced
+	// requests, and re-parents both the context and the forward headers so
+	// shards — in-process or remote — continue the same trace.
+	span := rt.tracer.Start(rt.keyFunc(r))
+	tc, _ := obs.TraceFromHeader(r.Header)
+	span.WithTrace(tc)
+	down := span.TraceContext()
+	w.Header().Set(obs.TraceIDHeader, down.TraceID)
+	down.SetHeader(r.Header)
+	r = r.WithContext(obs.WithTraceContext(r.Context(), down))
+	start := time.Now()
+	defer func() {
+		span.Stage("serve")
+		span.End()
+		rt.latency.ObserveExemplar(time.Since(start).Seconds(), down.TraceID)
+	}()
+
 	rt.mu.RLock()
 	name, ok := rt.ring.Lookup(rt.keyFunc(r))
 	h := rt.handlers[name]
 	counter := rt.perShard[name]
 	rt.mu.RUnlock()
+	span.Stage("route")
 	if !ok || h == nil {
 		rt.unrouted.Inc()
 		http.Error(w, "router: no live shard", http.StatusServiceUnavailable)

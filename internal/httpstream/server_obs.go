@@ -77,6 +77,13 @@ func (o *serverObs) serve(mux *http.ServeMux, w http.ResponseWriter, r *http.Req
 	obs.RequestIDMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		cw := &countingWriter{ResponseWriter: w}
 		span := o.tracer.Start(obs.RequestID(r.Context()))
+		// Join the cross-tier trace: an in-process upstream (router, chain)
+		// re-parented the context; a remote client sends headers.
+		if tc, ok := obs.TraceForRequest(r); ok {
+			span.WithTrace(tc)
+			w.Header().Set(obs.TraceIDHeader, span.TraceID())
+			r = r.WithContext(obs.WithTraceContext(r.Context(), span.TraceContext()))
+		}
 		start := time.Now()
 		defer func() {
 			span.Stage("handler")
@@ -91,7 +98,7 @@ func (o *serverObs) serve(mux *http.ServeMux, w http.ResponseWriter, r *http.Req
 				"Requests served by the tile server, by path and status.",
 				obs.L("path", path), obs.L("code", strconv.Itoa(code))).Inc()
 			o.reg.Histogram("httpstream_request_seconds",
-				"Tile-server request latency.", nil, obs.L("path", path)).Observe(elapsed)
+				"Tile-server request latency.", nil, obs.L("path", path)).ObserveExemplar(elapsed, span.TraceID())
 			o.reg.Counter("httpstream_response_bytes_total",
 				"Response payload bytes written, by path.", obs.L("path", path)).Add(float64(cw.bytes))
 			if o.log != nil {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"log/slog"
@@ -24,6 +25,15 @@ import (
 //	/debug/pprof/...  net/http/pprof profiles (heap, goroutine, profile, ...)
 //	/healthz          liveness probe
 func NewOpsMux(reg *Registry) *http.ServeMux {
+	return NewOpsMuxWith(reg, nil)
+}
+
+// NewOpsMuxWith is NewOpsMux with an optional Health report backing
+// /healthz (a ServeMux panics on duplicate patterns, so the probe handler
+// must be chosen at construction). With h == nil the probe answers plain
+// "ok"; otherwise it serves h's JSON report, whose body always contains
+// "ok" so existing substring probes keep working.
+func NewOpsMuxWith(reg *Registry, h *Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -33,11 +43,63 @@ func NewOpsMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	if h != nil {
+		mux.Handle("/healthz", h.Handler())
+	} else {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		})
+	}
 	return mux
+}
+
+// Health is a liveness report with pluggable fields: each Set callback is
+// evaluated per probe, so /healthz can answer with live values (catalog
+// generation, online-rebuild staleness) without the probe path holding any
+// subsystem locks between requests.
+type Health struct {
+	mu     sync.Mutex
+	order  []string
+	fields map[string]func() any
+}
+
+// NewHealth builds an empty report.
+func NewHealth() *Health {
+	return &Health{fields: make(map[string]func() any)}
+}
+
+// Set registers (or replaces) a report field.
+func (h *Health) Set(name string, fn func() any) {
+	h.mu.Lock()
+	if _, ok := h.fields[name]; !ok {
+		h.order = append(h.order, name)
+	}
+	h.fields[name] = fn
+	h.mu.Unlock()
+}
+
+// Report evaluates every field. The "status" key is always "ok".
+func (h *Health) Report() map[string]any {
+	h.mu.Lock()
+	fns := make(map[string]func() any, len(h.fields))
+	for k, v := range h.fields {
+		fns[k] = v
+	}
+	h.mu.Unlock()
+	out := map[string]any{"status": "ok"}
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// Handler serves the report as JSON with a 200 status.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h.Report())
+	})
 }
 
 // expvar.Publish panics on duplicate names, and tests build many ops muxes

@@ -101,12 +101,27 @@ func (g *Gauge) Value() float64 { return g.v.Load() }
 // Histogram is a fixed-bucket distribution. Observations are counted into
 // the first bucket whose upper bound is ≥ the value, plus an implicit +Inf
 // bucket, with a running sum and count — exactly the Prometheus histogram
-// contract (cumulative buckets are computed at exposition time).
+// contract (cumulative buckets are computed at exposition time). Each bucket
+// additionally retains the most recent exemplar (value + trace id) attached
+// via ObserveExemplar; exemplars surface through JSON debug endpoints only,
+// so the text exposition stays byte-stable.
 type Histogram struct {
 	bounds []float64       // sorted upper bounds, +Inf excluded
 	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	ex     []atomic.Pointer[Exemplar]
 	sum    atomicFloat
 	count  atomic.Uint64
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	// BucketLE is the upper bound of the bucket the observation landed in
+	// (+Inf for the overflow bucket).
+	BucketLE float64 `json:"bucket_le"`
+	// Value is the observed value.
+	Value float64 `json:"value"`
+	// TraceID names the trace.
+	TraceID string `json:"trace_id"`
 }
 
 // Observe records one sample.
@@ -115,6 +130,34 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty, keeps
+// it as the landing bucket's exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		h.ex[i].Store(&Exemplar{BucketLE: le, Value: v, TraceID: traceID})
+	}
+}
+
+// Exemplars snapshots the buckets' retained exemplars (buckets that never
+// saw a traced observation are skipped), ordered by bucket bound.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.ex {
+		if e := h.ex[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -213,7 +256,11 @@ func (f *family) seriesFor(labels []Label) *series {
 		case KindGauge:
 			s.g = &Gauge{}
 		case KindHistogram:
-			s.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+			s.h = &Histogram{
+				bounds: f.buckets,
+				counts: make([]atomic.Uint64, len(f.buckets)+1),
+				ex:     make([]atomic.Pointer[Exemplar], len(f.buckets)+1),
+			}
 		}
 		f.series[key] = s
 	}

@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The SLO engine evaluates declarative objectives from the TSDB with the
+// Google-SRE multi-window multi-burn-rate recipe: an objective is burning
+// when its error budget is being consumed faster than a threshold factor in
+// BOTH a long window (significance) and a short window (still happening).
+// Evaluation runs on every TSDB sample tick, so alerts are themselves
+// scrapeable (slo_burn_rate / slo_error_ratio / slo_burning gauges) without
+// an external Alertmanager.
+
+// SLOKind selects how an objective's error ratio is computed.
+type SLOKind string
+
+const (
+	// SLOEventRatio divides bad events by total events (availability,
+	// abandon rate) over each window.
+	SLOEventRatio SLOKind = "event_ratio"
+	// SLOLatency treats histogram observations above ThresholdSec as bad
+	// events (request p99 latency style objectives).
+	SLOLatency SLOKind = "latency"
+	// SLOQuotient tracks a windowed quotient (stall seconds per segment,
+	// energy per segment) against a Budget: burn = quotient / Budget.
+	SLOQuotient SLOKind = "quotient"
+)
+
+// BurnWindow is one long/short window pair with its burn-rate threshold.
+type BurnWindow struct {
+	Name   string
+	Long   time.Duration
+	Short  time.Duration
+	Factor float64
+}
+
+// BurnWindows returns the classic fast/slow page pair scaled to a base unit:
+// with base = time.Second the fast pair is 60s/5s at 14.4× and the slow pair
+// 300s/30s at 6× — the canonical 1h/5m and 6h/30m shape compressed so an
+// in-process soak can exercise it.
+func BurnWindows(base time.Duration) []BurnWindow {
+	return []BurnWindow{
+		{Name: "fast", Long: 60 * base, Short: 5 * base, Factor: 14.4},
+		{Name: "slow", Long: 300 * base, Short: 30 * base, Factor: 6},
+	}
+}
+
+// Objective is one declarative SLO.
+type Objective struct {
+	// Name identifies the objective in /slo and the slo_* gauges.
+	Name string
+	// Description is operator-facing prose.
+	Description string
+	// Kind selects the error-ratio computation.
+	Kind SLOKind
+	// Target is the success objective for ratio kinds (0 < Target < 1);
+	// burn = errorRatio / (1 - Target). Ignored for SLOQuotient.
+	Target float64
+	// Bad and Total select the event counters for SLOEventRatio.
+	Bad, Total []Selector
+	// Latency selects the histogram family for SLOLatency; observations
+	// above ThresholdSec are bad events.
+	Latency      Selector
+	ThresholdSec float64
+	// Num and Den select the counters for SLOQuotient; Budget is the
+	// quotient at which burn = 1.
+	Num, Den []Selector
+	Budget   float64
+	// Windows are the burn-rate window pairs (default BurnWindows(1s)).
+	Windows []BurnWindow
+}
+
+func (o *Objective) validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("obs: SLO with empty name")
+	}
+	switch o.Kind {
+	case SLOEventRatio:
+		if len(o.Bad) == 0 || len(o.Total) == 0 {
+			return fmt.Errorf("obs: SLO %s: event_ratio needs Bad and Total selectors", o.Name)
+		}
+	case SLOLatency:
+		if o.Latency.Name == "" || o.ThresholdSec <= 0 {
+			return fmt.Errorf("obs: SLO %s: latency needs a histogram selector and threshold", o.Name)
+		}
+	case SLOQuotient:
+		if len(o.Num) == 0 || len(o.Den) == 0 || o.Budget <= 0 {
+			return fmt.Errorf("obs: SLO %s: quotient needs Num, Den, and a positive Budget", o.Name)
+		}
+	default:
+		return fmt.Errorf("obs: SLO %s: unknown kind %q", o.Name, o.Kind)
+	}
+	if o.Kind != SLOQuotient && (o.Target <= 0 || o.Target >= 1) {
+		return fmt.Errorf("obs: SLO %s: target %v outside (0,1)", o.Name, o.Target)
+	}
+	if len(o.Windows) == 0 {
+		o.Windows = BurnWindows(time.Second)
+	}
+	for _, w := range o.Windows {
+		if w.Long <= 0 || w.Short <= 0 || w.Short > w.Long || w.Factor <= 0 {
+			return fmt.Errorf("obs: SLO %s: bad window %+v", o.Name, w)
+		}
+	}
+	return nil
+}
+
+// WindowStatus is one window pair's evaluation.
+type WindowStatus struct {
+	Name      string  `json:"name"`
+	LongSec   float64 `json:"long_sec"`
+	ShortSec  float64 `json:"short_sec"`
+	Factor    float64 `json:"factor"`
+	LongBurn  float64 `json:"long_burn"`
+	ShortBurn float64 `json:"short_burn"`
+	HasData   bool    `json:"has_data"`
+	Burning   bool    `json:"burning"`
+}
+
+// SLOStatus is one objective's evaluation.
+type SLOStatus struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Kind        SLOKind `json:"kind"`
+	Target      float64 `json:"target,omitempty"`
+	Budget      float64 `json:"budget,omitempty"`
+	// ErrorRatio is the first window pair's long-window error ratio (for
+	// SLOQuotient: the quotient value itself).
+	ErrorRatio float64        `json:"error_ratio"`
+	Burning    bool           `json:"burning"`
+	Windows    []WindowStatus `json:"windows"`
+}
+
+type sloGauges struct {
+	errorRatio *Gauge
+	burning    *Gauge
+	longBurn   []*Gauge // per window
+	shortBurn  []*Gauge
+}
+
+// SLOEngine evaluates objectives from a TSDB.
+type SLOEngine struct {
+	db         *TSDB
+	objectives []Objective
+	gauges     []sloGauges
+
+	mu      sync.Mutex
+	last    []SLOStatus
+	burning []bool
+	onBurn  []func(slo string)
+}
+
+// NewSLOEngine validates the objectives, registers the slo_* gauges on reg,
+// and hooks evaluation onto every TSDB sample tick.
+func NewSLOEngine(db *TSDB, reg *Registry, objectives []Objective) (*SLOEngine, error) {
+	e := &SLOEngine{db: db, objectives: objectives, burning: make([]bool, len(objectives))}
+	seen := map[string]bool{}
+	for i := range e.objectives {
+		o := &e.objectives[i]
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("obs: duplicate SLO name %q", o.Name)
+		}
+		seen[o.Name] = true
+		g := sloGauges{
+			errorRatio: reg.Gauge("slo_error_ratio", "Current long-window error ratio (or quotient value) per SLO.", L("slo", o.Name)),
+			burning:    reg.Gauge("slo_burning", "1 while the SLO's burn rate exceeds a window pair's threshold.", L("slo", o.Name)),
+		}
+		for _, w := range o.Windows {
+			g.longBurn = append(g.longBurn, reg.Gauge("slo_burn_rate",
+				"Error-budget burn rate per SLO and window.", L("slo", o.Name), L("window", w.Name), L("span", "long")))
+			g.shortBurn = append(g.shortBurn, reg.Gauge("slo_burn_rate",
+				"Error-budget burn rate per SLO and window.", L("slo", o.Name), L("window", w.Name), L("span", "short")))
+		}
+		e.gauges = append(e.gauges, g)
+	}
+	db.OnSample(func(time.Time) { e.Evaluate() })
+	return e, nil
+}
+
+// OnBurn registers fn to run when an objective transitions into burning —
+// the flight recorder's SLO trigger hangs off this.
+func (e *SLOEngine) OnBurn(fn func(slo string)) {
+	e.mu.Lock()
+	e.onBurn = append(e.onBurn, fn)
+	e.mu.Unlock()
+}
+
+// ratio computes the objective's error ratio (or quotient) over one window.
+func (e *SLOEngine) ratio(o *Objective, window time.Duration) (float64, bool) {
+	switch o.Kind {
+	case SLOEventRatio:
+		var bad, total float64
+		anyTotal := false
+		for _, sel := range o.Total {
+			if v, ok := e.db.DeltaSum(sel, window); ok {
+				total += v
+				anyTotal = true
+			}
+		}
+		for _, sel := range o.Bad {
+			if v, ok := e.db.DeltaSum(sel, window); ok {
+				bad += v
+			}
+		}
+		if !anyTotal || total <= 0 {
+			return 0, false
+		}
+		r := bad / total
+		if r < 0 {
+			r = 0
+		} else if r > 1 {
+			r = 1
+		}
+		return r, true
+	case SLOLatency:
+		hw, ok := e.db.HistDelta(o.Latency, window)
+		if !ok || hw.Count == 0 {
+			return 0, false
+		}
+		return hw.FracAbove(o.ThresholdSec), true
+	case SLOQuotient:
+		var num, den float64
+		anyDen := false
+		for _, sel := range o.Num {
+			if v, ok := e.db.DeltaSum(sel, window); ok {
+				num += v
+			}
+		}
+		for _, sel := range o.Den {
+			if v, ok := e.db.DeltaSum(sel, window); ok {
+				den += v
+				anyDen = true
+			}
+		}
+		if !anyDen || den <= 0 {
+			return 0, false
+		}
+		return num / den, true
+	}
+	return 0, false
+}
+
+// burnRate converts an error ratio into a burn rate for the objective.
+func (o *Objective) burnRate(ratio float64) float64 {
+	if o.Kind == SLOQuotient {
+		return ratio / o.Budget
+	}
+	return ratio / (1 - o.Target)
+}
+
+// Evaluate computes every objective's status, updates the slo_* gauges, and
+// fires burn-transition callbacks. It runs automatically on each TSDB
+// sample; calling it directly is safe (tests drive it by hand).
+func (e *SLOEngine) Evaluate() []SLOStatus {
+	statuses := make([]SLOStatus, len(e.objectives))
+	var fired []string
+
+	e.mu.Lock()
+	for i := range e.objectives {
+		o := &e.objectives[i]
+		st := SLOStatus{
+			Name:        o.Name,
+			Description: o.Description,
+			Kind:        o.Kind,
+			Target:      o.Target,
+			Budget:      o.Budget,
+		}
+		for wi, w := range o.Windows {
+			ws := WindowStatus{
+				Name:     w.Name,
+				LongSec:  w.Long.Seconds(),
+				ShortSec: w.Short.Seconds(),
+				Factor:   w.Factor,
+			}
+			longR, okL := e.ratio(o, w.Long)
+			shortR, okS := e.ratio(o, w.Short)
+			if okL && okS {
+				ws.HasData = true
+				ws.LongBurn = o.burnRate(longR)
+				ws.ShortBurn = o.burnRate(shortR)
+				ws.Burning = ws.LongBurn > w.Factor && ws.ShortBurn > w.Factor
+			}
+			if wi == 0 && okL {
+				st.ErrorRatio = longR
+			}
+			e.gauges[i].longBurn[wi].Set(ws.LongBurn)
+			e.gauges[i].shortBurn[wi].Set(ws.ShortBurn)
+			st.Windows = append(st.Windows, ws)
+			st.Burning = st.Burning || ws.Burning
+		}
+		e.gauges[i].errorRatio.Set(st.ErrorRatio)
+		if st.Burning {
+			e.gauges[i].burning.Set(1)
+		} else {
+			e.gauges[i].burning.Set(0)
+		}
+		if st.Burning && !e.burning[i] {
+			fired = append(fired, o.Name)
+		}
+		e.burning[i] = st.Burning
+		statuses[i] = st
+	}
+	e.last = statuses
+	callbacks := make([]func(string), len(e.onBurn))
+	copy(callbacks, e.onBurn)
+	e.mu.Unlock()
+
+	for _, name := range fired {
+		for _, fn := range callbacks {
+			fn(name)
+		}
+	}
+	return statuses
+}
+
+// Status returns the most recent evaluation (empty before the first tick).
+func (e *SLOEngine) Status() []SLOStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLOStatus, len(e.last))
+	copy(out, e.last)
+	return out
+}
+
+// Handler serves the current objective statuses as JSON at /slo.
+func (e *SLOEngine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"slos": e.Status()})
+	})
+}

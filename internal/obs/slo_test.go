@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// sloHarness is a registry + TSDB + engine driven on a 1 s virtual clock.
+type sloHarness struct {
+	reg *Registry
+	db  *TSDB
+	eng *SLOEngine
+	now time.Time
+}
+
+func newSLOHarness(t *testing.T, objectives []Objective) *sloHarness {
+	t.Helper()
+	reg := NewRegistry()
+	db := NewTSDB(reg, TSDBConfig{Resolutions: []Resolution{{Step: time.Second, Slots: 600}}})
+	eng, err := NewSLOEngine(db, reg, objectives)
+	if err != nil {
+		t.Fatalf("NewSLOEngine: %v", err)
+	}
+	return &sloHarness{reg: reg, db: db, eng: eng, now: time.Unix(10000, 0)}
+}
+
+// tick advances one virtual second: fn mutates the counters, then the TSDB
+// samples (which evaluates the engine via the OnSample hook).
+func (h *sloHarness) tick(fn func()) {
+	if fn != nil {
+		fn()
+	}
+	h.db.Sample(h.now)
+	h.now = h.now.Add(time.Second)
+}
+
+func statusOf(t *testing.T, eng *SLOEngine, name string) SLOStatus {
+	t.Helper()
+	for _, st := range eng.Status() {
+		if st.Name == name {
+			return st
+		}
+	}
+	t.Fatalf("SLO %q not in status", name)
+	return SLOStatus{}
+}
+
+// TestBurnRateTable pins the burn-rate arithmetic against hand-computed
+// windows: bad/total event streams with known ratios per window.
+func TestBurnRateTable(t *testing.T) {
+	win := []BurnWindow{{Name: "w", Long: 8 * time.Second, Short: 2 * time.Second, Factor: 2}}
+	cases := []struct {
+		name string
+		// perTickBad[i] bad events added before tick i; total is always 10.
+		perTickBad []float64
+		wantRatio  float64 // long-window (8 s) error ratio after the last tick
+		wantLong   float64
+		wantShort  float64
+		wantBurn   bool
+	}{
+		{
+			name:       "healthy",
+			perTickBad: []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+			wantRatio:  0, wantLong: 0, wantShort: 0, wantBurn: false,
+		},
+		{
+			// 9 ticks of data: the 8 s long window sees 8 tick-deltas with
+			// bad 4/tick → ratio 0.4, burn 0.4/(1−0.9) = 4 > 2 in both.
+			name:       "steady burn",
+			perTickBad: []float64{0, 4, 4, 4, 4, 4, 4, 4, 4, 4},
+			wantRatio:  0.4, wantLong: 4, wantShort: 4, wantBurn: true,
+		},
+		{
+			// A burst that ended: the 8 s long window still sees 16 bad of 80
+			// total (ratio 0.2 → burn exactly 2, not > 2) while the 2 s short
+			// window is clean → not burning. The window delta is measured from
+			// the first in-window sample, so the burst sits at ticks 2-3.
+			name:       "burst ended",
+			perTickBad: []float64{0, 0, 8, 8, 0, 0, 0, 0, 0, 0},
+			wantRatio:  0.2, wantLong: 2, wantShort: 0, wantBurn: false,
+		},
+		{
+			// Short window hot but the long window dilutes it below the
+			// factor: significance gate holds the alert back.
+			name:       "short spike only",
+			perTickBad: []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+			wantRatio:  1.0 / 80.0, wantLong: 0.125, wantShort: 0.5, wantBurn: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newSLOHarness(t, []Objective{{
+				Name:    "avail",
+				Kind:    SLOEventRatio,
+				Target:  0.9,
+				Bad:     []Selector{Sel("reqs_total", L("code", "5*"))},
+				Total:   []Selector{Sel("reqs_total")},
+				Windows: win,
+			}})
+			bad := h.reg.Counter("reqs_total", "t", L("code", "500"))
+			good := h.reg.Counter("reqs_total", "t", L("code", "200"))
+			for _, b := range tc.perTickBad {
+				b := b
+				h.tick(func() {
+					bad.Add(b)
+					good.Add(10 - b)
+				})
+			}
+			st := statusOf(t, h.eng, "avail")
+			if abs(st.ErrorRatio-tc.wantRatio) > 1e-9 {
+				t.Fatalf("error ratio = %v, want %v", st.ErrorRatio, tc.wantRatio)
+			}
+			w := st.Windows[0]
+			if !w.HasData {
+				t.Fatal("window has no data")
+			}
+			if abs(w.LongBurn-tc.wantLong) > 1e-9 || abs(w.ShortBurn-tc.wantShort) > 1e-9 {
+				t.Fatalf("burns = %v/%v, want %v/%v", w.LongBurn, w.ShortBurn, tc.wantLong, tc.wantShort)
+			}
+			if st.Burning != tc.wantBurn {
+				t.Fatalf("burning = %v, want %v", st.Burning, tc.wantBurn)
+			}
+		})
+	}
+}
+
+// TestSLOBurnAndRecover drives an availability objective through healthy →
+// fault → drain phases, checking the burning transitions and that OnBurn
+// fires exactly once per transition into burning.
+func TestSLOBurnAndRecover(t *testing.T) {
+	win := []BurnWindow{{Name: "w", Long: 6 * time.Second, Short: 2 * time.Second, Factor: 2}}
+	h := newSLOHarness(t, []Objective{{
+		Name:    "avail",
+		Kind:    SLOEventRatio,
+		Target:  0.9,
+		Bad:     []Selector{Sel("reqs_total", L("code", "5*"))},
+		Total:   []Selector{Sel("reqs_total")},
+		Windows: win,
+	}})
+	var burns []string
+	h.eng.OnBurn(func(name string) { burns = append(burns, name) })
+	bad := h.reg.Counter("reqs_total", "t", L("code", "503"))
+	good := h.reg.Counter("reqs_total", "t", L("code", "200"))
+
+	for i := 0; i < 8; i++ {
+		h.tick(func() { good.Add(10) })
+	}
+	if st := statusOf(t, h.eng, "avail"); st.Burning {
+		t.Fatal("burning during healthy phase")
+	}
+	for i := 0; i < 8; i++ {
+		h.tick(func() { bad.Add(5); good.Add(5) })
+	}
+	if st := statusOf(t, h.eng, "avail"); !st.Burning {
+		t.Fatalf("not burning after fault phase: %+v", st.Windows[0])
+	}
+	if len(burns) != 1 || burns[0] != "avail" {
+		t.Fatalf("OnBurn calls = %v, want exactly [avail]", burns)
+	}
+	// Drain: healthy again for longer than the long window.
+	for i := 0; i < 10; i++ {
+		h.tick(func() { good.Add(10) })
+	}
+	if st := statusOf(t, h.eng, "avail"); st.Burning {
+		t.Fatal("still burning after recovery")
+	}
+	if len(burns) != 1 {
+		t.Fatalf("OnBurn fired on recovery: %v", burns)
+	}
+	// Gauges mirror the status.
+	vals := scrape(t, h.reg)
+	if vals[`slo_burning{slo="avail"}`] != 0 {
+		t.Fatal("slo_burning gauge still 1 after recovery")
+	}
+}
+
+// TestSLOLatencyKind: observations above the threshold are the bad events.
+func TestSLOLatencyKind(t *testing.T) {
+	win := []BurnWindow{{Name: "w", Long: 4 * time.Second, Short: 2 * time.Second, Factor: 3}}
+	h := newSLOHarness(t, []Objective{{
+		Name:         "latency",
+		Kind:         SLOLatency,
+		Target:       0.9,
+		Latency:      Sel("req_seconds"),
+		ThresholdSec: 0.2,
+		Windows:      win,
+	}})
+	hist := h.reg.Histogram("req_seconds", "t", []float64{0.1, 0.2, 0.4})
+	for i := 0; i < 6; i++ {
+		h.tick(func() {
+			// Half the requests land above 0.2 s: ratio 0.5, burn 5 > 3.
+			hist.Observe(0.05)
+			hist.Observe(0.3)
+		})
+	}
+	st := statusOf(t, h.eng, "latency")
+	if abs(st.ErrorRatio-0.5) > 1e-9 {
+		t.Fatalf("latency error ratio = %v, want 0.5", st.ErrorRatio)
+	}
+	if !st.Burning {
+		t.Fatal("latency SLO not burning at 50% slow requests")
+	}
+}
+
+// TestSLOQuotientKind: windowed numerator/denominator against a budget
+// (stall seconds per segment).
+func TestSLOQuotientKind(t *testing.T) {
+	win := []BurnWindow{{Name: "w", Long: 4 * time.Second, Short: 2 * time.Second, Factor: 2}}
+	h := newSLOHarness(t, []Objective{{
+		Name:    "stall",
+		Kind:    SLOQuotient,
+		Num:     []Selector{Sel("stall_seconds_total")},
+		Den:     []Selector{Sel("segments_total")},
+		Budget:  0.05,
+		Windows: win,
+	}})
+	stall := h.reg.Counter("stall_seconds_total", "t")
+	segs := h.reg.Counter("segments_total", "t")
+	for i := 0; i < 6; i++ {
+		h.tick(func() {
+			segs.Add(10)
+			stall.Add(2) // 0.2 s stall per segment = 4× the 0.05 budget
+		})
+	}
+	st := statusOf(t, h.eng, "stall")
+	if abs(st.ErrorRatio-0.2) > 1e-9 {
+		t.Fatalf("quotient = %v, want 0.2", st.ErrorRatio)
+	}
+	if !st.Burning {
+		t.Fatal("quotient SLO not burning at 4× budget")
+	}
+}
+
+// TestSLOValidation rejects malformed objectives.
+func TestSLOValidation(t *testing.T) {
+	reg := NewRegistry()
+	db := NewTSDB(reg, TSDBConfig{})
+	bad := []Objective{
+		{Name: "", Kind: SLOEventRatio},
+		{Name: "x", Kind: SLOEventRatio, Target: 0.9},                                             // no selectors
+		{Name: "x", Kind: SLOEventRatio, Target: 1.5, Bad: []Selector{{}}, Total: []Selector{{}}}, // target out of range
+		{Name: "x", Kind: SLOLatency, Target: 0.9},                                                // no histogram
+		{Name: "x", Kind: SLOQuotient},                                                            // no budget
+		{Name: "x", Kind: "bogus"},
+	}
+	for i, o := range bad {
+		if _, err := NewSLOEngine(db, reg, []Objective{o}); err == nil {
+			t.Fatalf("objective %d accepted: %+v", i, o)
+		}
+	}
+	dup := Objective{Name: "d", Kind: SLOQuotient, Num: []Selector{Sel("a")}, Den: []Selector{Sel("b")}, Budget: 1}
+	if _, err := NewSLOEngine(db, reg, []Objective{dup, dup}); err == nil {
+		t.Fatal("duplicate SLO names accepted")
+	}
+}
+
+// TestSLOGoldenJSON pins the /slo handler's JSON contract.
+func TestSLOGoldenJSON(t *testing.T) {
+	win := []BurnWindow{{Name: "w", Long: 4 * time.Second, Short: 2 * time.Second, Factor: 2}}
+	h := newSLOHarness(t, []Objective{{
+		Name:        "avail",
+		Description: "test objective",
+		Kind:        SLOEventRatio,
+		Target:      0.9,
+		Bad:         []Selector{Sel("reqs_total", L("code", "5*"))},
+		Total:       []Selector{Sel("reqs_total")},
+		Windows:     win,
+	}})
+	good := h.reg.Counter("reqs_total", "t", L("code", "200"))
+	for i := 0; i < 5; i++ {
+		h.tick(func() { good.Add(10) })
+	}
+
+	srv := httptest.NewServer(h.eng.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		SLOs []struct {
+			Name        string  `json:"name"`
+			Description string  `json:"description"`
+			Kind        string  `json:"kind"`
+			Target      float64 `json:"target"`
+			ErrorRatio  float64 `json:"error_ratio"`
+			Burning     bool    `json:"burning"`
+			Windows     []struct {
+				Name     string  `json:"name"`
+				LongSec  float64 `json:"long_sec"`
+				ShortSec float64 `json:"short_sec"`
+				Factor   float64 `json:"factor"`
+				HasData  bool    `json:"has_data"`
+			} `json:"windows"`
+		} `json:"slos"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SLOs) != 1 {
+		t.Fatalf("slos = %d, want 1", len(got.SLOs))
+	}
+	s := got.SLOs[0]
+	if s.Name != "avail" || s.Description != "test objective" || s.Kind != "event_ratio" ||
+		s.Target != 0.9 || s.ErrorRatio != 0 || s.Burning {
+		t.Fatalf("unexpected SLO JSON: %+v", s)
+	}
+	if len(s.Windows) != 1 || s.Windows[0].Name != "w" || s.Windows[0].LongSec != 4 ||
+		s.Windows[0].ShortSec != 2 || s.Windows[0].Factor != 2 || !s.Windows[0].HasData {
+		t.Fatalf("unexpected window JSON: %+v", s.Windows)
+	}
+}
+
+// TestBurnWindowsShape: the canonical fast/slow pair scales with the base.
+func TestBurnWindowsShape(t *testing.T) {
+	ws := BurnWindows(100 * time.Millisecond)
+	if len(ws) != 2 {
+		t.Fatalf("window pairs = %d, want 2", len(ws))
+	}
+	if ws[0].Long != 6*time.Second || ws[0].Short != 500*time.Millisecond || ws[0].Factor != 14.4 {
+		t.Fatalf("fast pair = %+v", ws[0])
+	}
+	if ws[1].Long != 30*time.Second || ws[1].Short != 3*time.Second || ws[1].Factor != 6 {
+		t.Fatalf("slow pair = %+v", ws[1])
+	}
+}

@@ -3,17 +3,19 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
 
 // The span recorder is deliberately lighter than a distributed tracer:
-// process-local, fixed stage names, no propagation. Each Tracer owns one
-// lifecycle (the server request path, the client segment path), each Span is
-// one pass through it, and every stage transition lands in a per-stage
-// latency histogram plus a bounded ring of recent spans for /debug/spans
-// inspection. That is exactly enough to answer "where did the time go
-// between admission and the handler" without a tracing backend.
+// process-local, fixed stage names, no sampling decisions. Each Tracer owns
+// one lifecycle (the server request path, the client segment path), each
+// Span is one pass through it, and every stage transition lands in a
+// per-stage latency histogram plus a bounded ring of recent spans for
+// /debug/spans inspection. Spans can additionally join a cross-tier trace
+// (WithTrace): the record then carries trace/span/parent ids and a SpanHub
+// can stitch the tiers of one request back together.
 
 // StageRecord is one timed stage within a completed span.
 type StageRecord struct {
@@ -29,40 +31,81 @@ type SpanRecord struct {
 	Name string `json:"name"`
 	// ID is the request/session-scoped identifier, when one was attached.
 	ID string `json:"id,omitempty"`
+	// TraceID, SpanID, and ParentID place the span in a cross-tier trace
+	// when WithTrace joined one.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	// StartUnixNano orders spans of one trace across tracers.
+	StartUnixNano int64 `json:"start_unix_nano,omitempty"`
 	// Stages lists the recorded stage latencies in order.
 	Stages []StageRecord `json:"stages"`
 	// TotalSeconds is the span's start→end latency.
 	TotalSeconds float64 `json:"total_seconds"`
 }
 
-// ringCap bounds the recent-spans ring per tracer.
-const ringCap = 128
+// defaultRingCap bounds the recent-spans ring per tracer unless SetRingSize
+// overrides it.
+const defaultRingCap = 128
 
 // Tracer records spans for one lifecycle and owns its histograms.
 type Tracer struct {
-	name  string
-	reg   *Registry
-	total *Histogram
+	name    string
+	reg     *Registry
+	total   *Histogram
+	dropped *Counter
 
 	hmu    sync.Mutex
 	stages map[string]*Histogram
 
 	rmu  sync.Mutex
+	cap  int
 	ring []SpanRecord
 	next int
 }
 
 // NewTracer builds a tracer named name, registering its histograms on reg:
-// <name>_stage_seconds{stage=...} per stage and <name>_span_seconds for the
-// whole lifecycle.
+// <name>_stage_seconds{stage=...} per stage, <name>_span_seconds for the
+// whole lifecycle, and spans_dropped_total{tracer=name} counting ring
+// evictions.
 func NewTracer(reg *Registry, name string) *Tracer {
 	return &Tracer{
-		name:   name,
-		reg:    reg,
-		total:  reg.Histogram(name+"_span_seconds", "Total latency of one "+name+" lifecycle.", nil),
-		stages: make(map[string]*Histogram),
+		name:    name,
+		reg:     reg,
+		total:   reg.Histogram(name+"_span_seconds", "Total latency of one "+name+" lifecycle.", nil),
+		dropped: reg.Counter("spans_dropped_total", "Completed spans evicted from a tracer's recent ring.", L("tracer", name)),
+		stages:  make(map[string]*Histogram),
+		cap:     defaultRingCap,
 	}
 }
+
+// SetRingSize resizes the recent-spans ring (default 128). The most recent
+// min(n, held) spans are kept. n < 1 is ignored.
+func (t *Tracer) SetRingSize(n int) {
+	if n < 1 {
+		return
+	}
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	recent := t.recentLocked()
+	if len(recent) > n {
+		recent = recent[len(recent)-n:]
+	}
+	t.cap = n
+	t.ring = make([]SpanRecord, 0, n)
+	t.ring = append(t.ring, recent...)
+	t.next = len(recent)
+}
+
+// RingSize returns the current ring capacity.
+func (t *Tracer) RingSize() int {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	return t.cap
+}
+
+// Name returns the tracer's lifecycle name.
+func (t *Tracer) Name() string { return t.name }
 
 // stageHist returns (registering on first use) the stage's histogram.
 func (t *Tracer) stageHist(stage string) *Histogram {
@@ -80,12 +123,15 @@ func (t *Tracer) stageHist(stage string) *Histogram {
 // Span is one in-flight pass through the tracer's lifecycle. It is not
 // goroutine-safe: a span belongs to the goroutine driving the lifecycle.
 type Span struct {
-	t     *Tracer
-	id    string
-	start time.Time
-	mark  time.Time
-	rec   []StageRecord
-	done  bool
+	t        *Tracer
+	id       string
+	traceID  string
+	spanID   string
+	parentID string
+	start    time.Time
+	mark     time.Time
+	rec      []StageRecord
+	done     bool
 }
 
 // Start opens a span. id may be "" (attach one later with SetID).
@@ -96,6 +142,30 @@ func (t *Tracer) Start(id string) *Span {
 
 // SetID attaches the request/session identifier after the fact.
 func (s *Span) SetID(id string) { s.id = id }
+
+// WithTrace joins the span to a cross-tier trace: it adopts tc's trace id
+// (minting a fresh one when tc is empty), records tc's span as its parent,
+// and mints its own span id. Returns s for chaining.
+func (s *Span) WithTrace(tc TraceContext) *Span {
+	if tc.TraceID == "" {
+		tc.TraceID = NewTraceID()
+	}
+	s.traceID = tc.TraceID
+	s.parentID = tc.SpanID
+	if s.spanID == "" {
+		s.spanID = NewSpanID()
+	}
+	return s
+}
+
+// TraceContext returns the span's position for downstream propagation:
+// same trace, this span as parent. Zero when WithTrace was never called.
+func (s *Span) TraceContext() TraceContext {
+	return TraceContext{TraceID: s.traceID, SpanID: s.spanID}
+}
+
+// TraceID returns the trace id joined by WithTrace, or "".
+func (s *Span) TraceID() string { return s.traceID }
 
 // Stage closes the current stage: the time since the previous mark (or the
 // span start) is observed into the stage's histogram and recorded.
@@ -116,15 +186,25 @@ func (s *Span) End() {
 	s.done = true
 	total := time.Since(s.start).Seconds()
 	s.t.total.Observe(total)
-	s.t.push(SpanRecord{Name: s.t.name, ID: s.id, Stages: s.rec, TotalSeconds: total})
+	s.t.push(SpanRecord{
+		Name:          s.t.name,
+		ID:            s.id,
+		TraceID:       s.traceID,
+		SpanID:        s.spanID,
+		ParentID:      s.parentID,
+		StartUnixNano: s.start.UnixNano(),
+		Stages:        s.rec,
+		TotalSeconds:  total,
+	})
 }
 
 func (t *Tracer) push(r SpanRecord) {
 	t.rmu.Lock()
-	if len(t.ring) < ringCap {
+	if len(t.ring) < t.cap {
 		t.ring = append(t.ring, r)
 	} else {
-		t.ring[t.next%ringCap] = r
+		t.ring[t.next%t.cap] = r
+		t.dropped.Inc()
 	}
 	t.next++
 	t.rmu.Unlock()
@@ -134,13 +214,17 @@ func (t *Tracer) push(r SpanRecord) {
 func (t *Tracer) Recent() []SpanRecord {
 	t.rmu.Lock()
 	defer t.rmu.Unlock()
+	return t.recentLocked()
+}
+
+func (t *Tracer) recentLocked() []SpanRecord {
 	out := make([]SpanRecord, 0, len(t.ring))
-	if len(t.ring) < ringCap {
+	if len(t.ring) < t.cap {
 		out = append(out, t.ring...)
 		return out
 	}
-	for i := 0; i < ringCap; i++ {
-		out = append(out, t.ring[(t.next+i)%ringCap])
+	for i := 0; i < t.cap; i++ {
+		out = append(out, t.ring[(t.next+i)%t.cap])
 	}
 	return out
 }
@@ -151,5 +235,95 @@ func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(t.Recent())
+	})
+}
+
+// SpanHub stitches cross-tier traces back together from the rings of every
+// registered tracer. It holds tracer pointers only — reading is a snapshot
+// of each ring at call time, so a trace is stitchable as long as its spans
+// have not been evicted (size the rings via SetRingSize accordingly).
+type SpanHub struct {
+	mu      sync.Mutex
+	tracers []*Tracer
+}
+
+// NewSpanHub builds a hub over the given tracers.
+func NewSpanHub(tracers ...*Tracer) *SpanHub {
+	h := &SpanHub{}
+	for _, t := range tracers {
+		h.Add(t)
+	}
+	return h
+}
+
+// Add registers another tracer with the hub.
+func (h *SpanHub) Add(t *Tracer) {
+	if t == nil {
+		return
+	}
+	h.mu.Lock()
+	h.tracers = append(h.tracers, t)
+	h.mu.Unlock()
+}
+
+func (h *SpanHub) snapshot() []*Tracer {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Tracer, len(h.tracers))
+	copy(out, h.tracers)
+	return out
+}
+
+// Trace returns every retained span carrying the trace id, across all
+// registered tracers, ordered by start time (ties broken by span id).
+func (h *SpanHub) Trace(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, t := range h.snapshot() {
+		for _, r := range t.Recent() {
+			if r.TraceID == traceID {
+				out = append(out, r)
+			}
+		}
+	}
+	sortSpans(out)
+	return out
+}
+
+// Traces groups every retained traced span by trace id.
+func (h *SpanHub) Traces() map[string][]SpanRecord {
+	out := make(map[string][]SpanRecord)
+	for _, t := range h.snapshot() {
+		for _, r := range t.Recent() {
+			if r.TraceID != "" {
+				out[r.TraceID] = append(out[r.TraceID], r)
+			}
+		}
+	}
+	for _, spans := range out {
+		sortSpans(spans)
+	}
+	return out
+}
+
+func sortSpans(spans []SpanRecord) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartUnixNano != spans[j].StartUnixNano {
+			return spans[i].StartUnixNano < spans[j].StartUnixNano
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// Handler serves stitched traces as JSON. Without parameters it returns
+// {"traces": {<trace-id>: [spans...]}}; with ?trace=<id> it returns just
+// that trace's span list.
+func (h *SpanHub) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			json.NewEncoder(w).Encode(h.Trace(id))
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"traces": h.Traces()})
 	})
 }

@@ -43,6 +43,7 @@ func TestTracerStagesAndHistograms(t *testing.T) {
 }
 
 func TestTracerRingBounded(t *testing.T) {
+	const ringCap = defaultRingCap
 	tr := NewTracer(NewRegistry(), "ring")
 	for i := 0; i < ringCap+10; i++ {
 		sp := tr.Start(fmt.Sprintf("id-%d", i))

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Cross-tier trace propagation extends the X-Request-Id contract to a
+// trace-id / parent-span pair: the edge (the streaming client, or the first
+// tier that sees a request) mints a trace id, every tier starts its own span
+// as a child of the incoming one, and re-parents the context (and forward
+// headers) before handing off. One segment fetch then yields spans in the
+// client, router, resilience chain, and server tracers that all share one
+// trace id — a SpanHub stitches them back together for /debug/spans.
+//
+// IDs are monotonic ("t-000042" / "s-000042"), matching the request-ID
+// scheme: reproducible chaos runs beat global uniqueness in-process.
+
+const (
+	// TraceIDHeader carries the trace id across tiers.
+	TraceIDHeader = "X-Trace-Id"
+	// ParentSpanHeader carries the caller's span id across tiers.
+	ParentSpanHeader = "X-Parent-Span"
+)
+
+// TraceContext identifies a position in a trace: the trace itself and the
+// current span, which becomes the parent of whatever the next tier starts.
+type TraceContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// Valid reports whether the context names a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// SetHeader writes the propagation headers for a downstream hop.
+func (tc TraceContext) SetHeader(h http.Header) {
+	if tc.TraceID == "" {
+		return
+	}
+	h.Set(TraceIDHeader, tc.TraceID)
+	if tc.SpanID != "" {
+		h.Set(ParentSpanHeader, tc.SpanID)
+	}
+}
+
+var (
+	traceSeq atomic.Uint64
+	spanSeq  atomic.Uint64
+)
+
+// NewTraceID mints the next trace ID ("t-000042").
+func NewTraceID() string { return fmt.Sprintf("t-%06d", traceSeq.Add(1)) }
+
+// NewSpanID mints the next span ID ("s-000042").
+func NewSpanID() string { return fmt.Sprintf("s-%06d", spanSeq.Add(1)) }
+
+const traceCtxKey ctxKey = requestIDKey + 1
+
+// WithTraceContext attaches a trace position to ctx.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey, tc)
+}
+
+// TraceFromContext returns the trace position attached by WithTraceContext.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// TraceFromHeader reads the propagation headers (values over 64 bytes are
+// truncated, mirroring the request-ID middleware's hygiene).
+func TraceFromHeader(h http.Header) (TraceContext, bool) {
+	tc := TraceContext{
+		TraceID: clipID(h.Get(TraceIDHeader)),
+		SpanID:  clipID(h.Get(ParentSpanHeader)),
+	}
+	return tc, tc.Valid()
+}
+
+func clipID(s string) string {
+	if len(s) > 64 {
+		return s[:64]
+	}
+	return s
+}
+
+// TraceForRequest resolves the trace position for an in-flight server
+// request: context first (an upstream in-process tier already re-parented),
+// then the propagation headers.
+func TraceForRequest(r *http.Request) (TraceContext, bool) {
+	if tc, ok := TraceFromContext(r.Context()); ok {
+		return tc, true
+	}
+	return TraceFromHeader(r.Header)
+}

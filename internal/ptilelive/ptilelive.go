@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ptile360/internal/cluster"
 	"ptile360/internal/geom"
@@ -141,6 +143,10 @@ type Pipeline struct {
 	mu     sync.Mutex
 	videos map[int]*videoState
 
+	// lastRebuild is the wall time of the most recent Rebuild pass (unix
+	// nanoseconds, 0 = never), read lock-free by /healthz staleness probes.
+	lastRebuild atomic.Int64
+
 	reportsTotal    *obs.Counter
 	rebuildsTotal   *obs.Counter
 	reclusteredSegs *obs.Counter
@@ -258,7 +264,28 @@ func (p *Pipeline) Rebuild(video int) (Build, error) {
 	}
 	b := p.buildLocked(video, vs, dirty)
 	p.publishLocked(vs, b)
+	p.lastRebuild.Store(time.Now().UnixNano())
 	return b, nil
+}
+
+// LastRebuild returns the wall time of the most recent Rebuild pass and
+// whether one has run yet.
+func (p *Pipeline) LastRebuild() (time.Time, bool) {
+	ns := p.lastRebuild.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// RebuildAge returns the time since the last Rebuild pass, or -1 before the
+// first one — the /healthz rebuild-staleness field.
+func (p *Pipeline) RebuildAge() time.Duration {
+	ns := p.lastRebuild.Load()
+	if ns == 0 {
+		return -1
+	}
+	return time.Duration(time.Now().UnixNano() - ns)
 }
 
 // Current returns the latest build without re-clustering anything.

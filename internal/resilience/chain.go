@@ -163,6 +163,13 @@ func (c *Chain) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ep := r.URL.Path
 	span := c.tracer.Start(obs.RequestID(r.Context()))
 	defer span.End()
+	// Continue the cross-tier trace: an in-process router re-parented the
+	// context; a direct client sends the propagation headers. Untraced
+	// requests stay untraced — the chain never mints trace ids.
+	if tc, ok := obs.TraceForRequest(r); ok {
+		span.WithTrace(tc)
+		r = r.WithContext(obs.WithTraceContext(r.Context(), span.TraceContext()))
+	}
 	if c.draining.Load() {
 		c.metrics.count(ep, outcomeShed)
 		c.logRefusal(r, "draining", http.StatusServiceUnavailable)

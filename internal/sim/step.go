@@ -110,6 +110,19 @@ func (st *State) BufferSec() float64 { return st.buffer }
 // Segments returns the number of segments streamed so far.
 func (st *State) Segments() int { return st.segments }
 
+// EstimateBps returns the session's current bandwidth estimate in bits per
+// second, or 0 before the estimator has warmed up.
+func (st *State) EstimateBps() float64 {
+	if st.bw == nil || !st.bw.Ready() {
+		return 0
+	}
+	est, err := st.bw.Estimate()
+	if err != nil {
+		return 0
+	}
+	return est
+}
+
 // StepInfo reports one Step: the timing a scheduler needs to place the
 // download-completion event on its virtual clock.
 type StepInfo struct {
